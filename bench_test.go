@@ -1,0 +1,259 @@
+package ncast
+
+// bench_test.go holds the reproduction benchmarks: one Benchmark per
+// experiment E1–E15 (the paper's claims; see DESIGN.md for the index) plus
+// end-to-end system benchmarks of the public API. Each experiment bench
+// runs its reduced configuration once per iteration and reports the key
+// measured figure via b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates every table's headline numbers.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ncast/internal/sim"
+)
+
+func BenchmarkE1Connectivity(b *testing.B) {
+	cfg := sim.DefaultE1Config()
+	cfg.Sizes = []int{100, 400}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac := 0.0
+		for _, row := range res.Rows {
+			frac += row.FracFullConn
+		}
+		b.ReportMetric(frac/float64(len(res.Rows)), "fracFullConn")
+	}
+}
+
+func BenchmarkE2Theorem4(b *testing.B) {
+	cfg := sim.DefaultE2Config()
+	cfg.Steps, cfg.BurnIn, cfg.Ps = 1500, 500, []float64{0.02}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Ratio, "E[B]/A÷pd")
+	}
+}
+
+func BenchmarkE3Collapse(b *testing.B) {
+	cfg := sim.DefaultE3Config()
+	cfg.Ks, cfg.Trials, cfg.MaxSteps = []int{4, 6, 8}, 5, 5000
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Slope, "lnStepsSlope")
+	}
+}
+
+func BenchmarkE4Lemma6(b *testing.B) {
+	cfg := sim.DefaultE4Config()
+	cfg.Steps = 200
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MaxJump)/res.Bound, "jump÷bound")
+	}
+}
+
+func BenchmarkE5LeaveInvariance(b *testing.B) {
+	cfg := sim.DefaultE5Config()
+	cfg.Trials = 150
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.KSDefect/res.Threshold, "KS÷threshold")
+	}
+}
+
+func BenchmarkE6Locality(b *testing.B) {
+	cfg := sim.DefaultE6Config()
+	cfg.Sizes, cfg.Trials = []int{200, 800}, 3
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.PLoss, "P(loss)")
+		b.ReportMetric(last.PLossNoParent, "P(loss|noParentFail)")
+	}
+}
+
+func BenchmarkE7Throughput(b *testing.B) {
+	cfg := sim.DefaultE7Config()
+	cfg.N, cfg.Trials, cfg.Ps = 80, 8, []float64{0.1}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Means["rlnc"], "rlncGoodput")
+		b.ReportMetric(res.Rows[0].Means["chain"], "chainGoodput")
+	}
+}
+
+func BenchmarkE8Adversarial(b *testing.B) {
+	cfg := sim.DefaultE8Config()
+	cfg.N, cfg.Trials = 200, 5
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attack := res.Row("append/contiguous").MeanLossFrac
+		defended := res.Row("random-insert/contiguous").MeanLossFrac
+		if defended > 0 {
+			b.ReportMetric(attack/defended, "attack÷defended")
+		}
+	}
+}
+
+func BenchmarkE9Delay(b *testing.B) {
+	cfg := sim.DefaultE9Config()
+	cfg.Sizes, cfg.Trials = []int{100, 400, 1600}, 2
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		if last.RandMax > 0 {
+			b.ReportMetric(last.CurtainMax/last.RandMax, "curtain÷randDepth")
+		}
+	}
+}
+
+func BenchmarkE10DegreeSweep(b *testing.B) {
+	cfg := sim.DefaultE10Config()
+	cfg.Ds, cfg.Trials, cfg.N = []int{2, 8}, 4, 200
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := res.Rows[1].VarLoss; v > 0 {
+			b.ReportMetric(res.Rows[0].VarLoss/v, "var(d=2)÷var(d=8)")
+		}
+	}
+}
+
+func BenchmarkE11Heterogeneous(b *testing.B) {
+	cfg := sim.DefaultE11Config()
+	cfg.Trials, cfg.N = 4, 200
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].DeliveredFrac, "dslDelivered")
+		b.ReportMetric(res.Rows[1].DeliveredFrac, "t1Delivered")
+	}
+}
+
+func BenchmarkE12FieldSize(b *testing.B) {
+	cfg := sim.DefaultE12Config()
+	cfg.GenSizes, cfg.Trials = []int{32}, 5
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Field == "GF(2)" {
+				b.ReportMetric(row.MeanExtra, "gf2ExtraPkts")
+			}
+			if row.Field == "GF(256)" {
+				b.ReportMetric(row.MeanExtra, "gf256ExtraPkts")
+			}
+		}
+	}
+}
+
+func BenchmarkE13Congestion(b *testing.B) {
+	cfg := sim.DefaultE13Config()
+	cfg.Trials, cfg.N = 4, 100
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Phase("recovered").NodeConn, "recoveredConn")
+	}
+}
+
+func BenchmarkE14Conjecture(b *testing.B) {
+	cfg := sim.DefaultE14Config()
+	cfg.N, cfg.Trials = 300, 3
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) > 1 && res.Rows[1].PParents > 0 {
+			b.ReportMetric(res.Rows[1].Ratio, "κ=1ratio")
+		}
+	}
+}
+
+func BenchmarkE15Gossip(b *testing.B) {
+	cfg := sim.DefaultE15Config()
+	cfg.N, cfg.Trials = 200, 3
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row := res.Row("gossip"); row != nil {
+			b.ReportMetric(row.FracConnected, "gossipConnected")
+		}
+	}
+}
+
+// BenchmarkSessionBroadcast measures end-to-end goodput of the public API:
+// one server, 8 peers, 64 KiB content per iteration.
+func BenchmarkSessionBroadcast(b *testing.B) {
+	content := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(content)
+	cfg := DefaultConfig()
+	cfg.K, cfg.D = 8, 2
+	cfg.GenSize, cfg.PacketSize = 8, 512
+	b.SetBytes(int64(len(content) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(content, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		clients := make([]*Client, 0, 8)
+		for j := 0; j < 8; j++ {
+			c, err := s.AddClient(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients = append(clients, c)
+		}
+		for _, c := range clients {
+			if err := c.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cancel()
+		s.Close()
+	}
+}

@@ -1,0 +1,194 @@
+// Command ncast-bench runs the experiment harness: one experiment per
+// claim of the paper (see DESIGN.md's per-experiment index), printing the
+// table the paper's theorem predicts the shape of.
+//
+// Usage:
+//
+//	ncast-bench -exp all            # run every experiment (slow)
+//	ncast-bench -exp e2,e6          # run a subset
+//	ncast-bench -exp e3 -quick      # reduced configs for a fast pass
+//	ncast-bench -list               # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ncast/internal/metrics"
+	"ncast/internal/sim"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(quick bool) (*metrics.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"e1", "failure-free connectivity = d (§3)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE1Config()
+			if quick {
+				cfg.Sizes = []int{100, 400}
+			}
+			res, err := sim.RunE1(cfg)
+			return res.Table(), err
+		}},
+		{"e2", "Theorem 4: E[B]/A vs p·d", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE2Config()
+			if quick {
+				cfg.Steps, cfg.BurnIn, cfg.Ps = 1200, 400, []float64{0.01, 0.05}
+			}
+			res, err := sim.RunE2(cfg)
+			return res.Table(), err
+		}},
+		{"e3", "Theorem 5: collapse time exponential in k/d³", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE3Config()
+			if quick {
+				cfg.Ks, cfg.Trials, cfg.MaxSteps = []int{4, 6, 8}, 6, 6000
+			}
+			res, err := sim.RunE3(cfg)
+			return res.Table(), err
+		}},
+		{"e4", "Lemma 6: max defect jump per arrival", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE4Config()
+			if quick {
+				cfg.Steps = 150
+			}
+			res, err := sim.RunE4(cfg)
+			return res.Table(), err
+		}},
+		{"e5", "Lemma 1: graceful-leave distribution invariance", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE5Config()
+			if quick {
+				cfg.Trials = 120
+			}
+			res, err := sim.RunE5(cfg)
+			return res.Table(), err
+		}},
+		{"e6", "locality & scalability: P(loss) flat in N", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE6Config()
+			if quick {
+				cfg.Sizes, cfg.Trials = []int{200, 800}, 3
+			}
+			res, err := sim.RunE6(cfg)
+			return res.Table(), err
+		}},
+		{"e7", "throughput: RLNC vs routing baselines", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE7Config()
+			if quick {
+				cfg.N, cfg.Trials = 80, 8
+			}
+			res, err := sim.RunE7(cfg)
+			return res.Table(), err
+		}},
+		{"e8", "adversarial batch failures: §5 insert-mode defense", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE8Config()
+			if quick {
+				cfg.N, cfg.Trials = 200, 5
+			}
+			res, err := sim.RunE8(cfg)
+			return res.Table(), err
+		}},
+		{"e9", "delay: linear (curtain) vs logarithmic (§6 random graph)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE9Config()
+			if quick {
+				cfg.Sizes, cfg.Trials = []int{100, 400, 1600}, 2
+			}
+			res, err := sim.RunE9(cfg)
+			return res.Table(), err
+		}},
+		{"e10", "degree sweep: E[loss]≈p ∀d, Var[loss]~1/d (§7)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE10Config()
+			if quick {
+				cfg.Ds, cfg.Trials, cfg.N = []int{2, 8}, 4, 200
+			}
+			res, err := sim.RunE10(cfg)
+			return res.Table(), err
+		}},
+		{"e11", "heterogeneous degrees (DSL vs T1, §5)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE11Config()
+			if quick {
+				cfg.Trials, cfg.N = 4, 200
+			}
+			res, err := sim.RunE11(cfg)
+			return res.Table(), err
+		}},
+		{"e12", "field-size ablation: decode waste & overhead", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE12Config()
+			if quick {
+				cfg.GenSizes, cfg.Trials = []int{16, 64}, 5
+			}
+			res, err := sim.RunE12(cfg)
+			return res.Table(), err
+		}},
+		{"e13", "congestion episode: degree backoff + regrowth (§5)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE13Config()
+			if quick {
+				cfg.Trials, cfg.N = 4, 100
+			}
+			res, err := sim.RunE13(cfg)
+			return res.Table(), err
+		}},
+		{"e14", "§7 conjecture: P(lose κ threads) ≈ P(lose κ parents)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE14Config()
+			if quick {
+				cfg.N, cfg.Trials = 300, 3
+			}
+			res, err := sim.RunE14(cfg)
+			return res.Table(), err
+		}},
+		{"e15", "tracker-free gossip overlay vs central designs (§7)", func(quick bool) (*metrics.Table, error) {
+			cfg := sim.DefaultE15Config()
+			if quick {
+				cfg.N, cfg.Trials = 200, 3
+			}
+			res, err := sim.RunE15(cfg)
+			return res.Table(), err
+		}},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e15) or 'all'")
+	quick := flag.Bool("quick", false, "reduced configurations for a fast pass")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *expFlag != "all" && !want[e.id] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		table, err := e.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n[%s finished in %v]\n\n", table, e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,83 @@
+// Command ncast-node joins a broadcast over TCP, downloads the content
+// through the network-coded overlay (re-serving it to later joiners while
+// connected), and writes it to a file.
+//
+// Usage:
+//
+//	ncast-node -server 127.0.0.1:9000 -out copy.bin
+//	ncast-node -server 127.0.0.1:9000 -out copy.bin -degree 6 -stay 1m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ncast"
+)
+
+func main() {
+	server := flag.String("server", "", "server address (required)")
+	listen := flag.String("listen", "127.0.0.1:0", "local listen address")
+	out := flag.String("out", "", "output file (required)")
+	degree := flag.Int("degree", 0, "requested degree (0 = session default)")
+	stay := flag.Duration("stay", 10*time.Second, "how long to keep seeding after completion")
+	timeout := flag.Duration("timeout", 5*time.Minute, "download timeout")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "recoding seed")
+	flag.Parse()
+
+	if *server == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "-server and -out are required")
+		os.Exit(2)
+	}
+
+	cfg := ncast.DefaultConfig()
+	cfg.ComplaintTimeout = time.Second
+	cfg.Seed = *seed
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var opts []ncast.ClientOption
+	if *degree > 0 {
+		opts = append(opts, ncast.WithDegree(*degree))
+	}
+	client, err := ncast.Dial(ctx, *server, *listen, cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	fmt.Printf("joined as node %d\n", client.ID())
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+download:
+	for {
+		select {
+		case <-client.Completed():
+			break download
+		case <-ticker.C:
+			fmt.Printf("progress %.1f%%\n", 100*client.Progress())
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "download timed out at %.1f%%\n", 100*client.Progress())
+			os.Exit(1)
+		}
+	}
+
+	content, err := client.Content()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, content, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d bytes to %s; seeding for %v\n", len(content), *out, *stay)
+	time.Sleep(*stay)
+	if err := client.Leave(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "graceful leave failed: %v\n", err)
+	}
+}

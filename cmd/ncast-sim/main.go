@@ -1,0 +1,164 @@
+// Command ncast-sim drives a curtain overlay through the §4 churn process
+// and reports overlay health over time: population, failures in flight,
+// normalized defect b = B/A, and working-node connectivity.
+//
+// Usage:
+//
+//	ncast-sim -k 24 -d 2 -p 0.02 -steps 5000 -report 500
+//	ncast-sim -k 16 -d 4 -p 0.05 -repair 200 -max 1000 -insert random
+//	ncast-sim -mode gossip -k 16 -d 2 -p 0.03 -steps 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/gossip"
+	"ncast/internal/metrics"
+	"ncast/internal/sim"
+)
+
+func main() {
+	k := flag.Int("k", 24, "server threads")
+	d := flag.Int("d", 2, "node degree")
+	p := flag.Float64("p", 0.02, "per-arrival failure probability")
+	steps := flag.Int("steps", 5000, "arrivals to simulate")
+	report := flag.Int("report", 500, "report interval in steps")
+	repair := flag.Int("repair", 0, "repair delay in steps (0 = no repairs)")
+	maxNodes := flag.Int("max", 0, "population cap via graceful leaves (0 = unbounded)")
+	insert := flag.String("insert", "append", "row insertion: append or random")
+	mode := flag.String("mode", "curtain", "overlay: curtain (central) or gossip (tracker-free)")
+	samples := flag.Int("samples", 200, "defect tuples sampled per report (0 = exact)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	insertMode := core.InsertAppend
+	switch *insert {
+	case "append":
+	case "random":
+		insertMode = core.InsertRandom
+	default:
+		fmt.Fprintf(os.Stderr, "unknown insert mode %q\n", *insert)
+		os.Exit(2)
+	}
+
+	if *mode == "gossip" {
+		runGossip(*k, *d, *p, *steps, *report, *seed)
+		return
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	curtain, err := core.New(*k, *d, rng, core.WithInsertMode(insertMode))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	churn, err := sim.NewChurn(curtain, sim.ChurnConfig{
+		P:           *p,
+		RepairDelay: *repair,
+		MaxNodes:    *maxNodes,
+	}, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("churn: k=%d d=%d p=%v repair=%d cap=%d insert=%s",
+			*k, *d, *p, *repair, *maxNodes, *insert),
+		"step", "nodes", "failed", "b=B/A", "P(defective)", "frac(conn=d)", "min conn")
+	for s := 1; s <= *steps; s++ {
+		churn.Advance()
+		if s%*report != 0 && s != *steps {
+			continue
+		}
+		top := curtain.Snapshot()
+		m, err := defect.NewMeasurer(top, *d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var dres defect.Result
+		if *samples == 0 || float64(*samples) >= defect.Binomial(*k, *d) {
+			dres, err = m.Exact()
+		} else {
+			dres, err = m.Sample(*samples, rng)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		conn := sim.MeasureConnectivity(top)
+		fullFrac := 0.0
+		if conn.Working > 0 {
+			fullFrac = float64(conn.FullCount) / float64(conn.Working)
+		}
+		table.AddRow(s, curtain.NumNodes(), curtain.NumFailed(),
+			dres.NormalizedDefect(), dres.FractionDefective(), fullFrac, conn.MinConn)
+	}
+	fmt.Print(table)
+	fmt.Printf("reference p*d = %v\n", *p*float64(*d))
+}
+
+// runGossip drives the tracker-free overlay (§7): joins with view-guided
+// attachment, iid failures, shuffles, and purely local repair.
+func runGossip(k, d int, p float64, steps, report int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gossip.New(gossip.DefaultConfig(k, d), rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("gossip churn: k=%d d=%d p=%v", k, d, p),
+		"step", "peers", "rehomed", "view CV", "frac connected", "max depth")
+	var ids []core.NodeID
+	for s := 1; s <= steps; s++ {
+		ids = append(ids, g.Join())
+		if rng.Float64() < p {
+			live := ids[rng.Intn(len(ids))]
+			if g.Contains(live) && !g.IsFailed(live) {
+				if err := g.Fail(live); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		rehomed := 0
+		if s%10 == 0 {
+			g.Shuffle()
+			rehomed = g.RepairAll()
+		}
+		if s%report != 0 && s != steps {
+			continue
+		}
+		top := g.Snapshot()
+		conns := defect.NodeConnectivity(top, 1)
+		connected, working := 0, 0
+		for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+			if !top.Working[gi] {
+				continue
+			}
+			working++
+			if conns[gi] >= 1 {
+				connected++
+			}
+		}
+		frac := 0.0
+		if working > 0 {
+			frac = float64(connected) / float64(working)
+		}
+		depths := top.Graph.Depths(0)
+		maxDepth := 0
+		for _, dd := range depths {
+			if dd > maxDepth {
+				maxDepth = dd
+			}
+		}
+		table.AddRow(s, g.NumPeers(), rehomed, g.ViewUniformity(), frac, maxDepth)
+	}
+	fmt.Print(table)
+}

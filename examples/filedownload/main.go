@@ -1,0 +1,89 @@
+// Filedownload: asynchronous distribution with heterogeneous peers — the
+// paper's §5 "some users could have DSL connections and others T1". DSL
+// peers join with degree 2 (two unit streams), T1 peers with degree 6.
+// Peers arrive in waves; early finishers keep seeding (their threads keep
+// forwarding) while later arrivals catch up via redirect bursts and the
+// round-robin source.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ncast"
+)
+
+func main() {
+	content := make([]byte, 192<<10)
+	rand.New(rand.NewSource(13)).Read(content)
+
+	cfg := ncast.DefaultConfig()
+	cfg.K, cfg.D = 24, 2 // default degree = DSL class
+	session, err := ncast.NewSession(content, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rng := rand.New(rand.NewSource(2))
+
+	type peer struct {
+		client *ncast.Client
+		class  string
+		joined time.Time
+	}
+	var peers []peer
+
+	// Three waves of arrivals, 10 peers each, 30% T1.
+	for wave := 0; wave < 3; wave++ {
+		for i := 0; i < 10; i++ {
+			class, degree := "dsl", 2
+			if rng.Float64() < 0.3 {
+				class, degree = "t1", 6
+			}
+			c, err := session.AddClient(ctx, ncast.WithDegree(degree))
+			if err != nil {
+				log.Fatal(err)
+			}
+			peers = append(peers, peer{client: c, class: class, joined: time.Now()})
+		}
+		fmt.Printf("wave %d joined (population %d)\n", wave+1, session.NumNodes())
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	classTime := map[string][]time.Duration{}
+	for i, p := range peers {
+		if err := p.client.Wait(ctx); err != nil {
+			log.Fatalf("peer %d (%s) stalled at %.1f%%: %v",
+				i, p.class, 100*p.client.Progress(), err)
+		}
+		got, err := p.client.Content()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			log.Fatalf("peer %d corrupted download", i)
+		}
+		classTime[p.class] = append(classTime[p.class], time.Since(p.joined))
+	}
+
+	for _, class := range []string{"dsl", "t1"} {
+		times := classTime[class]
+		if len(times) == 0 {
+			continue
+		}
+		var total time.Duration
+		for _, d := range times {
+			total += d
+		}
+		fmt.Printf("%-3s peers: %2d completed, mean download time %v\n",
+			class, len(times), (total / time.Duration(len(times))).Round(time.Millisecond))
+	}
+	fmt.Printf("all %d peers decoded %d bytes\n", len(peers), len(content))
+}

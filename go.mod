@@ -1,0 +1,3 @@
+module ncast
+
+go 1.22

@@ -1,0 +1,553 @@
+// Package baseline implements the prior-art distribution schemes the
+// paper's introduction compares against, plus the paper's own scheme, all
+// behind one evaluation interface so experiment E7 can race them on equal
+// terms:
+//
+//   - Chain: the "distribution path" — every node forwards the full
+//     stream to exactly one other node (§1's opening strawman).
+//   - Tree: single multicast tree with fanout f (violates the equal
+//     upload/download constraint for internal nodes; included as the
+//     classical reference).
+//   - MultiTree: SplitStream-style striped trees [4]: content is split
+//     into d stripes, each distributed over its own random tree.
+//   - FECCurtain: the curtain overlay with per-thread routing and
+//     Reed-Solomon erasure coding across threads [§1: "data may be
+//     encoded with erasure codes (e.g., Reed-Solomon codes)"].
+//   - RLNCCurtain: the paper's scheme — curtain overlay with network
+//     coding; a node's rate equals its min-cut from the server (network
+//     coding theorem).
+//   - TreePacking: Edmonds' edge-disjoint arborescences over the curtain
+//     (§1's "theoretically optimal but impractical" scheme), evaluated
+//     without recomputation after failures (its practical weakness).
+//
+// Rates are normalized goodput: 1.0 means the node receives the full
+// content bandwidth. Erasure-coded schemes pay their redundancy as a rate
+// discount even with zero failures — that cost is the point of comparison.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/graph"
+)
+
+// Scheme is a content-distribution overlay under evaluation. A scheme owns
+// a fixed population of n client nodes (indices 0..n-1; the server is
+// implicit) and reports per-node delivered goodput for a failure pattern.
+type Scheme interface {
+	// Name returns a short scheme label for report tables.
+	Name() string
+	// NumNodes returns the client population size.
+	NumNodes() int
+	// Rates returns the delivered goodput fraction in [0,1] for each
+	// node given failed[i] reporting whether node i is failed. Failed
+	// nodes report 0. len(failed) must equal NumNodes().
+	Rates(failed []bool) ([]float64, error)
+}
+
+// errBadMask is the common failure-mask validation error.
+func checkMask(s Scheme, failed []bool) error {
+	if len(failed) != s.NumNodes() {
+		return fmt.Errorf("baseline: mask length %d, want %d", len(failed), s.NumNodes())
+	}
+	return nil
+}
+
+// Chain is the single distribution path: server -> 0 -> 1 -> ... -> n-1.
+type Chain struct {
+	n int
+}
+
+// NewChain builds a chain of n nodes.
+func NewChain(n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: chain size %d, want > 0", n)
+	}
+	return &Chain{n: n}, nil
+}
+
+// Name implements Scheme.
+func (c *Chain) Name() string { return "chain" }
+
+// NumNodes implements Scheme.
+func (c *Chain) NumNodes() int { return c.n }
+
+// Rates implements Scheme: node i receives iff nodes 0..i are all working.
+func (c *Chain) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(c, failed); err != nil {
+		return nil, err
+	}
+	rates := make([]float64, c.n)
+	alive := true
+	for i := 0; i < c.n; i++ {
+		if failed[i] {
+			alive = false
+			continue
+		}
+		if alive {
+			rates[i] = 1
+		}
+	}
+	return rates, nil
+}
+
+// Tree is a single multicast tree with fanout f: node i's parent is node
+// (i-1)/f, and the first f nodes are children of the server.
+type Tree struct {
+	n int
+	f int
+}
+
+// NewTree builds a complete f-ary multicast tree over n nodes.
+func NewTree(n, f int) (*Tree, error) {
+	if n <= 0 || f <= 0 {
+		return nil, fmt.Errorf("baseline: tree size %d fanout %d, want > 0", n, f)
+	}
+	return &Tree{n: n, f: f}, nil
+}
+
+// Name implements Scheme.
+func (t *Tree) Name() string { return fmt.Sprintf("tree-f%d", t.f) }
+
+// NumNodes implements Scheme.
+func (t *Tree) NumNodes() int { return t.n }
+
+// Rates implements Scheme: a node receives iff all its tree ancestors work.
+func (t *Tree) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(t, failed); err != nil {
+		return nil, err
+	}
+	rates := make([]float64, t.n)
+	// Process in index order: parents precede children.
+	ok := make([]bool, t.n)
+	for i := 0; i < t.n; i++ {
+		if failed[i] {
+			continue
+		}
+		if i < t.f {
+			ok[i] = true // child of the server
+		} else {
+			ok[i] = ok[(i-t.f)/t.f] // parent is (i-f)/f in a complete f-ary forest rooted at the first f nodes
+		}
+		if ok[i] {
+			rates[i] = 1
+		}
+	}
+	return rates, nil
+}
+
+// MultiTree distributes d stripes over d independent random trees with
+// fanout d (SplitStream-like): each stripe is 1/d of the content and a
+// node's rate is the fraction of stripes whose tree path is intact.
+type MultiTree struct {
+	n int
+	d int
+	// parent[s][i] is node i's parent in stripe s's tree; -1 means the
+	// server.
+	parent [][]int
+}
+
+// NewMultiTree builds d random stripe trees over n nodes.
+func NewMultiTree(n, d int, rng *rand.Rand) (*MultiTree, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("baseline: multitree size %d stripes %d, want > 0", n, d)
+	}
+	if rng == nil {
+		return nil, errors.New("baseline: nil rng")
+	}
+	m := &MultiTree{n: n, d: d, parent: make([][]int, d)}
+	for s := 0; s < d; s++ {
+		// Random permutation defines the tree levels for this stripe, so
+		// each node's internal/leaf role varies across stripes.
+		perm := rng.Perm(n)
+		par := make([]int, n)
+		for rank, node := range perm {
+			if rank < d {
+				par[node] = -1 // server child
+			} else {
+				par[node] = perm[(rank-d)/d]
+			}
+		}
+		m.parent[s] = par
+	}
+	return m, nil
+}
+
+// Name implements Scheme.
+func (m *MultiTree) Name() string { return fmt.Sprintf("multitree-d%d", m.d) }
+
+// NumNodes implements Scheme.
+func (m *MultiTree) NumNodes() int { return m.n }
+
+// Rates implements Scheme.
+func (m *MultiTree) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(m, failed); err != nil {
+		return nil, err
+	}
+	rates := make([]float64, m.n)
+	got := make([]int, m.n)
+	for s := 0; s < m.d; s++ {
+		par := m.parent[s]
+		ok := make([]int8, m.n) // 0 unknown, 1 yes, 2 no
+		var resolve func(i int) bool
+		resolve = func(i int) bool {
+			if failed[i] {
+				return false
+			}
+			switch ok[i] {
+			case 1:
+				return true
+			case 2:
+				return false
+			}
+			res := par[i] < 0 || resolve(par[i])
+			if res {
+				ok[i] = 1
+			} else {
+				ok[i] = 2
+			}
+			return res
+		}
+		for i := 0; i < m.n; i++ {
+			if resolve(i) {
+				got[i]++
+			}
+		}
+	}
+	for i := range rates {
+		if !failed[i] {
+			rates[i] = float64(got[i]) / float64(m.d)
+		}
+	}
+	return rates, nil
+}
+
+// curtainBase captures the shared "build a curtain, analyze its threads"
+// machinery of the curtain-topology schemes.
+type curtainBase struct {
+	top *core.Topology
+	n   int
+	d   int
+	// nodeIdx[i] is the snapshot graph index of the i-th joined node.
+	nodeIdx []int
+	// threadsOf[i] lists, per incoming thread of node i, the graph
+	// indices of the upstream chain on that thread (exclusive of the
+	// server, inclusive of nothing if directly below the server).
+	threadsOf [][][]int
+}
+
+func buildCurtainBase(n, k, d int, rng *rand.Rand) (*curtainBase, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: population %d, want > 0", n)
+	}
+	c, err := core.New(k, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]core.NodeID, n)
+	for i := range ids {
+		ids[i] = c.Join()
+	}
+	top := c.Snapshot()
+	b := &curtainBase{top: top, n: n, d: d, nodeIdx: make([]int, n), threadsOf: make([][][]int, n)}
+	for i, id := range ids {
+		b.nodeIdx[i] = top.Index[id]
+	}
+	// Reconstruct per-thread upstream chains from the snapshot: walk each
+	// thread's occupancy via graph edges. Thread t's chain starts at the
+	// server; we recover it by following the unique per-thread edges.
+	// Simpler: for each node and each incoming edge, walk ancestors by
+	// repeatedly taking the incoming edge that lies on the same thread.
+	// The snapshot does not label edges with threads, so rebuild chains
+	// from the curtain directly would be cleaner — but the curtain is
+	// gone. Instead, recover chains per thread from ThreadBottom by
+	// walking incoming edges is ambiguous for nodes on multiple threads.
+	// Therefore: recompute from structure — every edge (u,v) belongs to
+	// exactly one thread; we recover thread chains by simulating the
+	// occupancy order: edges were added thread by thread in row order,
+	// consecutive edges of one thread share endpoints (prev -> cur).
+	chains := threadChains(top, k)
+	for i := range b.threadsOf {
+		b.threadsOf[i] = nil
+	}
+	perNode := make(map[int][][]int, n)
+	for _, chain := range chains {
+		for pos, gi := range chain {
+			upstream := append([]int(nil), chain[:pos]...)
+			perNode[gi] = append(perNode[gi], upstream)
+		}
+	}
+	for i, gi := range b.nodeIdx {
+		b.threadsOf[i] = perNode[gi]
+		if len(b.threadsOf[i]) != d {
+			return nil, fmt.Errorf("baseline: node %d has %d thread chains, want %d", i, len(b.threadsOf[i]), d)
+		}
+	}
+	return b, nil
+}
+
+// threadChains recovers, for each thread, the ordered list of graph
+// indices clipped to it, by replaying Snapshot's edge construction: edges
+// are appended thread by thread, each thread contributing a path
+// server -> a -> b -> ... in order.
+func threadChains(top *core.Topology, k int) [][]int {
+	chains := make([][]int, 0, k)
+	var cur []int
+	prev := -1
+	for id := 0; id < top.Graph.NumEdges(); id++ {
+		e := top.Graph.Edge(id)
+		if e.From == 0 || e.From != prev {
+			// A new chain starts whenever the edge leaves the server or
+			// breaks the prev -> cur continuation.
+			if e.From == 0 {
+				if cur != nil {
+					chains = append(chains, cur)
+				}
+				cur = []int{e.To}
+				prev = e.To
+				continue
+			}
+		}
+		cur = append(cur, e.To)
+		prev = e.To
+	}
+	if cur != nil {
+		chains = append(chains, cur)
+	}
+	return chains
+}
+
+// failedMask translates a per-population failure mask into a per-graph-
+// index working mask.
+func (b *curtainBase) workingMask(failed []bool) []bool {
+	working := make([]bool, b.top.Graph.NumNodes())
+	working[0] = true
+	for i := range working {
+		working[i] = true
+	}
+	for i, f := range failed {
+		if f {
+			working[b.nodeIdx[i]] = false
+		}
+	}
+	return working
+}
+
+// threadDelivers reports whether node i's thread chain ti delivers: every
+// upstream node on the thread is working.
+func (b *curtainBase) threadDelivers(failed []bool, working []bool, i, ti int) bool {
+	for _, gi := range b.threadsOf[i][ti] {
+		if !working[gi] {
+			return false
+		}
+	}
+	return true
+}
+
+// FECCurtain is the erasure-coded multi-parent baseline: the curtain
+// topology with plain per-thread routing (no recoding). The server RS-codes
+// each content generation into k shards, one per thread; a node decodes a
+// generation iff at least dataPerD of its d incoming threads deliver their
+// shard end to end. Goodput when decodable is dataPerD/d (the redundancy
+// discount).
+type FECCurtain struct {
+	base      *curtainBase
+	dataPerD  int
+	rateWhole float64
+}
+
+// NewFECCurtain builds the FEC baseline. dataPerD is the number of data
+// shards among each node's d incoming threads (d - dataPerD is the parity
+// budget); it must be in [1, d].
+func NewFECCurtain(n, k, d, dataPerD int, rng *rand.Rand) (*FECCurtain, error) {
+	if dataPerD < 1 || dataPerD > d {
+		return nil, fmt.Errorf("baseline: dataPerD %d, want in [1,%d]", dataPerD, d)
+	}
+	base, err := buildCurtainBase(n, k, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &FECCurtain{base: base, dataPerD: dataPerD, rateWhole: float64(dataPerD) / float64(d)}, nil
+}
+
+// Name implements Scheme. A code with zero parity budget is plain
+// store-and-forward routing on the curtain, and is labeled as such: it is
+// the "recoding off" ablation of the paper's scheme.
+func (f *FECCurtain) Name() string {
+	if f.dataPerD == f.base.d {
+		return "routing"
+	}
+	return fmt.Sprintf("fec-%d/%d", f.dataPerD, f.base.d)
+}
+
+// NumNodes implements Scheme.
+func (f *FECCurtain) NumNodes() int { return f.base.n }
+
+// Rates implements Scheme.
+func (f *FECCurtain) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(f, failed); err != nil {
+		return nil, err
+	}
+	working := f.base.workingMask(failed)
+	rates := make([]float64, f.base.n)
+	for i := range rates {
+		if failed[i] {
+			continue
+		}
+		delivered := 0
+		for ti := range f.base.threadsOf[i] {
+			if f.base.threadDelivers(failed, working, i, ti) {
+				delivered++
+			}
+		}
+		if delivered >= f.dataPerD {
+			rates[i] = f.rateWhole
+		}
+	}
+	return rates, nil
+}
+
+// RLNCCurtain is the paper's scheme: curtain overlay plus network coding.
+// By the network coding theorem a node's achievable rate equals its edge
+// connectivity from the server in the working subgraph, normalized by d.
+type RLNCCurtain struct {
+	base *curtainBase
+}
+
+// NewRLNCCurtain builds the paper's scheme over n nodes.
+func NewRLNCCurtain(n, k, d int, rng *rand.Rand) (*RLNCCurtain, error) {
+	base, err := buildCurtainBase(n, k, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &RLNCCurtain{base: base}, nil
+}
+
+// Name implements Scheme.
+func (r *RLNCCurtain) Name() string { return "rlnc" }
+
+// NumNodes implements Scheme.
+func (r *RLNCCurtain) NumNodes() int { return r.base.n }
+
+// Rates implements Scheme.
+func (r *RLNCCurtain) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(r, failed); err != nil {
+		return nil, err
+	}
+	working := r.base.workingMask(failed)
+	g := filteredGraph(r.base.top.Graph, working)
+	fs := graph.NewFlowSolver(g)
+	rates := make([]float64, r.base.n)
+	for i, gi := range r.base.nodeIdx {
+		if failed[i] {
+			continue
+		}
+		rates[i] = float64(fs.MaxFlow(0, gi, r.base.d)) / float64(r.base.d)
+	}
+	return rates, nil
+}
+
+// TreePacking is Edmonds' optimal multi-tree routing computed on the
+// failure-free curtain, evaluated WITHOUT recomputation after failures —
+// the §1 critique: "it will need to recompute, when a node fails, the
+// partition of the overlay network into multicast trees".
+type TreePacking struct {
+	base  *curtainBase
+	packs []graph.Arborescence
+}
+
+// NewTreePacking builds the Edmonds baseline. It packs d edge-disjoint
+// spanning arborescences on the failure-free snapshot (they exist because
+// the curtain guarantees connectivity d).
+func NewTreePacking(n, k, d int, rng *rand.Rand) (*TreePacking, error) {
+	base, err := buildCurtainBase(n, k, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	packs, err := graph.EdgeDisjointArborescences(base.top.Graph, 0, d)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: packing failed: %w", err)
+	}
+	return &TreePacking{base: base, packs: packs}, nil
+}
+
+// Name implements Scheme.
+func (t *TreePacking) Name() string { return "edmonds-static" }
+
+// NumNodes implements Scheme.
+func (t *TreePacking) NumNodes() int { return t.base.n }
+
+// Rates implements Scheme: a node receives stripe s iff its ancestor path
+// in arborescence s is all working.
+func (t *TreePacking) Rates(failed []bool) ([]float64, error) {
+	if err := checkMask(t, failed); err != nil {
+		return nil, err
+	}
+	working := t.base.workingMask(failed)
+	nG := t.base.top.Graph.NumNodes()
+	rates := make([]float64, t.base.n)
+	got := make([]int, nG)
+	for _, arb := range t.packs {
+		parent := arb.ParentOf(t.base.top.Graph, nG)
+		state := make([]int8, nG) // 0 unknown, 1 ok, 2 dead
+		state[0] = 1
+		var resolve func(gi int) bool
+		resolve = func(gi int) bool {
+			if !working[gi] {
+				return false
+			}
+			switch state[gi] {
+			case 1:
+				return true
+			case 2:
+				return false
+			}
+			eid := parent[gi]
+			res := eid >= 0 && resolve(t.base.top.Graph.Edge(eid).From)
+			if res {
+				state[gi] = 1
+			} else {
+				state[gi] = 2
+			}
+			return res
+		}
+		for gi := 1; gi < nG; gi++ {
+			if resolve(gi) {
+				got[gi]++
+			}
+		}
+	}
+	for i, gi := range t.base.nodeIdx {
+		if !failed[i] {
+			rates[i] = float64(got[gi]) / float64(t.base.d)
+		}
+	}
+	return rates, nil
+}
+
+// filteredGraph drops edges incident to non-working nodes.
+func filteredGraph(g *graph.Digraph, working []bool) *graph.Digraph {
+	out := graph.NewDigraph(g.NumNodes())
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(id)
+		if working[e.From] && working[e.To] {
+			if _, err := out.AddEdge(e.From, e.To); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}
+
+// Compile-time conformance checks.
+var (
+	_ Scheme = (*Chain)(nil)
+	_ Scheme = (*Tree)(nil)
+	_ Scheme = (*MultiTree)(nil)
+	_ Scheme = (*FECCurtain)(nil)
+	_ Scheme = (*RLNCCurtain)(nil)
+	_ Scheme = (*TreePacking)(nil)
+)

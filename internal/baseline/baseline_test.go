@@ -1,0 +1,299 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func noFailures(n int) []bool { return make([]bool, n) }
+
+func TestChainRates(t *testing.T) {
+	t.Parallel()
+	c, err := NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := c.Rates(noFailures(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r != 1 {
+			t.Fatalf("node %d rate = %v with no failures", i, r)
+		}
+	}
+	// Failing node 2 kills nodes 3 and 4 too.
+	failed := []bool{false, false, true, false, false}
+	rates, err = c.Rates(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 0, 0, 0}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+	if _, err := c.Rates(noFailures(4)); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, err := NewChain(0); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestTreeRates(t *testing.T) {
+	t.Parallel()
+	// Fanout 2 over 7 nodes: 0,1 under server; 2,3 under 0; 4,5 under 1;
+	// 6 under 2.
+	tr, err := NewTree(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := tr.Rates(noFailures(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r != 1 {
+			t.Fatalf("node %d rate = %v with no failures", i, r)
+		}
+	}
+	// Failing node 0 kills 2, 3 and 6.
+	failed := make([]bool, 7)
+	failed[0] = true
+	rates, err = tr.Rates(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 0, 0, 1, 1, 0}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestMultiTreeNoFailures(t *testing.T) {
+	t.Parallel()
+	m, err := NewMultiTree(30, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := m.Rates(noFailures(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r != 1 {
+			t.Fatalf("node %d rate = %v with no failures", i, r)
+		}
+	}
+}
+
+func TestMultiTreePartialStripes(t *testing.T) {
+	t.Parallel()
+	m, err := NewMultiTree(40, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := make([]bool, 40)
+	for i := 0; i < 8; i++ {
+		failed[i*5] = true
+	}
+	rates, err := m.Rates(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if failed[i] {
+			if r != 0 {
+				t.Fatalf("failed node %d rate = %v", i, r)
+			}
+			continue
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("rate out of range: %v", r)
+		}
+		// Rates are multiples of 1/4.
+		if q := r * 4; q != float64(int(q)) {
+			t.Fatalf("node %d rate %v not a stripe multiple", i, r)
+		}
+	}
+}
+
+func TestFECCurtain(t *testing.T) {
+	t.Parallel()
+	f, err := NewFECCurtain(25, 8, 4, 3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 25 {
+		t.Fatal("NumNodes")
+	}
+	rates, err := f.Rates(noFailures(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No failures: every node decodes, at the redundancy-discounted rate.
+	for i, r := range rates {
+		if r != 0.75 {
+			t.Fatalf("node %d rate = %v, want 0.75", i, r)
+		}
+	}
+	// Validation.
+	if _, err := NewFECCurtain(10, 8, 4, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("dataPerD=0 accepted")
+	}
+	if _, err := NewFECCurtain(10, 8, 4, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("dataPerD>d accepted")
+	}
+}
+
+func TestRLNCCurtainNoFailures(t *testing.T) {
+	t.Parallel()
+	r, err := NewRLNCCurtain(30, 8, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := r.Rates(noFailures(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rate := range rates {
+		if rate != 1 {
+			t.Fatalf("node %d rate = %v, want 1", i, rate)
+		}
+	}
+}
+
+func TestRLNCDominatesFECUnderFailures(t *testing.T) {
+	t.Parallel()
+	// The paper's core comparison: on the same topology shape and failure
+	// pattern, network coding's mean goodput should dominate the
+	// FEC-routing baseline (which pays redundancy and suffers cliffs).
+	const n, k, d, trials = 60, 12, 3, 30
+	rlnc, err := NewRLNCCurtain(n, k, d, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fec, err := NewFECCurtain(n, k, d, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	var sumR, sumF float64
+	for trial := 0; trial < trials; trial++ {
+		failed := make([]bool, n)
+		for i := range failed {
+			failed[i] = rng.Float64() < 0.05
+		}
+		rr, err := rlnc.Rates(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := fec.Rates(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rr {
+			if !failed[i] {
+				sumR += rr[i]
+				sumF += fr[i]
+			}
+		}
+	}
+	if sumR <= sumF {
+		t.Fatalf("RLNC goodput %v not above FEC %v", sumR, sumF)
+	}
+}
+
+func TestTreePackingMatchesRLNCWithoutFailures(t *testing.T) {
+	t.Parallel()
+	const n, k, d = 20, 8, 2
+	tp, err := NewTreePacking(n, k, d, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := tp.Rates(noFailures(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without failures the static packing delivers everything (Edmonds'
+	// theorem: d disjoint spanning arborescences exist and deliver d
+	// stripes to every node).
+	for i, r := range rates {
+		if r != 1 {
+			t.Fatalf("node %d rate = %v, want 1", i, r)
+		}
+	}
+}
+
+func TestTreePackingDegradesWithoutRecomputation(t *testing.T) {
+	t.Parallel()
+	// §1's critique quantified: under failures, static Edmonds trees lose
+	// more than RLNC on the same topology, because RLNC reroutes flow
+	// while static stripes die with any ancestor.
+	const n, k, d, trials = 50, 10, 2, 20
+	seed := int64(8)
+	tp, err := NewTreePacking(n, k, d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := NewRLNCCurtain(n, k, d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var sumT, sumR float64
+	for trial := 0; trial < trials; trial++ {
+		failed := make([]bool, n)
+		for i := range failed {
+			failed[i] = rng.Float64() < 0.08
+		}
+		tr, err := tp.Rates(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := rl.Rates(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr {
+			sumT += tr[i]
+			sumR += rr[i]
+		}
+	}
+	if sumR < sumT {
+		t.Fatalf("RLNC total %v below static tree packing %v", sumR, sumT)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(10))
+	c, _ := NewChain(2)
+	tr, _ := NewTree(2, 3)
+	m, _ := NewMultiTree(2, 2, rng)
+	if c.Name() != "chain" || tr.Name() != "tree-f3" || m.Name() != "multitree-d2" {
+		t.Error("names wrong")
+	}
+}
+
+func BenchmarkRLNCRates(b *testing.B) {
+	r, err := NewRLNCCurtain(200, 16, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	failed := make([]bool, 200)
+	for i := range failed {
+		failed[i] = rng.Float64() < 0.05
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Rates(failed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,598 @@
+// Package core implements the paper's primary contribution: the
+// "curtain-rod" scheme for building and maintaining a peer-to-peer
+// broadcast overlay (§3), together with the §5 extensions (random row
+// insertion against adversaries, congestion degree changes, heterogeneous
+// degrees).
+//
+// The server maintains a matrix M with one column per thread (k unit
+// streams hanging from the server) and one row per node, containing d ones
+// marking the threads that node clipped together. The network topology is
+// fully determined by M: there is an edge from node i to node j on thread
+// c when rows i and j both have a one in column c and no intervening row
+// does. New rows are appended at the bottom (or, in random-insert mode,
+// spliced in at a uniformly random position), a graceful leave deletes the
+// row, and the repair procedure for a failed node performs the same
+// deletion on the node's behalf.
+//
+// Curtain is the server-side authority's data structure; it is purely
+// topological. The data plane (network-coded streams flowing along the
+// threads) lives in internal/rlnc and the protocol layer; the analysis
+// plane (connectivity, defects) consumes Snapshot().
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ncast/internal/graph"
+)
+
+// NodeID identifies an overlay participant. The server is ServerID; client
+// nodes get strictly positive ids, never reused.
+type NodeID uint64
+
+// ServerID is the NodeID of the broadcast server (the curtain rod).
+const ServerID NodeID = 0
+
+// InsertMode selects where a joining node's row is placed in M.
+type InsertMode int
+
+const (
+	// InsertAppend places new rows at the bottom of M (§3): later nodes
+	// receive streams from earlier nodes.
+	InsertAppend InsertMode = iota + 1
+	// InsertRandom splices new rows at a uniformly random position (§5),
+	// which makes coordinated adversarial arrivals equivalent to random
+	// failures.
+	InsertRandom
+)
+
+// Common errors returned by Curtain operations.
+var (
+	// ErrUnknownNode is returned when an operation names an id not in M.
+	ErrUnknownNode = errors.New("core: unknown node")
+	// ErrDegree is returned for invalid degree transitions or values.
+	ErrDegree = errors.New("core: invalid degree")
+	// ErrNodeFailed is returned when an operation requires a working node.
+	ErrNodeFailed = errors.New("core: node is failed")
+	// ErrNodeWorking is returned when an operation requires a failed node.
+	ErrNodeWorking = errors.New("core: node is not failed")
+)
+
+type row struct {
+	id      NodeID
+	threads []int // sorted, distinct thread indices; len == degree
+	failed  bool
+	pos     int // index in Curtain.rows, kept current
+}
+
+// Curtain is the server-side overlay state (the matrix M plus failure
+// tags). It is not safe for concurrent use; the protocol layer serialises
+// access.
+type Curtain struct {
+	k      int
+	d      int
+	mode   InsertMode
+	rng    *rand.Rand
+	rows   []*row
+	occ    [][]*row // per-thread occupancy, in row order
+	index  map[NodeID]*row
+	nextID NodeID
+}
+
+// Option configures a Curtain.
+type Option func(*Curtain)
+
+// WithInsertMode selects append (default) or random row insertion.
+func WithInsertMode(m InsertMode) Option {
+	return func(c *Curtain) { c.mode = m }
+}
+
+// New creates an empty curtain with k threads and default node degree d.
+// The paper's analysis assumes d >= 2 and k >= c·d² for a constant c;
+// New only enforces the structural requirement 1 <= d <= k and leaves the
+// analytic regime to callers (the chain baseline legitimately uses d = 1).
+// rng drives all randomness (thread selection, insert positions) and must
+// not be shared concurrently.
+func New(k, d int, rng *rand.Rand, opts ...Option) (*Curtain, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d, want > 0", ErrDegree, k)
+	}
+	if d < 1 || d > k {
+		return nil, fmt.Errorf("%w: d = %d, want in [1, k=%d]", ErrDegree, d, k)
+	}
+	if rng == nil {
+		return nil, errors.New("core: nil rng")
+	}
+	c := &Curtain{
+		k:      k,
+		d:      d,
+		mode:   InsertAppend,
+		rng:    rng,
+		occ:    make([][]*row, k),
+		index:  make(map[NodeID]*row),
+		nextID: 1,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.mode != InsertAppend && c.mode != InsertRandom {
+		return nil, fmt.Errorf("core: invalid insert mode %d", c.mode)
+	}
+	return c, nil
+}
+
+// K returns the number of server threads.
+func (c *Curtain) K() int { return c.k }
+
+// D returns the default node degree.
+func (c *Curtain) D() int { return c.d }
+
+// Mode returns the insert mode.
+func (c *Curtain) Mode() InsertMode { return c.mode }
+
+// NumNodes returns the number of rows in M (working + failed).
+func (c *Curtain) NumNodes() int { return len(c.rows) }
+
+// NumFailed returns the number of failure-tagged rows.
+func (c *Curtain) NumFailed() int {
+	n := 0
+	for _, r := range c.rows {
+		if r.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether id currently has a row in M.
+func (c *Curtain) Contains(id NodeID) bool {
+	_, ok := c.index[id]
+	return ok
+}
+
+// IsFailed reports whether id is failure-tagged. Unknown ids report false.
+func (c *Curtain) IsFailed(id NodeID) bool {
+	r, ok := c.index[id]
+	return ok && r.failed
+}
+
+// Degree returns the current degree of id, or an error for unknown ids.
+func (c *Curtain) Degree(id NodeID) (int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return len(r.threads), nil
+}
+
+// Threads returns a copy of the thread indices id is clipped to.
+func (c *Curtain) Threads(id NodeID) ([]int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return append([]int(nil), r.threads...), nil
+}
+
+// Nodes returns all node ids in row order (top of the curtain first).
+func (c *Curtain) Nodes() []NodeID {
+	out := make([]NodeID, len(c.rows))
+	for i, r := range c.rows {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Join adds a working node with the default degree (the hello protocol)
+// and returns its id.
+func (c *Curtain) Join() NodeID {
+	id, err := c.join(c.d, false)
+	if err != nil {
+		panic(err) // default degree is validated at construction
+	}
+	return id
+}
+
+// JoinDegree adds a working node with an explicit degree (heterogeneous
+// bandwidths, §5).
+func (c *Curtain) JoinDegree(d int) (NodeID, error) {
+	return c.join(d, false)
+}
+
+// JoinTagged adds a node pre-tagged as failed or working. The analysis of
+// §4 interchanges the order of joining and failing — "the node tosses a
+// coin before joining" — and JoinTagged is that coin toss made explicit
+// for the experiment harness.
+func (c *Curtain) JoinTagged(failed bool) NodeID {
+	id, err := c.join(c.d, failed)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (c *Curtain) join(d int, failed bool) (NodeID, error) {
+	if d < 1 || d > c.k {
+		return 0, fmt.Errorf("%w: join degree %d, want in [1, k=%d]", ErrDegree, d, c.k)
+	}
+	r := &row{
+		id:      c.nextID,
+		threads: sampleDistinct(c.rng, c.k, d),
+		failed:  failed,
+	}
+	c.nextID++
+	pos := len(c.rows)
+	if c.mode == InsertRandom {
+		pos = c.rng.Intn(len(c.rows) + 1)
+	}
+	c.insertRow(r, pos)
+	c.index[r.id] = r
+	return r.id, nil
+}
+
+// Leave removes a working node gracefully (the good-bye protocol): its row
+// is deleted, which matches each of its children to one of its parents
+// along every thread.
+func (c *Curtain) Leave(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if r.failed {
+		return fmt.Errorf("%w: %d (use Repair)", ErrNodeFailed, id)
+	}
+	c.removeRow(r)
+	return nil
+}
+
+// Fail tags a node as failed (a non-ergodic failure or the start of an
+// ergodic outage). The row remains in M — the failed node still occupies
+// its slots and blocks its threads — until Repair or Recover.
+func (c *Curtain) Fail(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if r.failed {
+		return fmt.Errorf("%w: %d", ErrNodeFailed, id)
+	}
+	r.failed = true
+	return nil
+}
+
+// Recover clears a failure tag (the end of an ergodic outage such as
+// transient congestion).
+func (c *Curtain) Recover(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if !r.failed {
+		return fmt.Errorf("%w: %d", ErrNodeWorking, id)
+	}
+	r.failed = false
+	return nil
+}
+
+// Repair removes a failed node's row (the server-side repair procedure:
+// the failed node's parents are redirected to its children, exactly as in
+// a graceful leave performed on the node's behalf).
+func (c *Curtain) Repair(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if !r.failed {
+		return fmt.Errorf("%w: %d (use Leave)", ErrNodeWorking, id)
+	}
+	c.removeRow(r)
+	return nil
+}
+
+// ReduceDegree handles congestion (§5): the node picks one of its threads
+// at random and joins that parent and child directly, dropping its own
+// degree by one. A node cannot drop below degree 1. It returns the thread
+// index that was dropped, so the control plane can redirect its streams.
+func (c *Curtain) ReduceDegree(id NodeID) (int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(r.threads) <= 1 {
+		return 0, fmt.Errorf("%w: node %d already at degree 1", ErrDegree, id)
+	}
+	i := c.rng.Intn(len(r.threads))
+	t := r.threads[i]
+	r.threads = append(r.threads[:i], r.threads[i+1:]...)
+	c.occRemove(t, r)
+	return t, nil
+}
+
+// IncreaseDegree re-grows a previously reduced node (§5): the server turns
+// one of the zeroes in the node's row into a one at random. It returns the
+// thread index gained, so the control plane can splice the node in.
+func (c *Curtain) IncreaseDegree(id NodeID) (int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(r.threads) >= c.k {
+		return 0, fmt.Errorf("%w: node %d already on all %d threads", ErrDegree, id, c.k)
+	}
+	// Pick a uniform random thread the node is not on.
+	have := make(map[int]bool, len(r.threads))
+	for _, t := range r.threads {
+		have[t] = true
+	}
+	pick := c.rng.Intn(c.k - len(r.threads))
+	for t := 0; t < c.k; t++ {
+		if have[t] {
+			continue
+		}
+		if pick == 0 {
+			r.threads = append(r.threads, t)
+			sort.Ints(r.threads)
+			c.occInsert(t, r)
+			return t, nil
+		}
+		pick--
+	}
+	panic("core: unreachable thread selection")
+}
+
+// Parents returns, per thread the node is clipped to, the id of the stream
+// provider on that thread (ServerID when the node is the topmost clip).
+// The slice is ordered by thread index and may repeat ids.
+func (c *Curtain) Parents(id NodeID) ([]NodeID, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := make([]NodeID, 0, len(r.threads))
+	for _, t := range r.threads {
+		out = append(out, c.predecessor(t, r))
+	}
+	return out, nil
+}
+
+// Children returns, per thread, the id of the node receiving this node's
+// stream on that thread. Threads on which the node is the bottom clip
+// contribute nothing.
+func (c *Curtain) Children(id NodeID) ([]NodeID, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := make([]NodeID, 0, len(r.threads))
+	for _, t := range r.threads {
+		if s := c.successor(t, r); s != 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// HangingThreads returns, per thread, the id of its current bottom clip
+// (ServerID for threads no node is on). These are the k slots a new node's
+// d-tuple is drawn from.
+func (c *Curtain) HangingThreads() []NodeID {
+	out := make([]NodeID, c.k)
+	for t := 0; t < c.k; t++ {
+		if l := c.occ[t]; len(l) > 0 {
+			out[t] = l[len(l)-1].id
+		}
+	}
+	return out
+}
+
+// --- internal row plumbing ---
+
+// sampleDistinct draws d distinct ints from [0,k) uniformly, sorted.
+func sampleDistinct(rng *rand.Rand, k, d int) []int {
+	if d*3 >= k {
+		// Dense: partial Fisher-Yates over all k.
+		perm := rng.Perm(k)[:d]
+		sort.Ints(perm)
+		return perm
+	}
+	seen := make(map[int]bool, d)
+	out := make([]int, 0, d)
+	for len(out) < d {
+		t := rng.Intn(k)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *Curtain) insertRow(r *row, pos int) {
+	c.rows = append(c.rows, nil)
+	copy(c.rows[pos+1:], c.rows[pos:])
+	c.rows[pos] = r
+	for i := pos; i < len(c.rows); i++ {
+		c.rows[i].pos = i
+	}
+	for _, t := range r.threads {
+		c.occInsert(t, r)
+	}
+}
+
+func (c *Curtain) removeRow(r *row) {
+	for _, t := range r.threads {
+		c.occRemove(t, r)
+	}
+	pos := r.pos
+	c.rows = append(c.rows[:pos], c.rows[pos+1:]...)
+	for i := pos; i < len(c.rows); i++ {
+		c.rows[i].pos = i
+	}
+	delete(c.index, r.id)
+}
+
+// occInsert places r into thread t's occupancy list at the index matching
+// row order.
+func (c *Curtain) occInsert(t int, r *row) {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
+	l = append(l, nil)
+	copy(l[i+1:], l[i:])
+	l[i] = r
+	c.occ[t] = l
+}
+
+func (c *Curtain) occRemove(t int, r *row) {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
+	if i >= len(l) || l[i] != r {
+		panic(fmt.Sprintf("core: occupancy list for thread %d out of sync with node %d", t, r.id))
+	}
+	c.occ[t] = append(l[:i], l[i+1:]...)
+}
+
+// predecessor returns the id of the row above r on thread t (ServerID when
+// r is topmost).
+func (c *Curtain) predecessor(t int, r *row) NodeID {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
+	if i == 0 {
+		return ServerID
+	}
+	return l[i-1].id
+}
+
+// successor returns the id of the row below r on thread t, or 0 when r is
+// the bottom clip. (0 doubles as ServerID; callers use it as "none" here
+// because the server is never below a node.)
+func (c *Curtain) successor(t int, r *row) NodeID {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
+	if i >= len(l) {
+		return 0
+	}
+	return l[i].id
+}
+
+// Validate checks internal consistency; it is used by tests and costs
+// O(N·d + k·occ). It returns the first inconsistency found.
+func (c *Curtain) Validate() error {
+	for i, r := range c.rows {
+		if r.pos != i {
+			return fmt.Errorf("core: row %d has pos %d", i, r.pos)
+		}
+		if got, ok := c.index[r.id]; !ok || got != r {
+			return fmt.Errorf("core: index out of sync for node %d", r.id)
+		}
+		if len(r.threads) == 0 {
+			return fmt.Errorf("core: node %d has no threads", r.id)
+		}
+		for j := 1; j < len(r.threads); j++ {
+			if r.threads[j] <= r.threads[j-1] {
+				return fmt.Errorf("core: node %d threads not sorted/distinct", r.id)
+			}
+		}
+	}
+	if len(c.index) != len(c.rows) {
+		return fmt.Errorf("core: index size %d, rows %d", len(c.index), len(c.rows))
+	}
+	total := 0
+	for t, l := range c.occ {
+		last := -1
+		for _, r := range l {
+			if r.pos <= last {
+				return fmt.Errorf("core: thread %d occupancy out of order", t)
+			}
+			last = r.pos
+			found := false
+			for _, rt := range r.threads {
+				if rt == t {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: node %d in thread %d occupancy without membership", r.id, t)
+			}
+		}
+		total += len(l)
+	}
+	want := 0
+	for _, r := range c.rows {
+		want += len(r.threads)
+	}
+	if total != want {
+		return fmt.Errorf("core: occupancy total %d, want %d", total, want)
+	}
+	return nil
+}
+
+// Topology is an analysis-plane snapshot of the overlay as a DAG. Graph
+// node 0 is the server; node i+1 is row i of M at snapshot time.
+type Topology struct {
+	// Graph holds every structural edge, including edges incident to
+	// failed nodes (a failed node still occupies its slots).
+	Graph *graph.Digraph
+	// IDs maps graph index -> NodeID (IDs[0] == ServerID).
+	IDs []NodeID
+	// Index maps NodeID -> graph index.
+	Index map[NodeID]int
+	// Working[i] reports whether graph node i forwards data. Working[0]
+	// (the server) is always true.
+	Working []bool
+	// ThreadBottom[t] is the graph index of thread t's bottom clip (0
+	// when the thread hangs from the server directly).
+	ThreadBottom []int
+}
+
+// Snapshot exports the current overlay.
+func (c *Curtain) Snapshot() *Topology {
+	n := len(c.rows)
+	t := &Topology{
+		Graph:        graph.NewDigraph(n + 1),
+		IDs:          make([]NodeID, n+1),
+		Index:        make(map[NodeID]int, n+1),
+		Working:      make([]bool, n+1),
+		ThreadBottom: make([]int, c.k),
+	}
+	t.IDs[0] = ServerID
+	t.Index[ServerID] = 0
+	t.Working[0] = true
+	for i, r := range c.rows {
+		t.IDs[i+1] = r.id
+		t.Index[r.id] = i + 1
+		t.Working[i+1] = !r.failed
+	}
+	for th := 0; th < c.k; th++ {
+		prev := 0
+		for _, r := range c.occ[th] {
+			cur := r.pos + 1
+			if _, err := t.Graph.AddEdge(prev, cur); err != nil {
+				panic(err) // indices valid by construction
+			}
+			prev = cur
+		}
+		t.ThreadBottom[th] = prev
+	}
+	return t
+}
+
+// Effective returns the data-plane graph: the structural graph with every
+// edge incident to a failed node removed. Failed nodes remain as isolated
+// vertices so indices line up with the snapshot.
+func (t *Topology) Effective() *graph.Digraph {
+	g := graph.NewDigraph(t.Graph.NumNodes())
+	for id := 0; id < t.Graph.NumEdges(); id++ {
+		e := t.Graph.Edge(id)
+		if t.Working[e.From] && t.Working[e.To] {
+			if _, err := g.AddEdge(e.From, e.To); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/graph"
+)
+
+// RandGraph implements the §6 alternative topology: instead of clipping
+// hanging threads at the bottom of the curtain (acyclic, delay linear in
+// N), "each new user selects d random edges in the existing network, and
+// inserts itself at these edges" — splitting edge (u,v) into (u,x) and
+// (x,v). Random graphs are expanders with high probability, so the delay
+// becomes logarithmic, at the price of tolerating cycles (and hence a
+// small throughput loss from delay spread, which the acyclic curtain
+// avoids).
+//
+// Bootstrapping follows the curtain: the server exposes k unit streams; a
+// hanging stream is an edge whose head is not yet assigned, and splitting
+// a hanging edge simply clips its tail node to the joining node.
+type RandGraph struct {
+	k      int
+	d      int
+	rng    *rand.Rand
+	edges  []redge
+	failed map[NodeID]bool
+	degree map[NodeID]int // in-degree == out-degree per node
+	nextID NodeID
+}
+
+// redge is a unit-bandwidth stream from From to To; To == 0 marks a
+// hanging stream awaiting a receiver.
+type redge struct {
+	From NodeID
+	To   NodeID
+}
+
+// NewRandGraph creates the §6 topology with k server streams and default
+// node degree d.
+func NewRandGraph(k, d int, rng *rand.Rand) (*RandGraph, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k = %d, want > 0", ErrDegree, k)
+	}
+	if d < 1 || d > k {
+		return nil, fmt.Errorf("%w: d = %d, want in [1, k=%d]", ErrDegree, d, k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	g := &RandGraph{
+		k:      k,
+		d:      d,
+		rng:    rng,
+		failed: make(map[NodeID]bool),
+		degree: make(map[NodeID]int),
+		nextID: 1,
+	}
+	for i := 0; i < k; i++ {
+		g.edges = append(g.edges, redge{From: ServerID})
+	}
+	return g, nil
+}
+
+// K returns the server stream count.
+func (g *RandGraph) K() int { return g.k }
+
+// D returns the default node degree.
+func (g *RandGraph) D() int { return g.d }
+
+// NumNodes returns the number of client nodes present.
+func (g *RandGraph) NumNodes() int { return len(g.degree) }
+
+// Contains reports whether id is in the network.
+func (g *RandGraph) Contains(id NodeID) bool {
+	_, ok := g.degree[id]
+	return ok
+}
+
+// IsFailed reports whether id is failure-tagged.
+func (g *RandGraph) IsFailed(id NodeID) bool { return g.failed[id] }
+
+// Join inserts a new node at d distinct random edges and returns its id.
+func (g *RandGraph) Join() NodeID {
+	id, err := g.JoinDegree(g.d)
+	if err != nil {
+		panic(err) // default degree validated at construction
+	}
+	return id
+}
+
+// JoinDegree inserts a new node at deg distinct random edges.
+func (g *RandGraph) JoinDegree(deg int) (NodeID, error) {
+	if deg < 1 || deg > len(g.edges) {
+		return 0, fmt.Errorf("%w: join degree %d, want in [1, %d]", ErrDegree, deg, len(g.edges))
+	}
+	id := g.nextID
+	g.nextID++
+	// Choose deg distinct edge indices.
+	picks := g.rng.Perm(len(g.edges))[:deg]
+	for _, ei := range picks {
+		tail := g.edges[ei].To
+		g.edges[ei].To = id                                  // (u,v) -> (u,x)
+		g.edges = append(g.edges, redge{From: id, To: tail}) // plus (x,v)
+	}
+	g.degree[id] = deg
+	return id, nil
+}
+
+// Leave removes a working node gracefully, splicing each of its incoming
+// streams onto one of its outgoing streams (random matching).
+func (g *RandGraph) Leave(id NodeID) error {
+	if !g.Contains(id) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if g.failed[id] {
+		return fmt.Errorf("%w: %d (use Repair)", ErrNodeFailed, id)
+	}
+	g.remove(id)
+	return nil
+}
+
+// Fail tags a node as failed; its streams stop carrying data but remain
+// structurally present until Repair.
+func (g *RandGraph) Fail(id NodeID) error {
+	if !g.Contains(id) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if g.failed[id] {
+		return fmt.Errorf("%w: %d", ErrNodeFailed, id)
+	}
+	g.failed[id] = true
+	return nil
+}
+
+// Repair removes a failed node, splicing around it as in Leave.
+func (g *RandGraph) Repair(id NodeID) error {
+	if !g.Contains(id) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if !g.failed[id] {
+		return fmt.Errorf("%w: %d (use Leave)", ErrNodeWorking, id)
+	}
+	g.remove(id)
+	return nil
+}
+
+func (g *RandGraph) remove(id NodeID) {
+	var in, out []int
+	for i, e := range g.edges {
+		if e.To == id {
+			in = append(in, i)
+		}
+		if e.From == id {
+			out = append(out, i)
+		}
+	}
+	// In- and out-degree are equal by construction; match them randomly.
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	kill := make([]bool, len(g.edges))
+	for i, ei := range in {
+		g.edges[ei].To = g.edges[out[i]].To
+		kill[out[i]] = true
+	}
+	// Drop spliced-out edges. A splice of mutual streams (u -> id and
+	// id -> u) leaves a self-loop (u,u): the node receives its own
+	// stream. That is wasted bandwidth, as in the real system, but it
+	// preserves the in-degree == out-degree invariant, so it is kept
+	// structurally and simply skipped by Snapshot.
+	next := g.edges[:0]
+	for i, e := range g.edges {
+		if kill[i] || e.From == id || e.To == id {
+			continue
+		}
+		next = append(next, e)
+	}
+	g.edges = next
+	delete(g.degree, id)
+	delete(g.failed, id)
+}
+
+// Snapshot exports the topology for analysis. Hanging streams contribute
+// no edge. Self-splices never involve the server, so graph node 0 is
+// always the server.
+func (g *RandGraph) Snapshot() *Topology {
+	ids := make([]NodeID, 0, len(g.degree)+1)
+	ids = append(ids, ServerID)
+	for id := range g.degree {
+		ids = append(ids, id)
+	}
+	// Deterministic order for reproducibility.
+	sortNodeIDs(ids[1:])
+	t := &Topology{
+		Graph:   graph.NewDigraph(len(ids)),
+		IDs:     ids,
+		Index:   make(map[NodeID]int, len(ids)),
+		Working: make([]bool, len(ids)),
+	}
+	for i, id := range ids {
+		t.Index[id] = i
+		t.Working[i] = !g.failed[id]
+	}
+	t.Working[0] = true
+	for _, e := range g.edges {
+		if e.To == 0 {
+			continue // hanging
+		}
+		from, okF := t.Index[e.From]
+		to, okT := t.Index[e.To]
+		if !okF || !okT || from == to {
+			continue
+		}
+		if _, err := t.Graph.AddEdge(from, to); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Validate checks internal invariants: per-node in-degree equals
+// out-degree equals the recorded degree, and the server has exactly k
+// outgoing streams.
+func (g *RandGraph) Validate() error {
+	in := make(map[NodeID]int)
+	out := make(map[NodeID]int)
+	for _, e := range g.edges {
+		out[e.From]++
+		if e.To != 0 {
+			in[e.To]++
+		}
+	}
+	if out[ServerID] != g.k {
+		return fmt.Errorf("core: server has %d streams, want %d", out[ServerID], g.k)
+	}
+	for id, d := range g.degree {
+		if in[id] != d {
+			return fmt.Errorf("core: node %d in-degree %d, want %d", id, in[id], d)
+		}
+		if out[id] != d {
+			return fmt.Errorf("core: node %d out-degree %d, want %d", id, out[id], d)
+		}
+	}
+	for id := range in {
+		if _, ok := g.degree[id]; !ok && id != ServerID {
+			return fmt.Errorf("core: edge references unknown node %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/graph"
+)
+
+func newRandGraph(t testing.TB, k, d int, seed int64) *RandGraph {
+	t.Helper()
+	g, err := NewRandGraph(k, d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("NewRandGraph(%d,%d): %v", k, d, err)
+	}
+	return g
+}
+
+func TestRandGraphValidation(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewRandGraph(0, 1, r); !errors.Is(err, ErrDegree) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRandGraph(4, 0, r); !errors.Is(err, ErrDegree) {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewRandGraph(4, 5, r); !errors.Is(err, ErrDegree) {
+		t.Error("d>k accepted")
+	}
+	if _, err := NewRandGraph(4, 2, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRandGraphJoinInvariants(t *testing.T) {
+	t.Parallel()
+	g := newRandGraph(t, 8, 3, 2)
+	for i := 0; i < 100; i++ {
+		g.Join()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("after join %d: %v", i, err)
+		}
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestRandGraphChurn(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(3))
+	g := newRandGraph(t, 8, 2, 4)
+	var alive []NodeID
+	for step := 0; step < 400; step++ {
+		switch {
+		case r.Intn(3) > 0 || len(alive) == 0:
+			alive = append(alive, g.Join())
+		case r.Intn(2) == 0:
+			i := r.Intn(len(alive))
+			id := alive[i]
+			var err error
+			if g.IsFailed(id) {
+				err = g.Repair(id)
+			} else {
+				err = g.Leave(id)
+			}
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			alive = append(alive[:i], alive[i+1:]...)
+		default:
+			id := alive[r.Intn(len(alive))]
+			if !g.IsFailed(id) {
+				if err := g.Fail(id); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestRandGraphErrors(t *testing.T) {
+	t.Parallel()
+	g := newRandGraph(t, 4, 2, 5)
+	id := g.Join()
+	if err := g.Leave(999); !errors.Is(err, ErrUnknownNode) {
+		t.Error("Leave unknown")
+	}
+	if err := g.Fail(999); !errors.Is(err, ErrUnknownNode) {
+		t.Error("Fail unknown")
+	}
+	if err := g.Repair(id); !errors.Is(err, ErrNodeWorking) {
+		t.Error("Repair working")
+	}
+	if err := g.Fail(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fail(id); !errors.Is(err, ErrNodeFailed) {
+		t.Error("double fail")
+	}
+	if err := g.Leave(id); !errors.Is(err, ErrNodeFailed) {
+		t.Error("Leave failed node")
+	}
+	if err := g.Repair(id); err != nil {
+		t.Fatal(err)
+	}
+	if g.Contains(id) {
+		t.Error("present after repair")
+	}
+}
+
+func TestRandGraphLogDelayVsCurtainLinearDelay(t *testing.T) {
+	t.Parallel()
+	// §6's headline: curtain delay grows linearly in N (with k = d the
+	// curtain is a chain), the random graph logarithmically. Compare max
+	// BFS depth at N = 200 with k=8, d=2.
+	const n = 200
+
+	cur := newCurtain(t, 8, 2, 6)
+	for i := 0; i < n; i++ {
+		cur.Join()
+	}
+	topC := cur.Snapshot()
+	maxC := maxDepth(topC.Graph)
+
+	rg := newRandGraph(t, 8, 2, 7)
+	for i := 0; i < n; i++ {
+		rg.Join()
+	}
+	topR := rg.Snapshot()
+	maxR := maxDepth(topR.Graph)
+
+	// Expander depth should be O(log n) ~ small multiple of log2(200)≈7.6;
+	// curtain depth is Θ(n·d/k) = Θ(50). Demand a clear separation.
+	if maxR*3 > maxC {
+		t.Fatalf("random-graph depth %d not clearly below curtain depth %d", maxR, maxC)
+	}
+	if float64(maxR) > 8*math.Log2(n) {
+		t.Fatalf("random-graph depth %d not logarithmic", maxR)
+	}
+}
+
+func maxDepth(g *graph.Digraph) int {
+	d := g.Depths(0)
+	max := 0
+	for _, x := range d {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+func TestRandGraphConnectivityNoFailures(t *testing.T) {
+	t.Parallel()
+	// Without failures every node should have connectivity d from the
+	// server with high probability (random graphs are well connected).
+	g := newRandGraph(t, 8, 2, 8)
+	for i := 0; i < 60; i++ {
+		g.Join()
+	}
+	top := g.Snapshot()
+	fs := graph.NewFlowSolver(top.Effective())
+	low := 0
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if fs.MaxFlow(0, gi, -1) < 2 {
+			low++
+		}
+	}
+	// Splitting preserves flow: every node keeps d edge-disjoint paths
+	// through the streams it clipped. Expect zero deficient nodes.
+	if low != 0 {
+		t.Fatalf("%d of 60 nodes below connectivity 2", low)
+	}
+}
+
+func BenchmarkRandGraphJoin(b *testing.B) {
+	g, err := NewRandGraph(64, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Join()
+	}
+}

@@ -1,0 +1,191 @@
+// Package defect measures the paper's central analytic quantity: the
+// defect process B^t of §4. At any time the curtain has k hanging
+// threads; a newly joining node picks a d-tuple of them, and the tuple's
+// defect is d minus its edge connectivity from the server in the overlay
+// restricted to working nodes. B^t is the total defect summed over all
+// C(k,d) tuples, A = C(k,d), and b = B/A is the normalized defect that
+// Theorem 4 bounds by (1+ε)pd and Theorem 5 keeps below the collapse
+// threshold for exponentially many steps.
+//
+// The package offers exact enumeration (all C(k,d) tuples; used for small
+// k in tests and experiment E2) and Monte-Carlo sampling (experiment E3
+// and large k), both on top of a single FlowSolver with virtual-sink
+// queries.
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/graph"
+)
+
+// Result summarises the defect of one topology snapshot.
+type Result struct {
+	// D is the tuple size the measurement used.
+	D int
+	// Tuples is the number of d-tuples evaluated.
+	Tuples int
+	// Exact reports whether every tuple was enumerated (Tuples == C(k,d)).
+	Exact bool
+	// ByDeficit[j] counts evaluated tuples with defect exactly j, for
+	// j in [0, D].
+	ByDeficit []int
+}
+
+// TotalDefect returns sum_j j*ByDeficit[j] — B^t when exact, an unbiased
+// scaled estimate otherwise.
+func (r Result) TotalDefect() int {
+	total := 0
+	for j, c := range r.ByDeficit {
+		total += j * c
+	}
+	return total
+}
+
+// Defective returns the number of evaluated tuples with defect >= 1.
+func (r Result) Defective() int {
+	n := 0
+	for j := 1; j < len(r.ByDeficit); j++ {
+		n += r.ByDeficit[j]
+	}
+	return n
+}
+
+// NormalizedDefect returns b = B/A (estimated by the evaluated tuples).
+func (r Result) NormalizedDefect() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.TotalDefect()) / float64(r.Tuples)
+}
+
+// FractionDefective returns (B_1+...+B_d)/A: the probability that a newly
+// joining node picks a tuple with any connectivity loss (Lemma 2).
+func (r Result) FractionDefective() float64 {
+	if r.Tuples == 0 {
+		return 0
+	}
+	return float64(r.Defective()) / float64(r.Tuples)
+}
+
+// Measurer runs tuple-connectivity queries against one topology snapshot.
+// Build one per snapshot; it is not safe for concurrent use.
+type Measurer struct {
+	top  *core.Topology
+	fs   *graph.FlowSolver
+	sink int
+	d    int
+}
+
+// NewMeasurer prepares defect measurement with tuple size d on a snapshot.
+func NewMeasurer(top *core.Topology, d int) (*Measurer, error) {
+	k := len(top.ThreadBottom)
+	if k == 0 {
+		return nil, fmt.Errorf("defect: snapshot has no threads")
+	}
+	if d < 1 || d > k {
+		return nil, fmt.Errorf("defect: tuple size %d out of range [1, k=%d]", d, k)
+	}
+	// Effective graph (failed nodes isolated) plus one extra node used as
+	// the virtual sink for every query.
+	eff := top.Effective()
+	sink := eff.AddNode()
+	return &Measurer{top: top, fs: graph.NewFlowSolver(eff), sink: sink, d: d}, nil
+}
+
+// TupleConnectivity returns the edge connectivity from the server of the
+// d-tuple of thread indices (each in [0,k)): the max flow to a virtual
+// sink fed by one unit stream per chosen thread's bottom clip. Picking a
+// thread that hangs directly from the server contributes a full unit;
+// picking a thread whose bottom clip is failed contributes nothing.
+func (m *Measurer) TupleConnectivity(tuple []int) (int, error) {
+	if len(tuple) != m.d {
+		return 0, fmt.Errorf("defect: tuple size %d, want %d", len(tuple), m.d)
+	}
+	extra := make([]graph.Edge, 0, m.d)
+	for _, t := range tuple {
+		if t < 0 || t >= len(m.top.ThreadBottom) {
+			return 0, fmt.Errorf("defect: thread %d out of range [0,%d)", t, len(m.top.ThreadBottom))
+		}
+		extra = append(extra, graph.Edge{From: m.top.ThreadBottom[t], To: m.sink})
+	}
+	return m.fs.MaxFlow(0, m.sink, m.d, extra...), nil
+}
+
+// Exact enumerates every d-tuple of threads. Cost: C(k,d) max-flow
+// queries; keep k small (the analytic experiments use k <= 24, d <= 3).
+func (m *Measurer) Exact() (Result, error) {
+	k := len(m.top.ThreadBottom)
+	res := Result{D: m.d, Exact: true, ByDeficit: make([]int, m.d+1)}
+	tuple := make([]int, m.d)
+	var rec func(start, i int) error
+	rec = func(start, i int) error {
+		if i == m.d {
+			c, err := m.TupleConnectivity(tuple)
+			if err != nil {
+				return err
+			}
+			res.ByDeficit[m.d-c]++
+			res.Tuples++
+			return nil
+		}
+		for t := start; t < k-(m.d-i-1); t++ {
+			tuple[i] = t
+			if err := rec(t+1, i+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Sample evaluates n uniformly random d-tuples (without replacement
+// within a tuple, with replacement across tuples).
+func (m *Measurer) Sample(n int, rng *rand.Rand) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("defect: sample size %d, want > 0", n)
+	}
+	k := len(m.top.ThreadBottom)
+	res := Result{D: m.d, ByDeficit: make([]int, m.d+1)}
+	for i := 0; i < n; i++ {
+		tuple := rng.Perm(k)[:m.d]
+		c, err := m.TupleConnectivity(tuple)
+		if err != nil {
+			return Result{}, err
+		}
+		res.ByDeficit[m.d-c]++
+		res.Tuples++
+	}
+	return res, nil
+}
+
+// NodeConnectivity returns the edge connectivity from the server for each
+// graph node of the snapshot, capped at limit when limit >= 0. Failed
+// nodes report 0 (they are isolated in the effective graph); index 0 is
+// the server itself and reports 0 by convention.
+func NodeConnectivity(top *core.Topology, limit int) []int {
+	fs := graph.NewFlowSolver(top.Effective())
+	return fs.ConnectivityAll(0, limit)
+}
+
+// Binomial returns C(n, k) as a float64 (exact for the small arguments
+// the experiments use; float to avoid overflow in reporting).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}

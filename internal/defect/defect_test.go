@@ -1,0 +1,262 @@
+package defect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/core"
+)
+
+func buildCurtain(t testing.TB, k, d, n int, seed int64) *core.Curtain {
+	t.Helper()
+	c, err := core.New(k, d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c.Join()
+	}
+	return c
+}
+
+func TestNewMeasurerValidation(t *testing.T) {
+	t.Parallel()
+	c := buildCurtain(t, 6, 2, 5, 1)
+	top := c.Snapshot()
+	if _, err := NewMeasurer(top, 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewMeasurer(top, 7); err == nil {
+		t.Error("d>k accepted")
+	}
+	if _, err := NewMeasurer(top, 2); err != nil {
+		t.Errorf("valid measurer rejected: %v", err)
+	}
+}
+
+func TestEmptyCurtainHasNoDefects(t *testing.T) {
+	t.Parallel()
+	// With no nodes, every tuple connects straight to the server: all
+	// C(k,d) tuples have connectivity d.
+	c := buildCurtain(t, 6, 2, 0, 2)
+	m, err := NewMeasurer(c.Snapshot(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(Binomial(6, 2)); res.Tuples != want {
+		t.Fatalf("tuples = %d, want %d", res.Tuples, want)
+	}
+	if res.TotalDefect() != 0 || res.Defective() != 0 {
+		t.Fatalf("defects on empty curtain: %+v", res)
+	}
+	if res.NormalizedDefect() != 0 || res.FractionDefective() != 0 {
+		t.Fatal("normalized defect nonzero on empty curtain")
+	}
+}
+
+func TestFailureFreeCurtainHasNoDefects(t *testing.T) {
+	t.Parallel()
+	// §4: without failures the curtain preserves full connectivity, so
+	// B = 0 regardless of how many nodes joined.
+	c := buildCurtain(t, 8, 2, 50, 3)
+	m, err := NewMeasurer(c.Snapshot(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDefect() != 0 {
+		t.Fatalf("failure-free curtain has defect %d", res.TotalDefect())
+	}
+}
+
+func TestSingleFailureDefectMatchesLemma6Shape(t *testing.T) {
+	t.Parallel()
+	// A single failed node occupying d threads at the bottom of an
+	// otherwise empty curtain damages exactly the tuples that touch its
+	// threads, each by the number of its threads picked: B = sum_j
+	// j*C(d,j)*C(k-d,d-j) = (d^2/k)*C(k,d), the extremal case of Lemma 6.
+	const k, d = 8, 2
+	c, err := core.New(k, d, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.JoinTagged(true) // failed node right below the server
+	m, err := NewMeasurer(c.Snapshot(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := float64(d) * float64(d) / float64(k) * Binomial(k, d)
+	if got := float64(res.TotalDefect()); math.Abs(got-wantB) > 1e-9 {
+		t.Fatalf("B = %v, want %v (Lemma 6 extremal)", got, wantB)
+	}
+	// ByDeficit[1] = 2*C(d,1)... concretely: tuples picking exactly one
+	// of the two blocked threads lose 1, tuples picking both lose 2.
+	if res.ByDeficit[1] != d*(k-d) {
+		t.Fatalf("deficit-1 tuples = %d, want %d", res.ByDeficit[1], d*(k-d))
+	}
+	if res.ByDeficit[2] != 1 {
+		t.Fatalf("deficit-2 tuples = %d, want 1", res.ByDeficit[2])
+	}
+}
+
+func TestRepairRemovesDefect(t *testing.T) {
+	t.Parallel()
+	const k, d = 8, 2
+	c, err := core.New(k, d, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Join()
+	}
+	// Fail the most recent joiner: it is the bottom clip of its d
+	// threads, so tuples touching those threads are guaranteed defective.
+	// (A failure deep inside the curtain often causes NO hanging-tuple
+	// defect — later working joins heal it — which is the paper's point.)
+	id := c.Join()
+	if err := c.Fail(id); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMeasurer(c.Snapshot(), d)
+	before, err := m.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.TotalDefect() == 0 {
+		t.Fatal("failure produced no defect")
+	}
+	if err := c.Repair(id); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewMeasurer(c.Snapshot(), d)
+	after, err := m2.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TotalDefect() != 0 {
+		t.Fatalf("defect %d remains after repair", after.TotalDefect())
+	}
+}
+
+func TestSampleApproximatesExact(t *testing.T) {
+	t.Parallel()
+	const k, d = 10, 2
+	c, err := core.New(k, d, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []core.NodeID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, c.Join())
+	}
+	// Fail a handful of nodes to create defects.
+	for _, id := range ids[:5] {
+		if err := c.Fail(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := c.Snapshot()
+	me, _ := NewMeasurer(top, d)
+	exact, err := me.Exact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := NewMeasurer(top, d)
+	sampled, err := ms.Sample(4000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, sb := exact.NormalizedDefect(), sampled.NormalizedDefect()
+	if math.Abs(eb-sb) > 0.1*math.Max(eb, 0.05) {
+		t.Fatalf("sampled b = %v far from exact %v", sb, eb)
+	}
+	if sampled.Exact {
+		t.Error("sampled result flagged exact")
+	}
+	if !exact.Exact {
+		t.Error("exact result not flagged exact")
+	}
+}
+
+func TestTupleConnectivityValidation(t *testing.T) {
+	t.Parallel()
+	c := buildCurtain(t, 6, 2, 3, 8)
+	m, _ := NewMeasurer(c.Snapshot(), 2)
+	if _, err := m.TupleConnectivity([]int{0}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if _, err := m.TupleConnectivity([]int{0, 99}); err == nil {
+		t.Error("out-of-range thread accepted")
+	}
+	if _, err := m.Sample(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero sample size accepted")
+	}
+}
+
+func TestNodeConnectivity(t *testing.T) {
+	t.Parallel()
+	c := buildCurtain(t, 8, 3, 25, 9)
+	top := c.Snapshot()
+	conn := NodeConnectivity(top, -1)
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if conn[gi] != 3 {
+			t.Fatalf("node %d connectivity = %d, want 3", gi, conn[gi])
+		}
+	}
+	// Cap works.
+	capped := NodeConnectivity(top, 1)
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if capped[gi] != 1 {
+			t.Fatalf("capped connectivity = %d, want 1", capped[gi])
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{24, 2, 276}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkExactDefect(b *testing.B) {
+	c, err := core.New(12, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.JoinTagged(i%10 == 0)
+	}
+	top := c.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMeasurer(top, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Exact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,606 @@
+// Package gossip implements the decentralised membership alternative the
+// paper points to in §3/§7: "it is possible also to have a distributed
+// protocol, as in [12], which uses a gossip mechanism for a newly arriving
+// node to find its parents", and "the role of the server can be decreased
+// still further or even eliminated".
+//
+// Instead of a central tracker owning the matrix M, every peer maintains a
+// small partial view of the membership, refreshed by Cyclon-style
+// shuffles. A joining node bootstraps from any live peer, fills its view,
+// and inserts itself at d stream edges sampled through its view — the §6
+// random-graph topology, built with no global coordination. Repair is
+// local too: a child that loses a parent splices itself onto a new edge
+// adjacent to a random view member, without contacting any authority.
+//
+// The package is an analysis-plane substrate (like internal/core): it
+// maintains the stream topology and exports core.Topology snapshots so the
+// same connectivity/delay machinery evaluates both designs side by side.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ncast/internal/core"
+	"ncast/internal/graph"
+)
+
+// Config parameterises the gossip membership.
+type Config struct {
+	// K is the server's stream count (the seed bandwidth).
+	K int
+	// D is the node degree (incoming = outgoing unit streams).
+	D int
+	// ViewSize is the partial view capacity per peer.
+	ViewSize int
+	// ShuffleLen is how many entries a shuffle exchanges.
+	ShuffleLen int
+}
+
+// DefaultConfig returns sensible gossip parameters for degree d overlays.
+func DefaultConfig(k, d int) Config {
+	return Config{K: k, D: d, ViewSize: 12, ShuffleLen: 4}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("gossip: k = %d, want > 0", c.K)
+	}
+	if c.D < 1 || c.D > c.K {
+		return fmt.Errorf("gossip: d = %d, want in [1, k=%d]", c.D, c.K)
+	}
+	if c.ViewSize < 1 {
+		return fmt.Errorf("gossip: view size %d, want >= 1", c.ViewSize)
+	}
+	if c.ShuffleLen < 1 || c.ShuffleLen > c.ViewSize {
+		return fmt.Errorf("gossip: shuffle length %d, want in [1, view=%d]", c.ShuffleLen, c.ViewSize)
+	}
+	return nil
+}
+
+// Common errors.
+var (
+	ErrUnknownPeer = errors.New("gossip: unknown peer")
+	ErrPeerFailed  = errors.New("gossip: peer is failed")
+)
+
+// edge is a unit stream; To == 0 means hanging (awaiting a receiver).
+type edge struct {
+	From core.NodeID
+	To   core.NodeID
+}
+
+type peer struct {
+	id     core.NodeID
+	view   []core.NodeID
+	failed bool
+}
+
+// Network is the decentralised overlay state.
+type Network struct {
+	cfg    Config
+	rng    *rand.Rand
+	peers  map[core.NodeID]*peer
+	edges  []edge
+	nextID core.NodeID
+}
+
+// New creates a gossip overlay seeded by a server with cfg.K streams.
+func New(cfg Config, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("gossip: nil rng")
+	}
+	n := &Network{
+		cfg:    cfg,
+		rng:    rng,
+		peers:  make(map[core.NodeID]*peer),
+		nextID: 1,
+	}
+	for i := 0; i < cfg.K; i++ {
+		n.edges = append(n.edges, edge{From: core.ServerID})
+	}
+	return n, nil
+}
+
+// NumPeers returns the live membership count (failed peers included until
+// repaired away).
+func (n *Network) NumPeers() int { return len(n.peers) }
+
+// Contains reports whether id is present.
+func (n *Network) Contains(id core.NodeID) bool {
+	_, ok := n.peers[id]
+	return ok
+}
+
+// IsFailed reports whether id is failure-tagged.
+func (n *Network) IsFailed(id core.NodeID) bool {
+	p, ok := n.peers[id]
+	return ok && p.failed
+}
+
+// View returns a copy of id's partial view.
+func (n *Network) View(id core.NodeID) ([]core.NodeID, error) {
+	p, ok := n.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	return append([]core.NodeID(nil), p.view...), nil
+}
+
+// Join adds a peer: it bootstraps a view from a uniformly random live peer
+// (modelling "contact any known member") and inserts itself at d stream
+// edges sampled through the view. It returns the new peer's id.
+func (n *Network) Join() core.NodeID {
+	id := n.nextID
+	n.nextID++
+	p := &peer{id: id}
+
+	// Bootstrap the view: copy from a random live peer plus the peer
+	// itself; the very first joiner knows only the server's streams.
+	if boot := n.randomLivePeer(0); boot != 0 {
+		bp := n.peers[boot]
+		p.view = append(p.view, boot)
+		for _, v := range bp.view {
+			if v != id && n.aliveInView(v) {
+				p.view = append(p.view, v)
+			}
+		}
+		n.trimView(p)
+		// The bootstrap peer learns about the newcomer.
+		n.viewInsert(bp, id)
+	}
+	n.peers[id] = p
+
+	// Attach at d edges: prefer edges adjacent to view members (their
+	// outgoing streams), falling back to uniformly random edges — both
+	// yield the §6 random-edge insertion; the view merely localises the
+	// search, as a gossip-built overlay would.
+	for i := 0; i < n.cfg.D; i++ {
+		ei := n.sampleEdgeNear(p)
+		tail := n.edges[ei].To
+		n.edges[ei].To = id
+		n.edges = append(n.edges, edge{From: id, To: tail})
+	}
+	return id
+}
+
+// sampleEdgeNear picks an edge index: an outgoing edge of an owner drawn
+// from the peer's view plus the server (every member knows the server, so
+// its hanging capacity keeps getting claimed as the population grows);
+// when the chosen owner has no usable edge, any edge will do.
+func (n *Network) sampleEdgeNear(p *peer) int {
+	owners := append([]core.NodeID{core.ServerID}, p.view...)
+	owner := owners[n.rng.Intn(len(owners))]
+	candidates := make([]int, 0, 8)
+	for i, e := range n.edges {
+		if e.From == owner && e.To != p.id {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		for i, e := range n.edges {
+			if e.From != p.id && e.To != p.id {
+				candidates = append(candidates, i)
+			}
+		}
+	}
+	return candidates[n.rng.Intn(len(candidates))]
+}
+
+// Shuffle runs one round of view exchange for every live peer: each peer
+// picks a random view member and they swap ShuffleLen random entries
+// (Cyclon-style, ageless). Dead entries encountered are dropped.
+func (n *Network) Shuffle() {
+	ids := n.liveIDs()
+	n.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		p, ok := n.peers[id]
+		if !ok || p.failed {
+			continue
+		}
+		n.pruneDead(p)
+		if len(p.view) == 0 {
+			continue
+		}
+		qid := p.view[n.rng.Intn(len(p.view))]
+		q, ok := n.peers[qid]
+		if !ok || q.failed {
+			n.viewRemove(p, qid)
+			continue
+		}
+		n.exchange(p, q)
+	}
+}
+
+// exchange swaps up to ShuffleLen random entries between two views, and
+// makes the peers aware of each other.
+func (n *Network) exchange(p, q *peer) {
+	sendP := n.sampleView(p, q.id)
+	sendQ := n.sampleView(q, p.id)
+	n.viewInsert(p, q.id)
+	n.viewInsert(q, p.id)
+	for _, v := range sendQ {
+		if v != p.id {
+			n.viewInsert(p, v)
+		}
+	}
+	for _, v := range sendP {
+		if v != q.id {
+			n.viewInsert(q, v)
+		}
+	}
+}
+
+// sampleView picks up to ShuffleLen entries of p's view, excluding skip.
+func (n *Network) sampleView(p *peer, skip core.NodeID) []core.NodeID {
+	pool := make([]core.NodeID, 0, len(p.view))
+	for _, v := range p.view {
+		if v != skip {
+			pool = append(pool, v)
+		}
+	}
+	n.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > n.cfg.ShuffleLen {
+		pool = pool[:n.cfg.ShuffleLen]
+	}
+	return append([]core.NodeID(nil), pool...)
+}
+
+func (n *Network) viewInsert(p *peer, id core.NodeID) {
+	if id == p.id || id == core.ServerID {
+		return
+	}
+	for _, v := range p.view {
+		if v == id {
+			return
+		}
+	}
+	p.view = append(p.view, id)
+	n.trimView(p)
+}
+
+func (n *Network) viewRemove(p *peer, id core.NodeID) {
+	for i, v := range p.view {
+		if v == id {
+			p.view = append(p.view[:i], p.view[i+1:]...)
+			return
+		}
+	}
+}
+
+// trimView evicts random entries down to capacity.
+func (n *Network) trimView(p *peer) {
+	for len(p.view) > n.cfg.ViewSize {
+		i := n.rng.Intn(len(p.view))
+		p.view = append(p.view[:i], p.view[i+1:]...)
+	}
+}
+
+func (n *Network) pruneDead(p *peer) {
+	kept := p.view[:0]
+	for _, v := range p.view {
+		if n.aliveInView(v) {
+			kept = append(kept, v)
+		}
+	}
+	p.view = kept
+}
+
+func (n *Network) aliveInView(id core.NodeID) bool {
+	q, ok := n.peers[id]
+	return ok && !q.failed
+}
+
+// Fail tags a peer failed: its streams stop until neighbours repair around
+// it (RepairAll) — there is no authority to complain to.
+func (n *Network) Fail(id core.NodeID) error {
+	p, ok := n.peers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	if p.failed {
+		return fmt.Errorf("%w: %d", ErrPeerFailed, id)
+	}
+	p.failed = true
+	return nil
+}
+
+// Leave removes a working peer gracefully: each incoming stream is matched
+// with an outgoing one (the same splice the tracker would do, performed by
+// the leaving node itself telling its neighbours).
+func (n *Network) Leave(id core.NodeID) error {
+	p, ok := n.peers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	if p.failed {
+		return fmt.Errorf("%w: %d", ErrPeerFailed, id)
+	}
+	n.spliceOut(id)
+	return nil
+}
+
+// RepairAll performs local repairs: every child of a failed peer re-homes
+// its dead incoming streams by splitting a live edge found through its own
+// view; the failed peers' remains are then garbage-collected. Returns the
+// number of streams re-homed.
+func (n *Network) RepairAll() int {
+	// Identify dead stream edges (from a failed peer to a live one) and
+	// re-home their children. Edges appended during the loop are live by
+	// construction, so iterating by index over the original length is
+	// safe.
+	rehomed := 0
+	origLen := len(n.edges)
+	for i := 0; i < origLen; i++ {
+		e := n.edges[i]
+		fromDead := e.From != core.ServerID && !n.aliveInView(e.From)
+		toLive := e.To != 0 && n.aliveInView(e.To)
+		if !fromDead || !toLive {
+			continue
+		}
+		child := n.peers[e.To]
+		n.pruneDead(child)
+		// Child re-attaches: split a live edge near its view.
+		ni := n.sampleLiveEdge(child)
+		if ni < 0 {
+			continue
+		}
+		tail := n.edges[ni].To
+		n.edges[ni].To = child.id
+		n.edges = append(n.edges, edge{From: child.id, To: tail})
+		rehomed++
+		// Re-balance: the split pushed the child's out-degree to d+1; if
+		// the child has a hanging out-stream, retire it so the unit
+		// bandwidth budget holds. Otherwise the child carries a
+		// temporary overload until churn frees a slot.
+		for j := range n.edges {
+			if n.edges[j].From == child.id && n.edges[j].To == 0 {
+				last := len(n.edges) - 1
+				n.edges[j] = n.edges[last]
+				n.edges = n.edges[:last]
+				break
+			}
+		}
+	}
+	// GC. Three cases for edges touching dead peers:
+	//   live/server -> dead: the provider keeps its capacity — the
+	//   stream hangs again, available for future joiners;
+	//   dead -> anything: dropped with its owner;
+	//   (the rehomed children's dead in-streams fall under the first
+	//   case's hanging conversion or the second's drop.)
+	kept := n.edges[:0]
+	for _, e := range n.edges {
+		fromDead := e.From != core.ServerID && !n.aliveInView(e.From)
+		if fromDead {
+			continue
+		}
+		if e.To != 0 && !n.aliveInView(e.To) {
+			e.To = 0 // provider survives; stream hangs again
+		}
+		kept = append(kept, e)
+	}
+	n.edges = kept
+	for id, p := range n.peers {
+		if p.failed {
+			delete(n.peers, id)
+		}
+	}
+	return rehomed
+}
+
+// sampleLiveEdge returns an edge whose endpoints are live (or server),
+// preferring view members, excluding edges touching the child itself.
+func (n *Network) sampleLiveEdge(p *peer) int {
+	live := func(e edge) bool {
+		if e.From == p.id || e.To == p.id {
+			return false
+		}
+		fromOK := e.From == core.ServerID || n.aliveInView(e.From)
+		toOK := e.To == 0 || n.aliveInView(e.To)
+		return fromOK && toOK
+	}
+	if len(p.view) > 0 {
+		owner := p.view[n.rng.Intn(len(p.view))]
+		var candidates []int
+		for i, e := range n.edges {
+			if e.From == owner && live(e) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) > 0 {
+			return candidates[n.rng.Intn(len(candidates))]
+		}
+	}
+	var candidates []int
+	for i, e := range n.edges {
+		if live(e) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[n.rng.Intn(len(candidates))]
+}
+
+// spliceOut removes a live node by matching its in-streams to its
+// out-streams, as in core.RandGraph.
+func (n *Network) spliceOut(id core.NodeID) {
+	var in, out []int
+	for i, e := range n.edges {
+		if e.To == id {
+			in = append(in, i)
+		}
+		if e.From == id {
+			out = append(out, i)
+		}
+	}
+	n.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	kill := make([]bool, len(n.edges))
+	for i, ei := range in {
+		if i < len(out) {
+			n.edges[ei].To = n.edges[out[i]].To
+			kill[out[i]] = true
+		} else {
+			kill[ei] = true
+		}
+	}
+	kept := n.edges[:0]
+	for i, e := range n.edges {
+		if kill[i] || e.From == id || e.To == id {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	n.edges = kept
+	delete(n.peers, id)
+	// Views clean themselves lazily during shuffles.
+}
+
+func (n *Network) liveIDs() []core.NodeID {
+	ids := make([]core.NodeID, 0, len(n.peers))
+	for id, p := range n.peers {
+		if !p.failed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// randomLivePeer returns a uniformly random live peer other than skip, or
+// 0 when none exists.
+func (n *Network) randomLivePeer(skip core.NodeID) core.NodeID {
+	ids := n.liveIDs()
+	if skip != 0 {
+		for i, id := range ids {
+			if id == skip {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	return ids[n.rng.Intn(len(ids))]
+}
+
+// Snapshot exports the topology in the shared analysis format.
+func (n *Network) Snapshot() *core.Topology {
+	ids := append([]core.NodeID{core.ServerID}, n.allIDs()...)
+	t := &core.Topology{
+		Graph:   graph.NewDigraph(len(ids)),
+		IDs:     ids,
+		Index:   make(map[core.NodeID]int, len(ids)),
+		Working: make([]bool, len(ids)),
+	}
+	for i, id := range ids {
+		t.Index[id] = i
+		if id == core.ServerID {
+			t.Working[i] = true
+		} else {
+			t.Working[i] = !n.peers[id].failed
+		}
+	}
+	for _, e := range n.edges {
+		if e.To == 0 {
+			continue
+		}
+		from, okF := t.Index[e.From]
+		to, okT := t.Index[e.To]
+		if !okF || !okT || from == to {
+			continue
+		}
+		if _, err := t.Graph.AddEdge(from, to); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func (n *Network) allIDs() []core.NodeID {
+	ids := make([]core.NodeID, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Validate checks structural invariants: per-peer stream balance and view
+// bounds.
+func (n *Network) Validate() error {
+	in := make(map[core.NodeID]int)
+	out := make(map[core.NodeID]int)
+	for _, e := range n.edges {
+		out[e.From]++
+		if e.To != 0 {
+			in[e.To]++
+		}
+	}
+	for id, p := range n.peers {
+		if len(p.view) > n.cfg.ViewSize {
+			return fmt.Errorf("gossip: peer %d view size %d exceeds %d", id, len(p.view), n.cfg.ViewSize)
+		}
+		if p.failed {
+			continue
+		}
+		if in[id] < 1 {
+			return fmt.Errorf("gossip: live peer %d has no incoming stream", id)
+		}
+	}
+	for id := range in {
+		if id != core.ServerID && !n.Contains(id) {
+			return fmt.Errorf("gossip: edge to unknown peer %d", id)
+		}
+	}
+	for id := range out {
+		if id != core.ServerID && !n.Contains(id) {
+			return fmt.Errorf("gossip: edge from unknown peer %d", id)
+		}
+	}
+	return nil
+}
+
+// ViewUniformity returns the coefficient of variation of how often each
+// live peer appears across all views — the standard gossip health metric
+// (0 = perfectly uniform representation).
+func (n *Network) ViewUniformity() float64 {
+	count := make(map[core.NodeID]int)
+	for _, p := range n.peers {
+		if p.failed {
+			continue
+		}
+		for _, v := range p.view {
+			if n.aliveInView(v) {
+				count[v]++
+			}
+		}
+	}
+	ids := n.liveIDs()
+	if len(ids) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, id := range ids {
+		sum += float64(count[id])
+	}
+	mean := sum / float64(len(ids))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, id := range ids {
+		d := float64(count[id]) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(ids))) / mean
+}

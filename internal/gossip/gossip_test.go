@@ -1,0 +1,275 @@
+package gossip
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/core"
+	"ncast/internal/graph"
+)
+
+func newNetwork(t testing.TB, k, d int, seed int64) *Network {
+	t.Helper()
+	n, err := New(DefaultConfig(k, d), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", DefaultConfig(8, 2), false},
+		{"zero k", Config{K: 0, D: 1, ViewSize: 4, ShuffleLen: 2}, true},
+		{"d above k", Config{K: 2, D: 3, ViewSize: 4, ShuffleLen: 2}, true},
+		{"zero view", Config{K: 8, D: 2, ViewSize: 0, ShuffleLen: 1}, true},
+		{"shuffle above view", Config{K: 8, D: 2, ViewSize: 4, ShuffleLen: 5}, true},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := New(DefaultConfig(8, 2), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestJoinInvariants(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 8, 3, 1)
+	for i := 0; i < 100; i++ {
+		n.Join()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("after join %d: %v", i, err)
+		}
+	}
+	if n.NumPeers() != 100 {
+		t.Fatalf("peers = %d", n.NumPeers())
+	}
+}
+
+func TestViewsConvergeTowardUniform(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 8, 2, 2)
+	for i := 0; i < 150; i++ {
+		n.Join()
+	}
+	before := n.ViewUniformity()
+	for r := 0; r < 30; r++ {
+		n.Shuffle()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("after shuffle %d: %v", r, err)
+		}
+	}
+	after := n.ViewUniformity()
+	// Gossip shuffling spreads knowledge: representation inequality must
+	// drop substantially from the join-order-skewed initial state.
+	if after >= before {
+		t.Fatalf("view uniformity did not improve: CV %v -> %v", before, after)
+	}
+	if after > 0.8 {
+		t.Fatalf("views still highly skewed after shuffling: CV %v", after)
+	}
+}
+
+func TestConnectivityWithoutFailures(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 8, 2, 3)
+	for i := 0; i < 60; i++ {
+		n.Join()
+		if i%5 == 0 {
+			n.Shuffle()
+		}
+	}
+	top := n.Snapshot()
+	fs := graph.NewFlowSolver(top.Effective())
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if got := fs.MaxFlow(0, gi, -1); got < 2 {
+			t.Fatalf("node %d connectivity = %d, want >= 2", gi, got)
+		}
+	}
+}
+
+func TestLocalRepairRestoresConnectivity(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 8, 2, 4)
+	var ids []core.NodeID
+	for i := 0; i < 80; i++ {
+		ids = append(ids, n.Join())
+		if i%10 == 0 {
+			n.Shuffle()
+		}
+	}
+	// Fail 10% of peers, then run local repair with a couple of shuffle
+	// rounds (children need live views).
+	rng := rand.New(rand.NewSource(5))
+	perm := rng.Perm(len(ids))
+	for _, i := range perm[:8] {
+		if err := n.Fail(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Shuffle()
+	rehomed := n.RepairAll()
+	if rehomed == 0 {
+		t.Fatal("no stream was re-homed despite failures")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Failed peers are gone and every survivor is reconnected.
+	if n.NumPeers() != 72 {
+		t.Fatalf("peers after repair = %d, want 72", n.NumPeers())
+	}
+	top := n.Snapshot()
+	fs := graph.NewFlowSolver(top.Effective())
+	disconnected := 0
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if fs.MaxFlow(0, gi, 1) == 0 {
+			disconnected++
+		}
+	}
+	if disconnected > 0 {
+		t.Fatalf("%d peers disconnected after local repair", disconnected)
+	}
+}
+
+func TestLeaveSplices(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 6, 2, 6)
+	var ids []core.NodeID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, n.Join())
+	}
+	for _, id := range ids[:10] {
+		if err := n.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.NumPeers() != 30 {
+		t.Fatalf("peers = %d", n.NumPeers())
+	}
+	if err := n.Leave(ids[0]); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("double leave err = %v", err)
+	}
+}
+
+func TestFailErrors(t *testing.T) {
+	t.Parallel()
+	n := newNetwork(t, 6, 2, 7)
+	id := n.Join()
+	if err := n.Fail(999); !errors.Is(err, ErrUnknownPeer) {
+		t.Error("fail unknown")
+	}
+	if err := n.Fail(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Fail(id); !errors.Is(err, ErrPeerFailed) {
+		t.Error("double fail")
+	}
+	if err := n.Leave(id); !errors.Is(err, ErrPeerFailed) {
+		t.Error("leave failed peer")
+	}
+	if !n.IsFailed(id) {
+		t.Error("IsFailed")
+	}
+	if _, err := n.View(999); !errors.Is(err, ErrUnknownPeer) {
+		t.Error("view unknown")
+	}
+}
+
+func TestDepthStaysLogarithmic(t *testing.T) {
+	t.Parallel()
+	// The gossip overlay builds the §6 random-graph topology, so depth
+	// must stay logarithmic even without any central coordination.
+	n := newNetwork(t, 16, 2, 8)
+	for i := 0; i < 800; i++ {
+		n.Join()
+		if i%20 == 0 {
+			n.Shuffle()
+		}
+	}
+	top := n.Snapshot()
+	depths := top.Graph.Depths(0)
+	maxDepth := 0
+	for _, d := range depths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if float64(maxDepth) > 8*math.Log2(800) {
+		t.Fatalf("depth %d not logarithmic for N=800", maxDepth)
+	}
+}
+
+func TestChurnSoak(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(9))
+	n := newNetwork(t, 10, 2, 10)
+	var alive []core.NodeID
+	for step := 0; step < 500; step++ {
+		switch {
+		case r.Intn(3) > 0 || len(alive) < 5:
+			alive = append(alive, n.Join())
+		case r.Intn(2) == 0:
+			i := r.Intn(len(alive))
+			if !n.IsFailed(alive[i]) {
+				if err := n.Leave(alive[i]); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				alive = append(alive[:i], alive[i+1:]...)
+			}
+		default:
+			i := r.Intn(len(alive))
+			if !n.IsFailed(alive[i]) {
+				if err := n.Fail(alive[i]); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+		if step%25 == 0 {
+			n.Shuffle()
+			n.RepairAll()
+			// Refresh the alive list after GC.
+			kept := alive[:0]
+			for _, id := range alive {
+				if n.Contains(id) {
+					kept = append(kept, id)
+				}
+			}
+			alive = kept
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func BenchmarkJoinWithGossip(b *testing.B) {
+	n, err := New(DefaultConfig(16, 3), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Join()
+		if i%10 == 0 {
+			n.Shuffle()
+		}
+	}
+}

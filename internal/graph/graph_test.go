@@ -1,0 +1,375 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustEdge(t testing.TB, g *Digraph, u, v int) int {
+	t.Helper()
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+	return id
+}
+
+func TestDigraphBasics(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("fresh graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	id := mustEdge(t, g, 0, 1)
+	if e := g.Edge(id); e.From != 0 || e.To != 1 {
+		t.Fatalf("Edge(%d) = %+v", id, e)
+	}
+	mustEdge(t, g, 0, 1) // parallel edges allowed
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 {
+		t.Fatalf("degrees after parallel edge: out=%d in=%d", g.OutDegree(0), g.InDegree(1))
+	}
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(0, 7); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	n := g.AddNode()
+	if n != 3 || g.NumNodes() != 4 {
+		t.Fatalf("AddNode = %d, nodes = %d", n, g.NumNodes())
+	}
+}
+
+func TestDepths(t *testing.T) {
+	t.Parallel()
+	// 0 -> 1 -> 2, 0 -> 3; node 4 unreachable.
+	g := NewDigraph(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 0, 3)
+	d := g.Depths(0)
+	want := []int{0, 1, 2, 1, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	mask := g.Reachable(0)
+	if mask[4] || !mask[2] {
+		t.Error("Reachable mask wrong")
+	}
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	t.Parallel()
+	// Classic diamond: 0->1, 0->2, 1->3, 2->3 gives flow 2; with the
+	// cross edge 1->2 it stays 2 (cut at the source side).
+	g := NewDigraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 1, 2)
+	fs := NewFlowSolver(g)
+	if got := fs.MaxFlow(0, 3, -1); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+	// Limit caps the answer.
+	if got := fs.MaxFlow(0, 3, 1); got != 1 {
+		t.Fatalf("limited flow = %d, want 1", got)
+	}
+	// Solver is reusable.
+	if got := fs.MaxFlow(0, 3, -1); got != 2 {
+		t.Fatalf("second flow = %d, want 2", got)
+	}
+	if got := fs.MaxFlow(3, 0, -1); got != 0 {
+		t.Fatalf("reverse flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(2)
+	for i := 0; i < 5; i++ {
+		mustEdge(t, g, 0, 1)
+	}
+	fs := NewFlowSolver(g)
+	if got := fs.MaxFlow(0, 1, -1); got != 5 {
+		t.Fatalf("flow over 5 parallel edges = %d", got)
+	}
+}
+
+func TestMaxFlowWithExtraEdges(t *testing.T) {
+	t.Parallel()
+	// Base graph: 0->1, 0->2. Virtual sink 3 attached per query.
+	g := NewDigraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	fs := NewFlowSolver(g)
+	got := fs.MaxFlow(0, 3, -1, Edge{From: 1, To: 3}, Edge{From: 2, To: 3})
+	if got != 2 {
+		t.Fatalf("flow with virtual sink = %d, want 2", got)
+	}
+	// Extra edges must be fully rolled back.
+	if got := fs.MaxFlow(0, 3, -1); got != 0 {
+		t.Fatalf("flow after rollback = %d, want 0", got)
+	}
+	// And a different extra set works next.
+	got = fs.MaxFlow(0, 3, -1, Edge{From: 1, To: 3})
+	if got != 1 {
+		t.Fatalf("flow with single virtual edge = %d, want 1", got)
+	}
+}
+
+// referenceMaxFlow is a slow Ford–Fulkerson on an explicit capacity matrix
+// used to validate the Dinic implementation on random graphs.
+func referenceMaxFlow(n int, edges []Edge, s, t int) int {
+	cap := make([][]int, n)
+	for i := range cap {
+		cap[i] = make([]int, n)
+	}
+	for _, e := range edges {
+		cap[e.From][e.To]++
+	}
+	flow := 0
+	for {
+		// BFS for an augmenting path.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if cap[u][v] > 0 && parent[v] < 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return flow
+		}
+		for v := t; v != s; v = parent[v] {
+			cap[parent[v]][v]--
+			cap[v][parent[v]]++
+		}
+		flow++
+	}
+}
+
+func TestMaxFlowAgainstReference(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(10)
+		m := r.Intn(4 * n)
+		g := NewDigraph(n)
+		var edges []Edge
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			mustEdge(t, g, u, v)
+			edges = append(edges, Edge{From: u, To: v})
+		}
+		fs := NewFlowSolver(g)
+		s, tt := 0, n-1
+		want := referenceMaxFlow(n, edges, s, tt)
+		if got := fs.MaxFlow(s, tt, -1); got != want {
+			t.Fatalf("trial %d: flow = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	t.Parallel()
+	// Bottleneck: 0->1 (x2), 1->2 (x1), 2->3 (x2). Min cut is the single
+	// 1->2 edge, so the source side is {0,1}.
+	g := NewDigraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 2, 3)
+	fs := NewFlowSolver(g)
+	side, flow := fs.MinCutSide(0, 3)
+	if flow != 1 {
+		t.Fatalf("cut value = %d, want 1", flow)
+	}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Fatalf("side[%d] = %v, want %v", i, side[i], want[i])
+		}
+	}
+}
+
+func TestConnectivityAll(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	fs := NewFlowSolver(g)
+	got := fs.ConnectivityAll(0, -1)
+	want := []int{0, 2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("λ(0,%d) = %d, want %d", i, got[i], want[i])
+		}
+	}
+	capped := fs.ConnectivityAll(0, 1)
+	if capped[1] != 1 {
+		t.Fatalf("capped λ(0,1) = %d, want 1", capped[1])
+	}
+}
+
+func TestArborescencePackingSimple(t *testing.T) {
+	t.Parallel()
+	// Complete digraph on 4 nodes has λ(r,v) = 3 for all v: pack 3.
+	g := NewDigraph(4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				mustEdge(t, g, u, v)
+			}
+		}
+	}
+	if got := MaxPackingSize(g, 0); got != 3 {
+		t.Fatalf("MaxPackingSize = %d, want 3", got)
+	}
+	packs, err := EdgeDisjointArborescences(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packs) != 3 {
+		t.Fatalf("got %d arborescences, want 3", len(packs))
+	}
+	if err := VerifyArborescences(g, packs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArborescencePackingInsufficient(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	if _, err := EdgeDisjointArborescences(g, 0, 2); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v, want ErrNotConnected", err)
+	}
+	// k = 1 on a path works: the path itself.
+	packs, err := EdgeDisjointArborescences(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArborescences(g, packs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArborescencePackingRandomGraphs(t *testing.T) {
+	t.Parallel()
+	// Random layered DAGs shaped like curtain overlays: root with k
+	// outgoing threads, each later node picks d random predecessors.
+	// Edmonds' theorem says we can always pack min-connectivity many
+	// arborescences; verify the construction delivers them.
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(8)
+		d := 2 + r.Intn(2)
+		g := NewDigraph(n)
+		for v := 1; v < n; v++ {
+			for j := 0; j < d; j++ {
+				g.AddEdge(r.Intn(v), v) //nolint:errcheck // valid by construction
+			}
+		}
+		k := MaxPackingSize(g, 0)
+		if k == 0 {
+			continue
+		}
+		packs, err := EdgeDisjointArborescences(g, 0, k)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d d=%d k=%d): %v", trial, n, d, k, err)
+		}
+		if err := VerifyArborescences(g, packs); err != nil {
+			t.Fatalf("trial %d: invalid packing: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyArborescencesRejectsBad(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(3)
+	e1 := mustEdge(t, g, 0, 1)
+	e2 := mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 0, 2)
+	// Edge reuse across arborescences.
+	bad := []Arborescence{
+		{Root: 0, Edges: []int{e1, e2}},
+		{Root: 0, Edges: []int{e1, e2}},
+	}
+	if err := VerifyArborescences(g, bad); err == nil {
+		t.Error("edge reuse not detected")
+	}
+	// Missing node coverage.
+	bad2 := []Arborescence{{Root: 0, Edges: []int{e1}}}
+	if err := VerifyArborescences(g, bad2); err == nil {
+		t.Error("non-spanning arborescence not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
+	g := NewDigraph(2)
+	mustEdge(t, g, 0, 1)
+	c := g.Clone()
+	mustEdge(t, c, 1, 0)
+	if g.NumEdges() != 1 {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func BenchmarkMaxFlowLayeredDAG(b *testing.B) {
+	// Curtain-like DAG: 1000 nodes, d=4 random predecessors each.
+	r := rand.New(rand.NewSource(1))
+	const n, d = 1000, 4
+	g := NewDigraph(n)
+	for v := 1; v < n; v++ {
+		for j := 0; j < d; j++ {
+			g.AddEdge(r.Intn(v), v) //nolint:errcheck
+		}
+	}
+	fs := NewFlowSolver(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs.MaxFlow(0, n-1, d)
+	}
+}
+
+func BenchmarkArborescencePacking(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const n, d = 24, 3
+	g := NewDigraph(n)
+	for v := 1; v < n; v++ {
+		for j := 0; j < d; j++ {
+			g.AddEdge(r.Intn(v), v) //nolint:errcheck
+		}
+	}
+	k := MaxPackingSize(g, 0)
+	if k == 0 {
+		b.Skip("degenerate random graph")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EdgeDisjointArborescences(g, 0, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

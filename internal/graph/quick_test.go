@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMaxFlowMinCutDuality checks, over random graphs, that the flow
+// value returned by MaxFlow equals the number of edges crossing the cut
+// MinCutSide returns — the max-flow/min-cut theorem, which everything in
+// the analysis plane rests on.
+func TestQuickMaxFlowMinCutDuality(t *testing.T) {
+	t.Parallel()
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%10
+		m := int(mRaw) % (4 * n)
+		g := NewDigraph(n)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if _, err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		fs := NewFlowSolver(g)
+		s, tt := 0, n-1
+		flow := fs.MaxFlow(s, tt, -1)
+		side, cutFlow := fs.MinCutSide(s, tt)
+		if flow != cutFlow {
+			t.Logf("flow %d != cut flow %d", flow, cutFlow)
+			return false
+		}
+		// Count edges crossing the cut (source side -> sink side).
+		crossing := 0
+		for id := 0; id < g.NumEdges(); id++ {
+			e := g.Edge(id)
+			if side[e.From] && !side[e.To] {
+				crossing++
+			}
+		}
+		if crossing != flow {
+			t.Logf("crossing %d != flow %d", crossing, flow)
+			return false
+		}
+		// s on the source side, t on the sink side (when flow is finite
+		// and they differ).
+		return side[s] && !side[tt]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPackingMatchesMinConnectivity checks Edmonds' theorem itself on
+// random curtain-shaped DAGs: the constructive packing yields exactly
+// MaxPackingSize arborescences and verification accepts them.
+func TestQuickPackingMatchesMinConnectivity(t *testing.T) {
+	t.Parallel()
+	prop := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%8
+		d := 2
+		g := NewDigraph(n)
+		for v := 1; v < n; v++ {
+			for j := 0; j < d; j++ {
+				if _, err := g.AddEdge(r.Intn(v), v); err != nil {
+					return false
+				}
+			}
+		}
+		k := MaxPackingSize(g, 0)
+		if k == 0 {
+			return true
+		}
+		packs, err := EdgeDisjointArborescences(g, 0, k)
+		if err != nil {
+			t.Logf("packing failed at k=%d: %v", k, err)
+			return false
+		}
+		if len(packs) != k {
+			return false
+		}
+		return VerifyArborescences(g, packs) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import "fmt"
+
+// Arborescence is a spanning arborescence rooted at the packing root,
+// represented as the list of edge ids used. Every non-root node has
+// exactly one incoming edge in the list.
+type Arborescence struct {
+	Root  int
+	Edges []int
+}
+
+// ParentOf returns, for each node, the edge id entering it in the
+// arborescence, or -1 for the root (and for nodes outside the packing).
+func (a *Arborescence) ParentOf(g *Digraph, n int) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, eid := range a.Edges {
+		parent[g.Edge(eid).To] = eid
+	}
+	return parent
+}
+
+// EdgeDisjointArborescences packs k edge-disjoint spanning arborescences
+// rooted at root, implementing the constructive form of Edmonds' theorem
+// (the §1 "theoretically optimal but impractical" multicast baseline):
+// k such arborescences exist iff every node has edge connectivity >= k
+// from root. It returns ErrNotConnected when the hypothesis fails.
+//
+// The construction is the classic safe-edge argument: arborescences are
+// grown one at a time; an edge (u,v) with u in the current tree T and v
+// outside is added only if removing it keeps the residual graph
+// (k-i)-connected from root to every node still outside T. Edmonds'
+// theorem guarantees a safe edge always exists. Each safety test is a
+// batch of min-cut computations, so the algorithm is O(k·V²·E·d) — fine
+// for the analysis plane's snapshot sizes, and exactly why the paper calls
+// the approach impractical for live repair.
+func EdgeDisjointArborescences(g *Digraph, root, k int) ([]Arborescence, error) {
+	n := g.NumNodes()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: root %d out of range [0,%d)", root, n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("graph: nonpositive packing size %d", k)
+	}
+	// Verify the hypothesis up front for a clean error.
+	fs := NewFlowSolver(g)
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		if c := fs.MaxFlow(root, v, k); c < k {
+			return nil, fmt.Errorf("%w: node %d has connectivity %d < %d", ErrNotConnected, v, c, k)
+		}
+	}
+
+	removed := make([]bool, g.NumEdges())
+	packs := make([]Arborescence, 0, k)
+	for i := 0; i < k; i++ {
+		need := k - i - 1 // connectivity to preserve after this arborescence
+		arb, err := growArborescence(g, root, removed, need)
+		if err != nil {
+			return nil, err
+		}
+		for _, eid := range arb.Edges {
+			removed[eid] = true
+		}
+		packs = append(packs, arb)
+	}
+	return packs, nil
+}
+
+// growArborescence builds one spanning arborescence in g minus the removed
+// edges, keeping the residual graph `need`-connected from root to every
+// node outside the growing tree.
+func growArborescence(g *Digraph, root int, removed []bool, need int) (Arborescence, error) {
+	n := g.NumNodes()
+	inTree := make([]bool, n)
+	inTree[root] = true
+	treeSize := 1
+	arb := Arborescence{Root: root}
+
+	for treeSize < n {
+		eid, err := findSafeEdge(g, root, removed, inTree, need)
+		if err != nil {
+			return Arborescence{}, err
+		}
+		arb.Edges = append(arb.Edges, eid)
+		removed[eid] = true // tentatively consumed; caller re-marks
+		inTree[g.Edge(eid).To] = true
+		treeSize++
+	}
+	// The caller re-marks; undo our tentative marks so the contract is
+	// "removed is unchanged on return" and the caller owns the update.
+	for _, eid := range arb.Edges {
+		removed[eid] = false
+	}
+	return arb, nil
+}
+
+// findSafeEdge scans frontier edges (u in tree, v outside) and returns the
+// first one whose removal keeps every outside node `need`-connected from
+// root in the residual graph.
+func findSafeEdge(g *Digraph, root int, removed, inTree []bool, need int) (int, error) {
+	for u := 0; u < g.NumNodes(); u++ {
+		if !inTree[u] {
+			continue
+		}
+		for _, id := range g.OutEdges(u) {
+			eid := int(id)
+			if removed[eid] {
+				continue
+			}
+			v := g.Edge(eid).To
+			if inTree[v] {
+				continue
+			}
+			if need == 0 || edgeIsSafe(g, root, removed, eid, need) {
+				return eid, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("graph: no safe edge found (tree incomplete): %w", ErrNotConnected)
+}
+
+// edgeIsSafe tests whether removing edge eid keeps λ(root, w) >= need for
+// EVERY node w (tree nodes included). This is the invariant in Lovász's
+// proof of Edmonds' theorem — "λ_{G−E(T)}(r,v) ≥ k−1 for each v ∈ V" — and
+// the all-nodes quantifier matters: checking only nodes outside the tree
+// lets an arborescence consume too many of the root's out-edges, breaking
+// the induction for the next arborescence.
+func edgeIsSafe(g *Digraph, root int, removed []bool, eid, need int) bool {
+	sub := NewDigraph(g.NumNodes())
+	for id, e := range g.edges {
+		if removed[id] || id == eid {
+			continue
+		}
+		if _, err := sub.AddEdge(e.From, e.To); err != nil {
+			panic(err) // edges come from a valid graph
+		}
+	}
+	fs := NewFlowSolver(sub)
+	for w := 0; w < g.NumNodes(); w++ {
+		if w == root {
+			continue
+		}
+		if fs.MaxFlow(root, w, need) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPackingSize returns the largest k for which k edge-disjoint spanning
+// arborescences rooted at root exist: min over nodes of λ(root, v)
+// (Edmonds' theorem). Nodes unreachable from root give 0.
+func MaxPackingSize(g *Digraph, root int) int {
+	fs := NewFlowSolver(g)
+	best := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if v == root {
+			continue
+		}
+		c := fs.MaxFlow(root, v, -1)
+		if best < 0 || c < best {
+			best = c
+		}
+		if best == 0 {
+			return 0
+		}
+	}
+	if best < 0 {
+		return 0 // single-node graph: no receivers
+	}
+	return best
+}
+
+// VerifyArborescences checks that the packing is valid: arborescences are
+// pairwise edge-disjoint, each spans all nodes, and each non-root node has
+// exactly one parent per arborescence.
+func VerifyArborescences(g *Digraph, packs []Arborescence) error {
+	used := make(map[int]bool, len(packs)*g.NumNodes())
+	for pi, arb := range packs {
+		indeg := make([]int, g.NumNodes())
+		sub := NewDigraph(g.NumNodes())
+		for _, eid := range arb.Edges {
+			if used[eid] {
+				return fmt.Errorf("graph: edge %d reused across arborescences", eid)
+			}
+			used[eid] = true
+			e := g.Edge(eid)
+			indeg[e.To]++
+			if _, err := sub.AddEdge(e.From, e.To); err != nil {
+				return err
+			}
+		}
+		depths := sub.Depths(arb.Root)
+		for v := 0; v < g.NumNodes(); v++ {
+			if v == arb.Root {
+				if indeg[v] != 0 {
+					return fmt.Errorf("graph: arborescence %d has edge into root", pi)
+				}
+				continue
+			}
+			if indeg[v] != 1 {
+				return fmt.Errorf("graph: arborescence %d: node %d in-degree %d", pi, v, indeg[v])
+			}
+			if depths[v] < 0 {
+				return fmt.Errorf("graph: arborescence %d does not reach node %d", pi, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ncast/internal/gf"
+)
+
+var fields = []gf.Field{gf.F2, gf.F256, gf.F65536}
+
+func TestIdentityProperties(t *testing.T) {
+	t.Parallel()
+	for _, f := range fields {
+		id := Identity(f, 5)
+		if got := id.Rank(); got != 5 {
+			t.Errorf("%s: rank(I5) = %d, want 5", f.Name(), got)
+		}
+		inv, err := id.Inverse()
+		if err != nil {
+			t.Fatalf("%s: Inverse(I) error: %v", f.Name(), err)
+		}
+		if !inv.Equal(id) {
+			t.Errorf("%s: inverse of identity is not identity", f.Name())
+		}
+	}
+}
+
+func TestRandomSquareInverse(t *testing.T) {
+	t.Parallel()
+	for _, f := range fields {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(11))
+			inverted := 0
+			for trial := 0; trial < 40; trial++ {
+				n := 1 + r.Intn(12)
+				m := Random(f, n, n, r)
+				inv, err := m.Inverse()
+				if errors.Is(err, ErrSingular) {
+					continue // random matrices over GF(2) are often singular
+				}
+				if err != nil {
+					t.Fatalf("Inverse: %v", err)
+				}
+				inverted++
+				if p := m.Mul(inv); !p.Equal(Identity(f, n)) {
+					t.Fatalf("m * m^-1 != I for n=%d:\n%v", n, p)
+				}
+				if p := inv.Mul(m); !p.Equal(Identity(f, n)) {
+					t.Fatalf("m^-1 * m != I for n=%d", n)
+				}
+			}
+			if inverted == 0 {
+				t.Fatal("no random matrix was invertible; suspicious")
+			}
+		})
+	}
+}
+
+func TestSingularInverse(t *testing.T) {
+	t.Parallel()
+	m := FromRows(gf.F256, [][]uint16{
+		{1, 2, 3},
+		{2, 4, 6}, // 2 * row 0 over GF(256) is {2,4,6}: x2 in GF(2^8) doubles via carry-less shift
+		{0, 0, 0},
+	})
+	// Row 2 of zeros alone forces rank < 3.
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Inverse of singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestNonSquareInverseErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := New(gf.F256, 2, 3).Inverse(); err == nil {
+		t.Fatal("Inverse of non-square matrix succeeded")
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(5))
+	for _, f := range fields {
+		for trial := 0; trial < 30; trial++ {
+			rows := 1 + r.Intn(8)
+			cols := 1 + r.Intn(8)
+			m := Random(f, rows, cols, r)
+			rank := m.Rank()
+			if rank > rows || rank > cols {
+				t.Fatalf("%s: rank %d exceeds dims %dx%d", f.Name(), rank, rows, cols)
+			}
+			// Duplicating a row never increases rank.
+			dup := New(f, rows+1, cols)
+			for i := 0; i < rows; i++ {
+				copy(dup.Row(i), m.Row(i))
+			}
+			copy(dup.Row(rows), m.Row(0))
+			if got := dup.Rank(); got != rank {
+				t.Fatalf("%s: rank changed from %d to %d after duplicating a row", f.Name(), rank, got)
+			}
+		}
+	}
+}
+
+func TestRREFIdempotent(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(9))
+	for _, f := range fields {
+		m := Random(f, 6, 9, r)
+		rank1, piv1 := m.RREF()
+		snapshot := m.Clone()
+		rank2, piv2 := m.RREF()
+		if rank1 != rank2 || len(piv1) != len(piv2) {
+			t.Fatalf("%s: RREF not stable: rank %d->%d", f.Name(), rank1, rank2)
+		}
+		if !m.Equal(snapshot) {
+			t.Fatalf("%s: second RREF changed an already-reduced matrix", f.Name())
+		}
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	t.Parallel()
+	for _, f := range fields {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(13))
+			for trial := 0; trial < 40; trial++ {
+				rows := 1 + r.Intn(8)
+				cols := 1 + r.Intn(8)
+				m := Random(f, rows, cols, r)
+				// Construct a guaranteed-consistent RHS from a known x.
+				x := make([]uint16, cols)
+				for i := range x {
+					x[i] = f.Rand(r)
+				}
+				b := m.MulVec(x)
+				got, err := m.Solve(b)
+				if err != nil {
+					t.Fatalf("Solve on consistent system: %v", err)
+				}
+				// The solution need not equal x, but must satisfy m·got = b.
+				check := m.MulVec(got)
+				for i := range b {
+					if check[i] != b[i] {
+						t.Fatalf("solution does not satisfy system at row %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	t.Parallel()
+	m := FromRows(gf.F256, [][]uint16{
+		{1, 1},
+		{1, 1},
+	})
+	if _, err := m.Solve([]uint16{1, 2}); !errors.Is(err, ErrNoSolution) {
+		t.Fatalf("Solve on inconsistent system: err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestMulAssociativityQuick(t *testing.T) {
+	t.Parallel()
+	f := gf.F256
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := Random(f, n, n, r)
+		b := Random(f, n, n, r)
+		c := Random(f, n, n, r)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(17))
+	f := gf.F65536
+	m := Random(f, 5, 7, r)
+	v := make([]uint16, 7)
+	for i := range v {
+		v[i] = f.Rand(r)
+	}
+	col := New(f, 7, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want := m.Mul(col)
+	got := m.MulVec(v)
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %d, want %d", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("FromRows with ragged rows did not panic")
+		}
+	}()
+	FromRows(gf.F256, [][]uint16{{1, 2}, {3}})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
+	m := Identity(gf.F256, 3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func BenchmarkRREF64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	src := Random(gf.F256, 64, 64, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Clone().RREF()
+	}
+}
+
+func BenchmarkInverse32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var m *Matrix
+	for {
+		m = Random(gf.F256, 32, 32, r)
+		if m.Rank() == 32 {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

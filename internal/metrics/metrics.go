@@ -1,0 +1,254 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness uses: streaming summaries (mean/variance/min/max), quantiles,
+// histograms, and fixed-width table rendering for experiment reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates scalar observations with Welford's online algorithm,
+// so variance is numerically stable even for long runs.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	vals []float64 // retained for quantiles
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	s.vals = append(s.vals, x)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Quantile returns the q-quantile (q in [0,1]) by linear interpolation of
+// the sorted sample. It returns 0 when empty.
+func (s *Summary) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Histogram counts observations into fixed-width buckets over [lo, hi);
+// out-of-range observations land in clamped edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given range and bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("metrics: bucket count %d, want > 0", buckets)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("metrics: invalid range [%v,%v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := 0
+		if maxC > 0 {
+			bar = c * 40 / maxC
+		}
+		fmt.Fprintf(&b, "[%8.3g,%8.3g) %6d %s\n",
+			h.lo+float64(i)*width, h.lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Table renders experiment results as an aligned fixed-width text table,
+// the output format of every E-experiment in the harness.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It returns ok=false when fewer than two distinct x values exist.
+func LinearFit(x, y []float64) (slope, intercept float64, ok bool) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(x))
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, true
+}

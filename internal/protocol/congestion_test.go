@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestCongestionEpisodeLive walks the §5 congestion protocol end to end:
+// a mid-overlay node backs off one thread (its parent is joined directly
+// to its child), everyone keeps decoding, then the node regrows the
+// thread and is spliced back in.
+func TestCongestionEpisodeLive(t *testing.T) {
+	t.Parallel()
+	content := randContent(1500)
+	s := startSession(t, 5, content) // k=8, d=2
+	ctx := context.Background()
+	victim := s.nodes[2]
+
+	// Back off: degree 2 -> 1.
+	if err := victim.Congest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for victim.Degree() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("degree = %d after congest, want 1", victim.Degree())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Everyone — including the reduced node, at its lower rate — still
+	// completes the download.
+	for i, n := range s.nodes {
+		waitComplete(t, n, 30*time.Second)
+		got, err := n.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("node %d content mismatch during congestion", i)
+		}
+	}
+
+	// Recover: degree 1 -> 2.
+	if err := victim.Uncongest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for victim.Degree() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("degree = %d after uncongest, want 2", victim.Degree())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The overlay stays structurally sound: a brand-new joiner completes
+	// through the post-episode topology.
+	late := s.addNode(t, context.Background(), 25)
+	waitComplete(t, late, 30*time.Second)
+	got, err := late.Content()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("late joiner content mismatch after congestion episode")
+	}
+}
+
+// TestCongestAtFloorRejected: a node at degree 1 cannot reduce further;
+// the tracker replies with an error and the node keeps its thread.
+func TestCongestAtFloorRejected(t *testing.T) {
+	t.Parallel()
+	content := randContent(400)
+	s := startSessionKD(t, 2, 4, 1, content) // d = 1: already at the floor
+	victim := s.nodes[0]
+	if err := victim.Congest(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The degree must remain 1 (give the tracker time to have acted).
+	time.Sleep(300 * time.Millisecond)
+	if victim.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", victim.Degree())
+	}
+	waitComplete(t, victim, 20*time.Second)
+}

@@ -1,0 +1,274 @@
+// Package protocol implements the paper's §3 control protocol — hello,
+// good-bye, complaint, and repair — plus the network-coded data plane,
+// over any transport.Endpoint. The Tracker is the paper's "server (or some
+// other centralized authority)": it owns the curtain matrix M, assigns
+// threads to joining nodes, and issues stream redirections when nodes
+// join, leave, or fail. Node is the client: it receives unit streams from
+// its parents, re-mixes them with RLNC, forwards on its own threads, and
+// decodes the content.
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"ncast/internal/gf"
+	"ncast/internal/rlnc"
+)
+
+// MsgType tags control messages.
+type MsgType uint8
+
+// Control message types. Values are wire format; do not reorder.
+const (
+	// MsgHello is node -> tracker: request to join with a degree.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome is tracker -> node: assigned identity and session params.
+	MsgWelcome
+	// MsgGoodbye is node -> tracker: graceful leave announcement.
+	MsgGoodbye
+	// MsgGoodbyeAck is tracker -> node: leave processed, streams spliced.
+	MsgGoodbyeAck
+	// MsgComplaint is child -> tracker: a parent stopped sending.
+	MsgComplaint
+	// MsgRedirect is tracker -> node: route your thread to a new child.
+	MsgRedirect
+	// MsgComplete is node -> tracker: content fully decoded.
+	MsgComplete
+	// MsgError is tracker -> node: request rejected.
+	MsgError
+	// MsgExpelled is tracker -> node: you were repaired away (a child
+	// complained and the tracker believed it); re-join if still alive.
+	MsgExpelled
+	// MsgCongested is node -> tracker: §5 congestion relief — join one of
+	// my parents directly to the matching child and drop my degree by one.
+	MsgCongested
+	// MsgUncongested is node -> tracker: congestion cleared — turn one of
+	// the zeroes in my row back into a one.
+	MsgUncongested
+	// MsgThreadDropped is tracker -> node: your degree reduction took
+	// effect on this thread; stop expecting or forwarding data on it.
+	MsgThreadDropped
+	// MsgThreadAdded is tracker -> node: you gained this thread; expect
+	// data from a new parent and forward to ChildAddr when non-empty.
+	MsgThreadAdded
+)
+
+// frame kind bytes: a data frame, a JSON control envelope, or a per-thread
+// keepalive.
+const (
+	frameData      byte = 0
+	frameControl   byte = 1
+	frameKeepalive byte = 2
+)
+
+// Hello asks to join the session.
+type Hello struct {
+	// Addr is the node's transport address (where parents send streams).
+	Addr string `json:"addr"`
+	// Degree is the requested d; 0 means the session default.
+	Degree int `json:"degree,omitempty"`
+}
+
+// SessionParams describes the coded content; all nodes must agree.
+type SessionParams struct {
+	// FieldBits is the coding field size in bits (1, 8, or 16).
+	FieldBits int `json:"field_bits"`
+	// GenSize is packets per generation.
+	GenSize int `json:"gen_size"`
+	// PacketSize is the payload bytes per packet.
+	PacketSize int `json:"packet_size"`
+	// ContentLen is the total content length in bytes.
+	ContentLen int `json:"content_len"`
+	// LayerSizes, when non-empty, marks a §5 priority-layered broadcast:
+	// the content is the concatenation of these layer slabs, each coded
+	// independently with the generation namespace of rlnc.LayerOf.
+	LayerSizes []int `json:"layer_sizes,omitempty"`
+}
+
+// Layered reports whether the session uses priority layers.
+func (p SessionParams) Layered() bool { return len(p.LayerSizes) > 0 }
+
+// Field resolves the gf.Field for the parameter set.
+func (p SessionParams) Field() (gf.Field, error) {
+	switch p.FieldBits {
+	case 1:
+		return gf.F2, nil
+	case 8:
+		return gf.F256, nil
+	case 16:
+		return gf.F65536, nil
+	default:
+		return nil, fmt.Errorf("protocol: unsupported field bits %d", p.FieldBits)
+	}
+}
+
+// Params builds the rlnc.Params for the session.
+func (p SessionParams) Params() (rlnc.Params, error) {
+	f, err := p.Field()
+	if err != nil {
+		return rlnc.Params{}, err
+	}
+	params := rlnc.Params{Field: f, GenSize: p.GenSize, PacketSize: p.PacketSize}
+	if err := params.Validate(); err != nil {
+		return rlnc.Params{}, err
+	}
+	return params, nil
+}
+
+// Welcome confirms a join.
+type Welcome struct {
+	ID      uint64        `json:"id"`
+	K       int           `json:"k"`
+	Degree  int           `json:"degree"`
+	Session SessionParams `json:"session"`
+	// Threads lists the thread indices assigned to the node.
+	Threads []int `json:"threads"`
+}
+
+// Goodbye announces a graceful leave.
+type Goodbye struct {
+	ID uint64 `json:"id"`
+}
+
+// GoodbyeAck confirms the leave was spliced.
+type GoodbyeAck struct{}
+
+// Complaint reports a silent parent on a thread.
+type Complaint struct {
+	ID     uint64 `json:"id"`
+	Thread int    `json:"thread"`
+	// ParentAddr is the address the child was receiving from.
+	ParentAddr string `json:"parent_addr"`
+}
+
+// Redirect instructs a node (or informs the server source) to start
+// sending its stream on Thread to ChildAddr; an empty ChildAddr means the
+// thread now hangs (stop sending).
+type Redirect struct {
+	Thread    int    `json:"thread"`
+	ChildAddr string `json:"child_addr"`
+}
+
+// Complete reports a fully decoded download.
+type Complete struct {
+	ID uint64 `json:"id"`
+}
+
+// ErrorMsg rejects a request.
+type ErrorMsg struct {
+	Reason string `json:"reason"`
+}
+
+// Expelled informs a node it was removed by the repair procedure.
+type Expelled struct {
+	ID uint64 `json:"id"`
+}
+
+// Congested asks for §5 degree reduction; Uncongested for regrowth.
+type Congested struct {
+	ID uint64 `json:"id"`
+}
+
+// Uncongested asks to regrow a previously reduced degree.
+type Uncongested struct {
+	ID uint64 `json:"id"`
+}
+
+// ThreadDropped confirms a degree reduction.
+type ThreadDropped struct {
+	Thread int `json:"thread"`
+}
+
+// ThreadAdded confirms a degree increase; ChildAddr is the downstream
+// receiver on the new thread ("" when the node is the bottom clip).
+type ThreadAdded struct {
+	Thread    int    `json:"thread"`
+	ChildAddr string `json:"child_addr,omitempty"`
+}
+
+// envelope is the JSON control wrapper.
+type envelope struct {
+	Type    MsgType         `json:"t"`
+	Payload json.RawMessage `json:"p,omitempty"`
+}
+
+// EncodeControl marshals a control message of the given type.
+func EncodeControl(t MsgType, payload interface{}) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: marshal %d: %w", t, err)
+	}
+	env, err := json.Marshal(envelope{Type: t, Payload: raw})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: marshal envelope: %w", err)
+	}
+	return append([]byte{frameControl}, env...), nil
+}
+
+// DecodeControl splits a control frame into its type and raw payload.
+func DecodeControl(frame []byte) (MsgType, json.RawMessage, error) {
+	if len(frame) < 2 || frame[0] != frameControl {
+		return 0, nil, fmt.Errorf("protocol: not a control frame")
+	}
+	var env envelope
+	if err := json.Unmarshal(frame[1:], &env); err != nil {
+		return 0, nil, fmt.Errorf("protocol: unmarshal envelope: %w", err)
+	}
+	return env.Type, env.Payload, nil
+}
+
+// EncodeData marshals a data frame: one coded packet traveling on a thread.
+func EncodeData(f gf.Field, thread int, p *rlnc.Packet) []byte {
+	body := p.Marshal(f)
+	out := make([]byte, 0, 3+len(body))
+	out = append(out, frameData)
+	var th [2]byte
+	binary.BigEndian.PutUint16(th[:], uint16(thread))
+	out = append(out, th[:]...)
+	return append(out, body...)
+}
+
+// DecodeData unmarshals a data frame.
+func DecodeData(f gf.Field, frame []byte) (thread int, p *rlnc.Packet, err error) {
+	if len(frame) < 3 || frame[0] != frameData {
+		return 0, nil, fmt.Errorf("protocol: not a data frame")
+	}
+	thread = int(binary.BigEndian.Uint16(frame[1:3]))
+	p, err = rlnc.Unmarshal(f, frame[3:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return thread, p, nil
+}
+
+// IsData reports whether the frame is a data frame.
+func IsData(frame []byte) bool {
+	return len(frame) > 0 && frame[0] == frameData
+}
+
+// EncodeKeepalive marshals a per-thread keepalive. A parent that has
+// nothing to forward on a thread still proves liveness with these, so that
+// downstream starvation (a failure further upstream) is never mistaken for
+// the parent's own death — without them, complaint storms would expel
+// innocent working ancestors one by one.
+func EncodeKeepalive(thread int) []byte {
+	var out [3]byte
+	out[0] = frameKeepalive
+	binary.BigEndian.PutUint16(out[1:], uint16(thread))
+	return out[:]
+}
+
+// DecodeKeepalive unmarshals a keepalive frame.
+func DecodeKeepalive(frame []byte) (thread int, err error) {
+	if len(frame) != 3 || frame[0] != frameKeepalive {
+		return 0, fmt.Errorf("protocol: not a keepalive frame")
+	}
+	return int(binary.BigEndian.Uint16(frame[1:])), nil
+}
+
+// IsKeepalive reports whether the frame is a keepalive.
+func IsKeepalive(frame []byte) bool {
+	return len(frame) > 0 && frame[0] == frameKeepalive
+}

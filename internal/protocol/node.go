@@ -1,0 +1,799 @@
+package protocol
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ncast/internal/gf"
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// Behavior selects how a node participates in the data plane. The
+// non-honest behaviors implement the §5/§7 attack models.
+type Behavior int
+
+const (
+	// Honest nodes re-mix and forward fresh random combinations.
+	Honest Behavior = iota
+	// EntropyAttacker implements the §7 "entropy destruction attack":
+	// the node decodes for itself but forwards only trivial combinations
+	// (it replays one fixed packet per generation), passing
+	// bandwidth-shaped but information-free traffic. The paper notes this
+	// is worse than a failure attack in the long run because the victim's
+	// threads look alive — keepalives flow and complaints never fire.
+	EntropyAttacker
+	// Freeloader receives and decodes but forwards no data at all while
+	// keeping its control plane alive — an intentional §5 failure attack
+	// that does not even cost the attacker its power supply.
+	Freeloader
+)
+
+// NodeConfig parameterises a client node.
+type NodeConfig struct {
+	// TrackerAddr is the tracker's transport address.
+	TrackerAddr string
+	// Degree requests a non-default d (heterogeneous bandwidth, §5).
+	Degree int
+	// ComplaintTimeout is how long a thread may stay silent before the
+	// node complains to the tracker (the §3 "eventually the children of
+	// the failed node complain"). Zero disables complaints.
+	ComplaintTimeout time.Duration
+	// Behavior selects honest or adversarial forwarding.
+	Behavior Behavior
+	// Seed drives recoding randomness.
+	Seed int64
+}
+
+// Node is an overlay client: it joins via the hello protocol, receives
+// unit streams from its parents, re-mixes them with RLNC, forwards along
+// its threads, decodes the content, and participates in repair by
+// complaining about silent parents.
+type Node struct {
+	ep  transport.Endpoint
+	cfg NodeConfig
+	rng *rand.Rand
+
+	mu         sync.Mutex
+	id         uint64
+	joined     bool
+	field      gf.Field
+	params     rlnc.Params
+	totalGens  int
+	contentLen int
+	layerSizes []int    // non-empty in layered mode
+	genIDs     []uint32 // every valid (possibly namespaced) generation id
+	genSet     map[uint32]bool
+	threads    []int
+	recoders   map[uint32]*rlnc.Recoder
+	gensDone   int
+	childOf    map[int]string
+	parentOf   map[int]string
+	lastRecv   map[int]time.Time
+	complete   bool
+	innovative int
+	received   int
+	hbGen      int
+	// replay holds, per generation, the fixed packet an EntropyAttacker
+	// replays instead of re-mixing.
+	replay map[uint32]*rlnc.Packet
+
+	joinedCh   chan error
+	completeCh chan struct{}
+	leftCh     chan struct{}
+}
+
+// NewNode creates a node bound to ep.
+func NewNode(ep transport.Endpoint, cfg NodeConfig) *Node {
+	return &Node{
+		ep:         ep,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		recoders:   make(map[uint32]*rlnc.Recoder),
+		replay:     make(map[uint32]*rlnc.Packet),
+		childOf:    make(map[int]string),
+		parentOf:   make(map[int]string),
+		lastRecv:   make(map[int]time.Time),
+		joinedCh:   make(chan error, 1),
+		completeCh: make(chan struct{}),
+		leftCh:     make(chan struct{}),
+	}
+}
+
+// ID returns the node's overlay id (0 before the welcome arrives).
+func (n *Node) ID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.id
+}
+
+// Joined resolves once the tracker accepts or rejects the hello.
+func (n *Node) Joined() <-chan error { return n.joinedCh }
+
+// Completed closes once the content is fully decoded.
+func (n *Node) Completed() <-chan struct{} { return n.completeCh }
+
+// Left closes once a graceful leave is acknowledged.
+func (n *Node) Left() <-chan struct{} { return n.leftCh }
+
+// Progress returns the fraction of total rank gathered in [0,1].
+func (n *Node) Progress() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.totalGens == 0 {
+		return 0
+	}
+	rank := 0
+	for _, rc := range n.recoders {
+		rank += rc.Rank()
+	}
+	return float64(rank) / float64(n.totalGens*n.params.GenSize)
+}
+
+// Stats returns (received, innovative) packet counts.
+func (n *Node) Stats() (received, innovative int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.received, n.innovative
+}
+
+// Content reassembles the decoded blob; it errors until completion.
+func (n *Node) Content() ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.complete {
+		return nil, rlnc.ErrIncomplete
+	}
+	if len(n.layerSizes) > 0 {
+		out := make([]byte, 0, n.contentLen)
+		for l := range n.layerSizes {
+			slab, err := n.layerBytesLocked(l)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, slab...)
+		}
+		return out, nil
+	}
+	out := make([]byte, 0, n.contentLen)
+	for _, g := range n.genIDs {
+		rc := n.recoders[g]
+		src, err := rc.Decode()
+		if err != nil {
+			return nil, err
+		}
+		for _, pkt := range src {
+			out = append(out, pkt...)
+		}
+	}
+	return out[:n.contentLen], nil
+}
+
+// CompletedLayers returns, for layered sessions, how many consecutive
+// priority layers (from the base) are fully decoded — the "resolution"
+// currently playable. Flat sessions report 1 when complete, else 0.
+func (n *Node) CompletedLayers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.layerSizes) == 0 {
+		if n.complete {
+			return 1
+		}
+		return 0
+	}
+	done := 0
+	for l := range n.layerSizes {
+		if !n.layerCompleteLocked(l) {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// Layer returns the decoded bytes of priority layer l once it completes.
+func (n *Node) Layer(l int) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l < 0 || l >= len(n.layerSizes) {
+		return nil, fmt.Errorf("protocol: layer %d out of range [0,%d)", l, len(n.layerSizes))
+	}
+	if !n.layerCompleteLocked(l) {
+		return nil, rlnc.ErrIncomplete
+	}
+	return n.layerBytesLocked(l)
+}
+
+// layerCompleteLocked reports whether every generation of layer l decoded.
+func (n *Node) layerCompleteLocked(l int) bool {
+	gens := n.params.Generations(n.layerSizes[l])
+	for g := 0; g < gens; g++ {
+		rc, ok := n.recoders[rlnc.LayerGen(l, g)]
+		if !ok || !rc.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// layerBytesLocked reassembles layer l (callers ensure completeness).
+func (n *Node) layerBytesLocked(l int) ([]byte, error) {
+	size := n.layerSizes[l]
+	gens := n.params.Generations(size)
+	out := make([]byte, 0, size)
+	for g := 0; g < gens; g++ {
+		rc := n.recoders[rlnc.LayerGen(l, g)]
+		src, err := rc.Decode()
+		if err != nil {
+			return nil, err
+		}
+		for _, pkt := range src {
+			out = append(out, pkt...)
+		}
+	}
+	return out[:size], nil
+}
+
+// Run joins the session and processes messages until the context is
+// cancelled or the node leaves gracefully. It always sends the hello
+// itself; callers watch Joined / Completed / Left.
+func (n *Node) Run(ctx context.Context) error {
+	// Scope the helper loops (heartbeats, complaints) to Run's lifetime:
+	// after a graceful leave Run returns, and a departed node must stop
+	// proving liveness to its former children.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hello, err := EncodeControl(MsgHello, Hello{Addr: n.ep.Addr(), Degree: n.cfg.Degree})
+	if err != nil {
+		return err
+	}
+	if err := n.ep.Send(ctx, n.cfg.TrackerAddr, hello); err != nil {
+		return fmt.Errorf("protocol: hello: %w", err)
+	}
+	// Retry the hello whenever the node is un-joined: over lossy links
+	// either the hello or the welcome can vanish, and after an expulsion
+	// the re-join hello can be lost too. The tracker answers duplicates
+	// idempotently, so over-sending is harmless.
+	go func() {
+		ticker := time.NewTicker(500 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			n.mu.Lock()
+			joined := n.joined
+			n.mu.Unlock()
+			if !joined {
+				_ = n.ep.Send(ctx, n.cfg.TrackerAddr, hello) //nolint:errcheck // retried
+			}
+		}
+	}()
+
+	// The complaint and heartbeat tickers run only while the context
+	// lives.
+	if n.cfg.ComplaintTimeout > 0 {
+		go n.complaintLoop(ctx)
+		go n.heartbeatLoop(ctx)
+	}
+
+	for {
+		from, frame, err := n.ep.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("protocol: node recv: %w", err)
+		}
+		if IsKeepalive(frame) {
+			n.handleKeepalive(from, frame)
+			continue
+		}
+		if IsData(frame) {
+			n.handleData(ctx, from, frame)
+			continue
+		}
+		typ, payload, err := DecodeControl(frame)
+		if err != nil {
+			continue
+		}
+		done, err := n.handleControl(ctx, typ, payload)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+func (n *Node) handleControl(ctx context.Context, typ MsgType, payload json.RawMessage) (done bool, err error) {
+	switch typ {
+	case MsgWelcome:
+		var w Welcome
+		if err := json.Unmarshal(payload, &w); err != nil {
+			return false, nil
+		}
+		if err := n.applyWelcome(w); err != nil {
+			select {
+			case n.joinedCh <- err:
+			default: // re-join welcome; nobody is waiting
+			}
+			return true, err
+		}
+		select {
+		case n.joinedCh <- nil:
+		default: // re-join welcome; nobody is waiting
+		}
+	case MsgRedirect:
+		var r Redirect
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return false, nil
+		}
+		n.applyRedirect(ctx, r)
+	case MsgGoodbyeAck:
+		close(n.leftCh)
+		return true, nil
+	case MsgExpelled:
+		// A child's complaint got this node repaired away while it was
+		// alive (slow link, lost redirect). Re-join with a fresh hello:
+		// decoded generations survive, only the overlay position resets.
+		n.mu.Lock()
+		n.joined = false
+		n.threads = nil
+		n.childOf = make(map[int]string)
+		n.parentOf = make(map[int]string)
+		n.lastRecv = make(map[int]time.Time)
+		n.mu.Unlock()
+		hello, err := EncodeControl(MsgHello, Hello{Addr: n.ep.Addr(), Degree: n.cfg.Degree})
+		if err == nil {
+			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, hello) //nolint:errcheck // best-effort
+		}
+	case MsgThreadDropped:
+		var td ThreadDropped
+		if err := json.Unmarshal(payload, &td); err != nil {
+			return false, nil
+		}
+		n.mu.Lock()
+		for i, th := range n.threads {
+			if th == td.Thread {
+				n.threads = append(n.threads[:i], n.threads[i+1:]...)
+				break
+			}
+		}
+		delete(n.childOf, td.Thread)
+		delete(n.lastRecv, td.Thread)
+		delete(n.parentOf, td.Thread)
+		n.mu.Unlock()
+	case MsgThreadAdded:
+		var ta ThreadAdded
+		if err := json.Unmarshal(payload, &ta); err != nil {
+			return false, nil
+		}
+		n.mu.Lock()
+		present := false
+		for _, th := range n.threads {
+			if th == ta.Thread {
+				present = true
+				break
+			}
+		}
+		if !present {
+			n.threads = append(n.threads, ta.Thread)
+		}
+		n.lastRecv[ta.Thread] = time.Now()
+		if ta.ChildAddr != "" {
+			n.childOf[ta.Thread] = ta.ChildAddr
+		}
+		n.mu.Unlock()
+		if ta.ChildAddr != "" {
+			// Serve the displaced child immediately with a catch-up burst.
+			n.applyRedirect(ctx, Redirect{Thread: ta.Thread, ChildAddr: ta.ChildAddr})
+		}
+	case MsgError:
+		var e ErrorMsg
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return false, nil
+		}
+		n.mu.Lock()
+		joined := n.joined
+		n.mu.Unlock()
+		if !joined {
+			rejection := fmt.Errorf("protocol: join rejected: %s", e.Reason)
+			n.joinedCh <- rejection
+			return true, rejection
+		}
+	}
+	return false, nil
+}
+
+func (n *Node) applyWelcome(w Welcome) error {
+	params, err := w.Session.Params()
+	if err != nil {
+		return err
+	}
+	if w.Session.ContentLen <= 0 {
+		return errors.New("protocol: welcome without content length")
+	}
+	genIDs, err := sessionGenIDs(w.Session, params)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.id = w.ID
+	n.joined = true
+	n.field = params.Field
+	n.params = params
+	n.contentLen = w.Session.ContentLen
+	n.layerSizes = append([]int(nil), w.Session.LayerSizes...)
+	n.genIDs = genIDs
+	n.genSet = make(map[uint32]bool, len(genIDs))
+	for _, g := range genIDs {
+		n.genSet[g] = true
+	}
+	n.totalGens = len(genIDs)
+	n.threads = append([]int(nil), w.Threads...)
+	now := time.Now()
+	for _, th := range w.Threads {
+		n.lastRecv[th] = now
+	}
+	return nil
+}
+
+// sessionGenIDs enumerates every generation id a session uses: a flat
+// session numbers them 0..G-1; a layered one namespaces per layer.
+func sessionGenIDs(sp SessionParams, params rlnc.Params) ([]uint32, error) {
+	if !sp.Layered() {
+		g := params.Generations(sp.ContentLen)
+		ids := make([]uint32, 0, g)
+		for i := 0; i < g; i++ {
+			ids = append(ids, uint32(i))
+		}
+		return ids, nil
+	}
+	total := 0
+	var ids []uint32
+	for l, size := range sp.LayerSizes {
+		if size <= 0 {
+			return nil, fmt.Errorf("protocol: layer %d size %d", l, size)
+		}
+		total += size
+		for g := 0; g < params.Generations(size); g++ {
+			ids = append(ids, rlnc.LayerGen(l, g))
+		}
+	}
+	if total != sp.ContentLen {
+		return nil, fmt.Errorf("protocol: layer sizes sum %d, content %d", total, sp.ContentLen)
+	}
+	return ids, nil
+}
+
+func (n *Node) applyRedirect(ctx context.Context, r Redirect) {
+	n.mu.Lock()
+	if r.ChildAddr == "" {
+		delete(n.childOf, r.Thread)
+		n.mu.Unlock()
+		return
+	}
+	n.childOf[r.Thread] = r.ChildAddr
+	// Catch-up burst: one fresh combination per generation we already
+	// hold, so a late joiner is not starved until the round-robin source
+	// cycles back.
+	type burst struct {
+		frame []byte
+	}
+	var bursts []burst
+	for _, g := range n.genIDs {
+		rc, ok := n.recoders[g]
+		if !ok || rc.Rank() == 0 {
+			continue
+		}
+		if p := n.emitPacketLocked(g, rc); p != nil {
+			bursts = append(bursts, burst{frame: EncodeData(n.field, r.Thread, p)})
+		}
+	}
+	child := r.ChildAddr
+	n.mu.Unlock()
+	for _, b := range bursts {
+		n.sendData(ctx, child, b.frame)
+	}
+}
+
+func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return
+	}
+	th, p, err := DecodeData(n.field, frame)
+	if err != nil || !n.genSet[p.Gen] {
+		n.mu.Unlock()
+		return
+	}
+	n.received++
+	n.lastRecv[th] = time.Now()
+	n.parentOf[th] = from
+	rc, ok := n.recoders[p.Gen]
+	if !ok {
+		rc, err = rlnc.NewRecoder(n.field, p.Gen, n.params.GenSize, n.params.PacketSize)
+		if err != nil {
+			n.mu.Unlock()
+			return
+		}
+		n.recoders[p.Gen] = rc
+	}
+	wasComplete := rc.Complete()
+	innovative, err := rc.Add(p)
+	if err != nil {
+		n.mu.Unlock()
+		return
+	}
+	if innovative {
+		n.innovative++
+	}
+	justCompleted := false
+	if !wasComplete && rc.Complete() {
+		n.gensDone++
+		if n.gensDone == n.totalGens && !n.complete {
+			n.complete = true
+			justCompleted = true
+		}
+	}
+	// Remember a replay packet for the entropy attack before any mixing
+	// decisions.
+	if n.cfg.Behavior == EntropyAttacker {
+		if _, ok := n.replay[p.Gen]; !ok {
+			n.replay[p.Gen] = p.Clone()
+		}
+	}
+	// Forward: one packet of the same generation down our own thread,
+	// preserving unit flow per thread. What the packet contains depends
+	// on the node's behavior.
+	var fwd []byte
+	var child string
+	if c, ok := n.childOf[th]; ok {
+		if out := n.emitPacketLocked(p.Gen, rc); out != nil {
+			fwd = EncodeData(n.field, th, out)
+			child = c
+		}
+	}
+	id := n.id
+	n.mu.Unlock()
+
+	if justCompleted {
+		if msg, err := EncodeControl(MsgComplete, Complete{ID: id}); err == nil {
+			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // best-effort
+		}
+		close(n.completeCh)
+	}
+	if fwd != nil {
+		n.sendData(ctx, child, fwd)
+	}
+}
+
+// emitPacketLocked produces the packet this node forwards for generation
+// gen, honoring its behavior: honest nodes re-mix, entropy attackers
+// replay a fixed packet (zero new information), freeloaders emit nothing.
+// Callers hold n.mu.
+func (n *Node) emitPacketLocked(gen uint32, rc *rlnc.Recoder) *rlnc.Packet {
+	switch n.cfg.Behavior {
+	case Freeloader:
+		return nil
+	case EntropyAttacker:
+		if p := n.replay[gen]; p != nil {
+			return p.Clone()
+		}
+		return nil
+	default:
+		if p, ok := rc.Packet(n.rng); ok {
+			return p
+		}
+		return nil
+	}
+}
+
+// sendData forwards a data frame with a bounded wait: when the child's
+// queue is full the frame is dropped, exactly as a congested link would
+// drop a datagram. RLNC makes drops harmless — no specific packet is ever
+// required, only enough innovative ones.
+func (n *Node) sendData(ctx context.Context, to string, frame []byte) {
+	sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	_ = n.ep.Send(sendCtx, to, frame) //nolint:errcheck // lossy data plane
+}
+
+// handleKeepalive refreshes the liveness clock of the sending parent.
+func (n *Node) handleKeepalive(from string, frame []byte) {
+	th, err := DecodeKeepalive(frame)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.joined {
+		return
+	}
+	n.lastRecv[th] = time.Now()
+	n.parentOf[th] = from
+}
+
+// heartbeatLoop proves this node's liveness to its children on threads
+// where it currently has nothing to forward, so that upstream starvation
+// is never mistaken for this node's death.
+func (n *Node) heartbeatLoop(ctx context.Context) {
+	interval := n.cfg.ComplaintTimeout / 4
+	if interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if n.cfg.Behavior == Freeloader {
+			// The §5 failure attacker goes silent on its output threads:
+			// no data, no liveness. Children detect it by timeout and
+			// the repair protocol splices it out — exactly the attack
+			// the paper proves the overlay absorbs.
+			continue
+		}
+		n.mu.Lock()
+		type hb struct {
+			th    int
+			child string
+			frame []byte
+		}
+		beats := make([]hb, 0, len(n.childOf))
+		for th, child := range n.childOf {
+			b := hb{th: th, child: child}
+			// Prefer a useful heartbeat: a fresh combination of a
+			// rotating generation we hold rank in. This keeps a quiet
+			// subtree progressing even when the node's own inflow is
+			// idle (e.g. it decoded everything and upstream went quiet).
+			if len(n.genIDs) > 0 {
+				g := n.genIDs[(n.hbGen+th)%len(n.genIDs)]
+				if rc, ok := n.recoders[g]; ok && rc.Rank() > 0 {
+					if p := n.emitPacketLocked(g, rc); p != nil {
+						b.frame = EncodeData(n.field, th, p)
+					}
+				}
+			}
+			if b.frame == nil {
+				b.frame = EncodeKeepalive(th)
+			}
+			beats = append(beats, b)
+		}
+		n.hbGen++
+		n.mu.Unlock()
+		for _, b := range beats {
+			n.sendData(ctx, b.child, b.frame)
+		}
+	}
+}
+
+// complaintLoop watches per-thread silence and reports dead parents.
+func (n *Node) complaintLoop(ctx context.Context) {
+	ticker := time.NewTicker(n.cfg.ComplaintTimeout / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		// Completed nodes keep complaining: they are still relays, and a
+		// dead ancestor silently starves their whole subtree otherwise.
+		if !n.joined {
+			n.mu.Unlock()
+			continue
+		}
+		now := time.Now()
+		type complaint struct {
+			th     int
+			parent string
+		}
+		var complaints []complaint
+		for _, th := range n.threads {
+			if now.Sub(n.lastRecv[th]) > n.cfg.ComplaintTimeout {
+				complaints = append(complaints, complaint{th: th, parent: n.parentOf[th]})
+				n.lastRecv[th] = now // rate-limit: one complaint per timeout
+			}
+		}
+		id := n.id
+		n.mu.Unlock()
+		for _, c := range complaints {
+			msg, err := EncodeControl(MsgComplaint, Complaint{ID: id, Thread: c.th, ParentAddr: c.parent})
+			if err != nil {
+				continue
+			}
+			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // best-effort
+		}
+	}
+}
+
+// Congest asks the tracker for §5 congestion relief: one of the node's
+// threads is dropped, its parent and child joined directly. The change
+// lands asynchronously via MsgThreadDropped.
+func (n *Node) Congest(ctx context.Context) error {
+	n.mu.Lock()
+	id := n.id
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return errors.New("protocol: congest before join")
+	}
+	msg, err := EncodeControl(MsgCongested, Congested{ID: id})
+	if err != nil {
+		return err
+	}
+	return n.ep.Send(ctx, n.cfg.TrackerAddr, msg)
+}
+
+// Uncongest asks the tracker to regrow one thread (§5 recovery). The
+// change lands asynchronously via MsgThreadAdded.
+func (n *Node) Uncongest(ctx context.Context) error {
+	n.mu.Lock()
+	id := n.id
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return errors.New("protocol: uncongest before join")
+	}
+	msg, err := EncodeControl(MsgUncongested, Uncongested{ID: id})
+	if err != nil {
+		return err
+	}
+	return n.ep.Send(ctx, n.cfg.TrackerAddr, msg)
+}
+
+// Degree returns the node's current thread count.
+func (n *Node) Degree() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.threads)
+}
+
+// Leave performs the good-bye protocol; Run returns once the ack arrives.
+// The good-bye is re-sent periodically until acknowledged (the ack can be
+// dropped under congestion; the tracker's handling is idempotent).
+func (n *Node) Leave(ctx context.Context) error {
+	n.mu.Lock()
+	id := n.id
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return errors.New("protocol: leave before join")
+	}
+	msg, err := EncodeControl(MsgGoodbye, Goodbye{ID: id})
+	if err != nil {
+		return err
+	}
+	if err := n.ep.Send(ctx, n.cfg.TrackerAddr, msg); err != nil {
+		return err
+	}
+	go func() {
+		ticker := time.NewTicker(500 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.leftCh:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // retried
+			}
+		}
+	}()
+	return nil
+}

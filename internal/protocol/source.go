@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// Source is the broadcast server's data plane: it holds the content,
+// encodes it generation by generation (flat or §5 priority-layered), and
+// pumps one coded packet per round on every thread that currently has a
+// first clip. The tracker updates thread-to-child routing via SetChild as
+// nodes join, leave, and get repaired.
+type Source struct {
+	ep      transport.Endpoint
+	params  rlnc.Params
+	fe      *rlnc.FileEncoder
+	le      *rlnc.LayeredEncoder // non-nil in layered mode
+	length  int
+	rng     *rand.Rand
+	mu      sync.Mutex
+	childOf []string // thread -> child addr ("" = hanging)
+	// RoundInterval throttles pump rounds; zero relies on transport
+	// backpressure alone.
+	RoundInterval time.Duration
+}
+
+// NewSource wraps content for broadcasting on k threads.
+func NewSource(ep transport.Endpoint, k int, params rlnc.Params, content []byte, seed int64) (*Source, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("protocol: source thread count %d, want > 0", k)
+	}
+	fe, err := rlnc.NewFileEncoder(params, content)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		ep:      ep,
+		params:  params,
+		fe:      fe,
+		length:  len(content),
+		rng:     rand.New(rand.NewSource(seed)),
+		childOf: make([]string, k),
+	}, nil
+}
+
+// NewLayeredSource wraps content for §5 priority-layered broadcasting:
+// lower layers get a larger share of the emitted stream per the weights,
+// so degraded receivers complete them first.
+func NewLayeredSource(ep transport.Endpoint, k int, params rlnc.LayeredParams, content []byte, seed int64) (*Source, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("protocol: source thread count %d, want > 0", k)
+	}
+	le, err := rlnc.NewLayeredEncoder(params, content)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		ep:      ep,
+		params:  params.Params,
+		le:      le,
+		length:  len(content),
+		rng:     rand.New(rand.NewSource(seed)),
+		childOf: make([]string, k),
+	}, nil
+}
+
+// Session returns the session parameters matching the content.
+func (s *Source) Session() SessionParams {
+	sp := SessionParams{
+		FieldBits:  s.params.Field.Bits(),
+		GenSize:    s.params.GenSize,
+		PacketSize: s.params.PacketSize,
+		ContentLen: s.length,
+	}
+	if s.le != nil {
+		for l := 0; l < s.le.Layers(); l++ {
+			sp.LayerSizes = append(sp.LayerSizes, s.le.LayerSize(l))
+		}
+	}
+	return sp
+}
+
+// SetChild routes thread th to addr (empty = hang the thread).
+func (s *Source) SetChild(th int, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if th >= 0 && th < len(s.childOf) {
+		s.childOf[th] = addr
+	}
+}
+
+// Children returns a copy of the routing table.
+func (s *Source) Children() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.childOf...)
+}
+
+// Run pumps packets until the context is cancelled. In flat mode,
+// generations are staggered across threads so every thread carries every
+// generation over time; in layered mode each packet's layer is sampled by
+// priority weight.
+func (s *Source) Run(ctx context.Context) error {
+	gens := 1
+	if s.fe != nil {
+		gens = s.fe.NumGenerations()
+	}
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		children := append([]string(nil), s.childOf...)
+		s.mu.Unlock()
+		idle := true
+		for th, child := range children {
+			if child == "" {
+				continue
+			}
+			idle = false
+			var p *rlnc.Packet
+			var err error
+			if s.le != nil {
+				p, err = s.le.Packet(s.rng)
+			} else {
+				p, err = s.fe.Packet((round+th)%gens, s.rng)
+			}
+			if err != nil {
+				return err
+			}
+			frame := EncodeData(s.params.Field, th, p)
+			sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+			err = s.ep.Send(sendCtx, child, frame)
+			cancel()
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// Child unreachable or clogged: drop and keep pumping
+				// other threads; repair or drainage will fix this one.
+				continue
+			}
+		}
+		if s.RoundInterval > 0 || idle {
+			interval := s.RoundInterval
+			if interval == 0 {
+				interval = time.Millisecond
+			}
+			timer := time.NewTimer(interval)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+	}
+}

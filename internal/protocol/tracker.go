@@ -1,0 +1,525 @@
+package protocol
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ncast/internal/core"
+	"ncast/internal/transport"
+)
+
+// TrackerConfig parameterises the central authority.
+type TrackerConfig struct {
+	// K is the number of server threads; D the default node degree.
+	K, D int
+	// Session carries the coding parameters announced to nodes.
+	Session SessionParams
+	// InsertMode selects §3 append or §5 random row insertion.
+	InsertMode core.InsertMode
+	// Seed drives the curtain's randomness.
+	Seed int64
+}
+
+// Tracker is the §3 "server (or some other centralized authority)": it
+// owns the matrix M and performs the hello, good-bye, and repair
+// procedures, issuing stream redirections to the affected nodes and to the
+// data source.
+type Tracker struct {
+	ep     transport.Endpoint
+	cfg    TrackerConfig
+	source *Source
+
+	mu        sync.Mutex
+	curtain   *core.Curtain
+	addrOf    map[core.NodeID]string
+	idOf      map[string]core.NodeID
+	completed map[core.NodeID]bool
+	events    chan TrackerEvent
+}
+
+// TrackerEvent reports membership and completion changes for observers.
+type TrackerEvent struct {
+	Kind string // "join", "leave", "repair", "complete"
+	ID   core.NodeID
+	Addr string
+}
+
+// NewTracker builds a tracker bound to ep. The source, when non-nil, is
+// notified of redirections on server-owned threads (it shares ep).
+func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Tracker, error) {
+	mode := cfg.InsertMode
+	if mode == 0 {
+		mode = core.InsertAppend
+	}
+	curtain, err := core.New(cfg.K, cfg.D, rand.New(rand.NewSource(cfg.Seed)), core.WithInsertMode(mode))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cfg.Session.Params(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		ep:        ep,
+		cfg:       cfg,
+		source:    source,
+		curtain:   curtain,
+		addrOf:    make(map[core.NodeID]string),
+		idOf:      make(map[string]core.NodeID),
+		completed: make(map[core.NodeID]bool),
+		events:    make(chan TrackerEvent, 1024),
+	}, nil
+}
+
+// Events exposes the tracker's event stream. The channel is buffered;
+// events are dropped if no one drains it.
+func (t *Tracker) Events() <-chan TrackerEvent { return t.events }
+
+// NumNodes returns the current overlay population.
+func (t *Tracker) NumNodes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.curtain.NumNodes()
+}
+
+// CompletedCount returns how many nodes reported full decode.
+func (t *Tracker) CompletedCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.completed)
+}
+
+// Run processes control messages until the context is cancelled or the
+// endpoint closes. It always returns a non-nil error explaining why.
+func (t *Tracker) Run(ctx context.Context) error {
+	for {
+		from, frame, err := t.ep.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("protocol: tracker recv: %w", err)
+		}
+		if IsData(frame) || IsKeepalive(frame) {
+			continue // trackers do not carry data or heartbeats
+		}
+		typ, payload, err := DecodeControl(frame)
+		if err != nil {
+			continue // malformed frame: ignore, stay up
+		}
+		t.dispatch(ctx, from, typ, payload)
+	}
+}
+
+func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payload json.RawMessage) {
+	switch typ {
+	case MsgHello:
+		var h Hello
+		if err := json.Unmarshal(payload, &h); err != nil {
+			return
+		}
+		t.handleHello(ctx, from, h)
+	case MsgGoodbye:
+		var g Goodbye
+		if err := json.Unmarshal(payload, &g); err != nil {
+			return
+		}
+		t.handleGoodbye(ctx, from, g)
+	case MsgComplaint:
+		var c Complaint
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return
+		}
+		t.handleComplaint(ctx, c)
+	case MsgComplete:
+		var c Complete
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return
+		}
+		t.handleComplete(c)
+	case MsgCongested:
+		var c Congested
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return
+		}
+		t.handleCongested(ctx, c)
+	case MsgUncongested:
+		var u Uncongested
+		if err := json.Unmarshal(payload, &u); err != nil {
+			return
+		}
+		t.handleUncongested(ctx, u)
+	default:
+		// Unknown control types are ignored for forward compatibility.
+	}
+}
+
+// sendControl marshals and sends with a bounded wait: a peer whose queue
+// is clogged with data must not stall the whole control plane (children
+// re-complain and leavers re-send their good-bye, so drops are safe).
+func (t *Tracker) sendControl(ctx context.Context, to string, typ MsgType, payload interface{}) {
+	frame, err := EncodeControl(typ, payload)
+	if err != nil {
+		return
+	}
+	sendCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	_ = t.ep.Send(sendCtx, to, frame) //nolint:errcheck // best-effort control plane
+}
+
+func (t *Tracker) emit(ev TrackerEvent) {
+	select {
+	case t.events <- ev:
+	default: // observer asleep: drop rather than block the control plane
+	}
+}
+
+// handleHello performs the §3 hello protocol: insert a row, then ask each
+// parent to redirect its stream to the new node.
+func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
+	addr := h.Addr
+	if addr == "" {
+		addr = from
+	}
+	deg := h.Degree
+	if deg == 0 {
+		deg = t.cfg.D
+	}
+
+	t.mu.Lock()
+	if id, ok := t.idOf[addr]; ok {
+		// Duplicate hello: the node is retrying because our welcome was
+		// lost. Re-send the same welcome instead of re-joining.
+		threads, err := t.curtain.Threads(id)
+		t.mu.Unlock()
+		if err != nil {
+			return
+		}
+		t.sendControl(ctx, from, MsgWelcome, Welcome{
+			ID:      uint64(id),
+			K:       t.cfg.K,
+			Degree:  len(threads),
+			Session: t.cfg.Session,
+			Threads: threads,
+		})
+		return
+	}
+	id, err := t.curtain.JoinDegree(deg)
+	if err != nil {
+		t.mu.Unlock()
+		t.sendControl(ctx, from, MsgError, ErrorMsg{Reason: err.Error()})
+		return
+	}
+	t.addrOf[id] = addr
+	t.idOf[addr] = id
+	threads, terr := t.curtain.Threads(id)
+	parents, perr := t.curtain.Parents(id)
+	t.mu.Unlock()
+	if terr != nil || perr != nil {
+		return // unreachable given a successful join
+	}
+
+	t.sendControl(ctx, from, MsgWelcome, Welcome{
+		ID:      uint64(id),
+		K:       t.cfg.K,
+		Degree:  deg,
+		Session: t.cfg.Session,
+		Threads: threads,
+	})
+	// Redirect each parent's stream on the shared thread to the new node.
+	for i, th := range threads {
+		t.redirect(ctx, parents[i], th, addr)
+	}
+	t.emit(TrackerEvent{Kind: "join", ID: id, Addr: addr})
+}
+
+// redirect routes thread th of owner (a node id or ServerID) to childAddr.
+func (t *Tracker) redirect(ctx context.Context, owner core.NodeID, th int, childAddr string) {
+	if owner == core.ServerID {
+		if t.source != nil {
+			t.source.SetChild(th, childAddr)
+		}
+		return
+	}
+	t.mu.Lock()
+	ownerAddr, ok := t.addrOf[owner]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	t.sendControl(ctx, ownerAddr, MsgRedirect, Redirect{Thread: th, ChildAddr: childAddr})
+}
+
+// spliceOut removes a node's row, redirecting each of its parents to its
+// per-thread child (or hanging the thread). remove performs the row
+// deletion appropriate to the caller (Leave or Fail+Repair).
+func (t *Tracker) spliceOut(ctx context.Context, id core.NodeID, remove func() error) error {
+	t.mu.Lock()
+	threads, err := t.curtain.Threads(id)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	parents, err := t.curtain.Parents(id)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	// Per-thread children BEFORE the row disappears: the successor on
+	// each thread (may be absent when this node is the bottom clip).
+	childAddrs := make([]string, len(threads))
+	children, err := t.childPerThread(id, threads)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	for i, ch := range children {
+		if ch != 0 {
+			childAddrs[i] = t.addrOf[ch]
+		}
+	}
+	if err := remove(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	addr := t.addrOf[id]
+	delete(t.addrOf, id)
+	delete(t.idOf, addr)
+	t.mu.Unlock()
+
+	for i, th := range threads {
+		t.redirect(ctx, parents[i], th, childAddrs[i])
+	}
+	return nil
+}
+
+// childPerThread returns, aligned with threads, the successor node id on
+// each thread (0 when the node is the bottom clip). Caller holds t.mu.
+func (t *Tracker) childPerThread(id core.NodeID, threads []int) ([]core.NodeID, error) {
+	// Children() flattens per-thread successors but skips hanging
+	// threads, so recover alignment by asking per thread via Parents of
+	// the children... Instead, core exposes ordered access: successor is
+	// whichever node lists this node as its parent on that thread. We
+	// reconstruct from Children + Parents cross-check.
+	out := make([]core.NodeID, len(threads))
+	kids, err := t.curtain.Children(id)
+	if err != nil {
+		return nil, err
+	}
+	for _, kid := range kids {
+		kthreads, err := t.curtain.Threads(kid)
+		if err != nil {
+			return nil, err
+		}
+		kparents, err := t.curtain.Parents(kid)
+		if err != nil {
+			return nil, err
+		}
+		for ki, kp := range kparents {
+			if kp != id {
+				continue
+			}
+			for i, th := range threads {
+				if th == kthreads[ki] {
+					out[i] = kid
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// handleGoodbye performs the §3 good-bye protocol.
+func (t *Tracker) handleGoodbye(ctx context.Context, from string, g Goodbye) {
+	id := core.NodeID(g.ID)
+	t.mu.Lock()
+	addr, ok := t.addrOf[id]
+	t.mu.Unlock()
+	if !ok {
+		// Idempotent: the node may be re-sending a good-bye whose ack was
+		// lost after the row was already removed. Ack again.
+		t.sendControl(ctx, from, MsgGoodbyeAck, GoodbyeAck{})
+		return
+	}
+	err := t.spliceOut(ctx, id, func() error {
+		return t.curtain.Leave(id)
+	})
+	if err != nil {
+		t.sendControl(ctx, from, MsgError, ErrorMsg{Reason: err.Error()})
+		return
+	}
+	t.sendControl(ctx, addr, MsgGoodbyeAck, GoodbyeAck{})
+	t.emit(TrackerEvent{Kind: "leave", ID: id, Addr: addr})
+}
+
+// handleComplaint performs the §3 repair procedure: verify the accused
+// parent is still the complainer's parent on that thread, then splice the
+// failed node out exactly as if it had left gracefully.
+func (t *Tracker) handleComplaint(ctx context.Context, c Complaint) {
+	childID := core.NodeID(c.ID)
+	t.mu.Lock()
+	if !t.curtain.Contains(childID) {
+		t.mu.Unlock()
+		return
+	}
+	threads, err := t.curtain.Threads(childID)
+	if err != nil {
+		t.mu.Unlock()
+		return
+	}
+	parents, err := t.curtain.Parents(childID)
+	if err != nil {
+		t.mu.Unlock()
+		return
+	}
+	var accused core.NodeID
+	found := false
+	for i, th := range threads {
+		if th == c.Thread {
+			accused = parents[i]
+			found = true
+			break
+		}
+	}
+	if !found || accused == core.ServerID {
+		// Not the child's thread, or the source itself (trusted): stale.
+		t.mu.Unlock()
+		return
+	}
+	accusedAddr := t.addrOf[accused]
+	childAddr := t.addrOf[childID]
+	t.mu.Unlock()
+	// Guard against stale complaints racing a completed repair: the
+	// accused address must match what the child observed. A mismatch
+	// means the child is starving because it never heard from its NEW
+	// parent — most likely a lost redirect — so refresh the route instead
+	// of expelling anyone.
+	if c.ParentAddr != "" && accusedAddr != c.ParentAddr {
+		t.redirect(ctx, accused, c.Thread, childAddr)
+		return
+	}
+
+	err = t.spliceOut(ctx, accused, func() error {
+		if err := t.curtain.Fail(accused); err != nil {
+			return err
+		}
+		return t.curtain.Repair(accused)
+	})
+	if err != nil {
+		return
+	}
+	// Tell the expelled node, in case it is alive-but-slow: it can
+	// re-join with a fresh row (its decoded state survives).
+	t.sendControl(ctx, accusedAddr, MsgExpelled, Expelled{ID: uint64(accused)})
+	t.emit(TrackerEvent{Kind: "repair", ID: accused, Addr: accusedAddr})
+}
+
+// handleCongested performs the §5 congestion relief: the node's row loses
+// one random one; the dropped thread's parent is joined directly to the
+// dropped thread's child.
+func (t *Tracker) handleCongested(ctx context.Context, c Congested) {
+	id := core.NodeID(c.ID)
+	t.mu.Lock()
+	addr, ok := t.addrOf[id]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	threads, terr := t.curtain.Threads(id)
+	parents, perr := t.curtain.Parents(id)
+	var children []core.NodeID
+	var cerr error
+	if terr == nil {
+		children, cerr = t.childPerThread(id, threads)
+	}
+	if terr != nil || perr != nil || cerr != nil {
+		t.mu.Unlock()
+		return
+	}
+	dropped, err := t.curtain.ReduceDegree(id)
+	if err != nil {
+		t.mu.Unlock()
+		t.sendControl(ctx, addr, MsgError, ErrorMsg{Reason: err.Error()})
+		return
+	}
+	var parent, child core.NodeID
+	for i, th := range threads {
+		if th == dropped {
+			parent, child = parents[i], children[i]
+			break
+		}
+	}
+	childAddr := ""
+	if child != 0 {
+		childAddr = t.addrOf[child]
+	}
+	t.mu.Unlock()
+
+	// Join the dropped thread's parent directly to its child.
+	t.redirect(ctx, parent, dropped, childAddr)
+	t.sendControl(ctx, addr, MsgThreadDropped, ThreadDropped{Thread: dropped})
+	t.emit(TrackerEvent{Kind: "congested", ID: id, Addr: addr})
+}
+
+// handleUncongested regrows a reduced node: one of the zeroes of its row
+// becomes a one, and the streams around the new clip are re-routed.
+func (t *Tracker) handleUncongested(ctx context.Context, u Uncongested) {
+	id := core.NodeID(u.ID)
+	t.mu.Lock()
+	addr, ok := t.addrOf[id]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	gained, err := t.curtain.IncreaseDegree(id)
+	if err != nil {
+		t.mu.Unlock()
+		t.sendControl(ctx, addr, MsgError, ErrorMsg{Reason: err.Error()})
+		return
+	}
+	// Locate the node's new parent and child on the gained thread.
+	threads, terr := t.curtain.Threads(id)
+	parents, perr := t.curtain.Parents(id)
+	var children []core.NodeID
+	var cerr error
+	if terr == nil {
+		children, cerr = t.childPerThread(id, threads)
+	}
+	if terr != nil || perr != nil || cerr != nil {
+		t.mu.Unlock()
+		return
+	}
+	var parent, child core.NodeID
+	for i, th := range threads {
+		if th == gained {
+			parent, child = parents[i], children[i]
+			break
+		}
+	}
+	childAddr := ""
+	if child != 0 {
+		childAddr = t.addrOf[child]
+	}
+	t.mu.Unlock()
+
+	// New parent sends to the node; the node serves the displaced child.
+	t.redirect(ctx, parent, gained, addr)
+	t.sendControl(ctx, addr, MsgThreadAdded, ThreadAdded{Thread: gained, ChildAddr: childAddr})
+	t.emit(TrackerEvent{Kind: "uncongested", ID: id, Addr: addr})
+}
+
+func (t *Tracker) handleComplete(c Complete) {
+	id := core.NodeID(c.ID)
+	t.mu.Lock()
+	already := t.completed[id]
+	t.completed[id] = true
+	addr := t.addrOf[id]
+	t.mu.Unlock()
+	if !already {
+		t.emit(TrackerEvent{Kind: "complete", ID: id, Addr: addr})
+	}
+}
+
+// ErrNoSuchNode is returned by administrative operations on unknown nodes.
+var ErrNoSuchNode = errors.New("protocol: no such node")

@@ -1,0 +1,132 @@
+package rlnc
+
+import (
+	"fmt"
+
+	"ncast/internal/gf"
+)
+
+// basis maintains a set of coded packets in reduced row-echelon form. It is
+// the shared core of Decoder and Recoder: Add performs one step of
+// progressive Gaussian elimination, keeping exactly one row per pivot and
+// eliminating each new pivot from all other rows, so that when the rank
+// reaches h the coefficient matrix is the identity and the payload rows
+// are the decoded source packets.
+type basis struct {
+	f     gf.Field
+	h     int // generation size: coefficient vector length
+	size  int // payload length in bytes
+	rows  []basisRow
+	pivot map[int]int // pivot column -> index in rows
+}
+
+type basisRow struct {
+	pivot   int
+	coeff   []uint16
+	payload []byte
+}
+
+func newBasis(f gf.Field, h, size int) (*basis, error) {
+	if h <= 0 || h > 65535 {
+		return nil, fmt.Errorf("rlnc: generation size %d out of range [1,65535]", h)
+	}
+	if size <= 0 || size%f.SymbolSize() != 0 {
+		return nil, fmt.Errorf("rlnc: payload size %d invalid for %s", size, f.Name())
+	}
+	return &basis{
+		f:     f,
+		h:     h,
+		size:  size,
+		rows:  make([]basisRow, 0, h),
+		pivot: make(map[int]int, h),
+	}, nil
+}
+
+func (b *basis) rank() int { return len(b.rows) }
+
+func (b *basis) complete() bool { return len(b.rows) == b.h }
+
+// add absorbs a packet. It returns true when the packet was innovative
+// (increased the rank). The packet's slices are consumed: add may modify
+// them in place; callers pass ownership.
+func (b *basis) add(coeff []uint16, payload []byte) (bool, error) {
+	if len(coeff) != b.h {
+		return false, fmt.Errorf("rlnc: coefficient length %d, want %d", len(coeff), b.h)
+	}
+	if len(payload) != b.size {
+		return false, fmt.Errorf("rlnc: payload length %d, want %d", len(payload), b.size)
+	}
+	// Forward-eliminate against every existing pivot row. The scan must
+	// run to the end even after the new pivot column is found: the packet
+	// may still have nonzero entries at pivot columns further right, and
+	// installing it un-reduced would break the RREF invariant. Each basis
+	// row's pivot is its leftmost nonzero entry, so eliminating with a
+	// later pivot row never disturbs the chosen pivot column.
+	newPivot := -1
+	for c := 0; c < b.h; c++ {
+		if coeff[c] == 0 {
+			continue
+		}
+		ri, ok := b.pivot[c]
+		if !ok {
+			if newPivot < 0 {
+				newPivot = c
+			}
+			continue
+		}
+		b.eliminate(coeff, payload, &b.rows[ri], coeff[c])
+	}
+	if newPivot < 0 {
+		return false, nil // fully eliminated: not innovative
+	}
+	b.install(newPivot, coeff, payload)
+	return true, nil
+}
+
+// eliminate subtracts factor times row from (coeff, payload).
+func (b *basis) eliminate(coeff []uint16, payload []byte, row *basisRow, factor uint16) {
+	for j, v := range row.coeff {
+		if v != 0 {
+			coeff[j] = b.f.Add(coeff[j], b.f.Mul(factor, v))
+		}
+	}
+	b.f.AddMulSlice(payload, row.payload, factor)
+}
+
+// install normalises the row so its pivot is 1, back-substitutes it into
+// every existing row, and records it.
+func (b *basis) install(pivot int, coeff []uint16, payload []byte) {
+	if v := coeff[pivot]; v != 1 {
+		inv := b.f.Inv(v)
+		for j, x := range coeff {
+			if x != 0 {
+				coeff[j] = b.f.Mul(x, inv)
+			}
+		}
+		b.f.MulSlice(payload, payload, inv)
+	}
+	newRow := basisRow{pivot: pivot, coeff: coeff, payload: payload}
+	// Back-substitute: clear this pivot column from all existing rows to
+	// keep the basis in *reduced* echelon form.
+	for i := range b.rows {
+		if f := b.rows[i].coeff[pivot]; f != 0 {
+			b.eliminate(b.rows[i].coeff, b.rows[i].payload, &newRow, f)
+		}
+	}
+	b.pivot[pivot] = len(b.rows)
+	b.rows = append(b.rows, newRow)
+}
+
+// source returns the decoded source packets in order. Only valid when
+// complete(); the coefficient matrix is then the identity, so row with
+// pivot i holds source packet i verbatim.
+func (b *basis) source() ([][]byte, error) {
+	if !b.complete() {
+		return nil, fmt.Errorf("rlnc: generation incomplete: rank %d of %d", b.rank(), b.h)
+	}
+	out := make([][]byte, b.h)
+	for i := 0; i < b.h; i++ {
+		out[i] = b.rows[b.pivot[i]].payload
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package rlnc
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncast/internal/gf"
+)
+
+// TestBasisOutOfOrderPivots is a regression test: when pivots are created
+// out of column order (packet for column 3 arrives before any packet
+// touching columns 0-2), the basis must still converge to reduced
+// row-echelon form with unit coefficient vectors.
+func TestBasisOutOfOrderPivots(t *testing.T) {
+	t.Parallel()
+	f := gf.F256
+	b, err := newBasis(f, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed rows engineered to create pivots in order 3, 1, 0, 2, with
+	// overlaps that force both forward elimination and back-substitution.
+	rows := [][]uint16{
+		{0, 0, 0, 1},
+		{0, 1, 0, 1},
+		{1, 1, 0, 1},
+		{1, 1, 1, 1},
+	}
+	payloads := [][]byte{
+		{1, 0, 0, 0},
+		{0, 2, 0, 0},
+		{0, 0, 3, 0},
+		{0, 0, 0, 4},
+	}
+	for i := range rows {
+		inn, err := b.add(append([]uint16(nil), rows[i]...), append([]byte(nil), payloads[i]...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inn {
+			t.Fatalf("row %d not innovative", i)
+		}
+	}
+	if !b.complete() {
+		t.Fatalf("rank = %d, want 4", b.rank())
+	}
+	for _, row := range b.rows {
+		for j, c := range row.coeff {
+			want := uint16(0)
+			if j == row.pivot {
+				want = 1
+			}
+			if c != want {
+				t.Fatalf("row with pivot %d not a unit vector: %v", row.pivot, row.coeff)
+			}
+		}
+	}
+}
+
+// TestBasisRandomRREFInvariant hammers the basis with random GF(2) packets
+// (the field most prone to out-of-order pivots) and checks the RREF
+// invariants after every insertion.
+func TestBasisRandomRREFInvariant(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		const h = 12
+		b, err := newBasis(gf.F2, h, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 5*h && !b.complete(); n++ {
+			coeff := make([]uint16, h)
+			payload := make([]byte, 4)
+			for i := range coeff {
+				coeff[i] = uint16(r.Intn(2))
+			}
+			r.Read(payload)
+			if _, err := b.add(coeff, payload); err != nil {
+				t.Fatal(err)
+			}
+			// Invariant 1: each row's pivot is its leftmost nonzero.
+			// Invariant 2: each row is zero at every other pivot column.
+			for ri, row := range b.rows {
+				for j, c := range row.coeff {
+					if c != 0 && j < row.pivot {
+						t.Fatalf("trial %d: row %d nonzero at %d left of pivot %d", trial, ri, j, row.pivot)
+					}
+					if c != 0 && j != row.pivot {
+						if _, isPivot := b.pivot[j]; isPivot {
+							t.Fatalf("trial %d: row %d nonzero at foreign pivot column %d", trial, ri, j)
+						}
+					}
+				}
+				if row.coeff[row.pivot] != 1 {
+					t.Fatalf("trial %d: row %d pivot entry = %d, want 1", trial, ri, row.coeff[row.pivot])
+				}
+			}
+		}
+	}
+}

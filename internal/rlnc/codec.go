@@ -1,0 +1,171 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/gf"
+)
+
+// Encoder produces coded packets for one generation of source data. It is
+// the role of the broadcast server, which holds the original packets.
+type Encoder struct {
+	f    gf.Field
+	gen  uint32
+	src  [][]byte
+	size int
+}
+
+// NewEncoder wraps h equal-length source packets as generation gen.
+// The source slices are retained, not copied; callers must not mutate them
+// afterwards.
+func NewEncoder(f gf.Field, gen uint32, src [][]byte) (*Encoder, error) {
+	if len(src) == 0 || len(src) > 65535 {
+		return nil, fmt.Errorf("rlnc: generation size %d out of range [1,65535]", len(src))
+	}
+	size := len(src[0])
+	if size == 0 || size%f.SymbolSize() != 0 {
+		return nil, fmt.Errorf("rlnc: source packet size %d invalid for %s", size, f.Name())
+	}
+	for i, s := range src {
+		if len(s) != size {
+			return nil, fmt.Errorf("rlnc: source packet %d has size %d, want %d", i, len(s), size)
+		}
+	}
+	return &Encoder{f: f, gen: gen, src: src, size: size}, nil
+}
+
+// GenerationSize returns the number of source packets h.
+func (e *Encoder) GenerationSize() int { return len(e.src) }
+
+// PayloadSize returns the per-packet payload length in bytes.
+func (e *Encoder) PayloadSize() int { return e.size }
+
+// Packet emits a fresh uniformly random linear combination of the
+// generation's source packets.
+func (e *Encoder) Packet(r *rand.Rand) *Packet {
+	coeff := make([]uint16, len(e.src))
+	payload := make([]byte, e.size)
+	for i := range coeff {
+		c := e.f.Rand(r)
+		coeff[i] = c
+		if c != 0 {
+			e.f.AddMulSlice(payload, e.src[i], c)
+		}
+	}
+	return &Packet{Gen: e.gen, Coeff: coeff, Payload: payload}
+}
+
+// Systematic emits source packet i uncoded (unit coefficient vector).
+// Useful to seed decoders cheaply before switching to random coding.
+func (e *Encoder) Systematic(i int) (*Packet, error) {
+	if i < 0 || i >= len(e.src) {
+		return nil, fmt.Errorf("rlnc: systematic index %d out of range [0,%d)", i, len(e.src))
+	}
+	coeff := make([]uint16, len(e.src))
+	coeff[i] = 1
+	return &Packet{Gen: e.gen, Coeff: coeff, Payload: append([]byte(nil), e.src[i]...)}, nil
+}
+
+// Decoder recovers one generation by progressive Gaussian elimination.
+type Decoder struct {
+	f   gf.Field
+	gen uint32
+	b   *basis
+}
+
+// NewDecoder creates a decoder for generation gen with h source packets of
+// the given payload size.
+func NewDecoder(f gf.Field, gen uint32, h, size int) (*Decoder, error) {
+	b, err := newBasis(f, h, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{f: f, gen: gen, b: b}, nil
+}
+
+// Add absorbs a coded packet, reporting whether it was innovative
+// (increased the decoder's rank). Packets for other generations are
+// rejected with an error. The packet is copied; the caller keeps ownership.
+func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
+	if p.Gen != d.gen {
+		return false, fmt.Errorf("rlnc: packet for generation %d, decoder expects %d", p.Gen, d.gen)
+	}
+	coeff := append([]uint16(nil), p.Coeff...)
+	payload := append([]byte(nil), p.Payload...)
+	return d.b.add(coeff, payload)
+}
+
+// Rank returns the number of linearly independent packets received.
+func (d *Decoder) Rank() int { return d.b.rank() }
+
+// Complete reports whether the generation can be decoded.
+func (d *Decoder) Complete() bool { return d.b.complete() }
+
+// Source returns the decoded source packets; it errors until Complete.
+// The returned slices alias decoder state; callers must not modify them.
+func (d *Decoder) Source() ([][]byte, error) { return d.b.source() }
+
+// Recoder is the buffer-and-mix element run by every overlay node: it
+// stores the innovative packets seen so far (in reduced form) and emits
+// fresh random combinations of them. A recoder never needs the source
+// data, only coded packets, and its output is statistically equivalent to
+// fresh encodings of the subspace it has received — the key property of
+// practical network coding.
+type Recoder struct {
+	f   gf.Field
+	gen uint32
+	b   *basis
+}
+
+// NewRecoder creates a recoder for generation gen.
+func NewRecoder(f gf.Field, gen uint32, h, size int) (*Recoder, error) {
+	b, err := newBasis(f, h, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Recoder{f: f, gen: gen, b: b}, nil
+}
+
+// Add buffers a received packet, reporting whether it was innovative.
+func (rc *Recoder) Add(p *Packet) (innovative bool, err error) {
+	if p.Gen != rc.gen {
+		return false, fmt.Errorf("rlnc: packet for generation %d, recoder expects %d", p.Gen, rc.gen)
+	}
+	coeff := append([]uint16(nil), p.Coeff...)
+	payload := append([]byte(nil), p.Payload...)
+	return rc.b.add(coeff, payload)
+}
+
+// Rank returns the dimension of the received subspace.
+func (rc *Recoder) Rank() int { return rc.b.rank() }
+
+// Complete reports whether the recoder holds the full generation.
+func (rc *Recoder) Complete() bool { return rc.b.complete() }
+
+// Packet emits a random combination of the buffered packets. It returns
+// false when the buffer is empty.
+func (rc *Recoder) Packet(r *rand.Rand) (*Packet, bool) {
+	if rc.b.rank() == 0 {
+		return nil, false
+	}
+	coeff := make([]uint16, rc.b.h)
+	payload := make([]byte, rc.b.size)
+	for _, row := range rc.b.rows {
+		c := rc.f.Rand(r)
+		if c == 0 {
+			continue
+		}
+		for j, v := range row.coeff {
+			if v != 0 {
+				coeff[j] = rc.f.Add(coeff[j], rc.f.Mul(c, v))
+			}
+		}
+		rc.f.AddMulSlice(payload, row.payload, c)
+	}
+	return &Packet{Gen: rc.gen, Coeff: coeff, Payload: payload}, true
+}
+
+// Decode returns the source packets once the recoder is complete; a node
+// that has gathered full rank can play out the content directly.
+func (rc *Recoder) Decode() ([][]byte, error) { return rc.b.source() }

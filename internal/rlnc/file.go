@@ -1,0 +1,197 @@
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/gf"
+)
+
+// ErrIncomplete is returned when content is requested before every
+// generation has been decoded.
+var ErrIncomplete = errors.New("rlnc: content incomplete")
+
+// Params fixes the coding parameters of one broadcast session. Both ends
+// must agree on them out of band (the protocol layer carries them in the
+// hello exchange).
+type Params struct {
+	// Field is the coding field (gf.F2, gf.F256, or gf.F65536).
+	Field gf.Field
+	// GenSize is h, the number of source packets per generation.
+	GenSize int
+	// PacketSize is the payload length of each packet in bytes; it must
+	// be a multiple of the field's symbol size.
+	PacketSize int
+}
+
+// Validate checks the parameter combination.
+func (p Params) Validate() error {
+	if p.Field == nil {
+		return errors.New("rlnc: nil field")
+	}
+	if p.GenSize <= 0 || p.GenSize > 65535 {
+		return fmt.Errorf("rlnc: generation size %d out of range [1,65535]", p.GenSize)
+	}
+	if p.PacketSize <= 0 || p.PacketSize%p.Field.SymbolSize() != 0 {
+		return fmt.Errorf("rlnc: packet size %d invalid for %s", p.PacketSize, p.Field.Name())
+	}
+	return nil
+}
+
+// genBytes returns the number of content bytes one generation carries.
+func (p Params) genBytes() int { return p.GenSize * p.PacketSize }
+
+// Generations returns how many generations content of the given size needs.
+func (p Params) Generations(contentLen int) int {
+	if contentLen == 0 {
+		return 0
+	}
+	return (contentLen + p.genBytes() - 1) / p.genBytes()
+}
+
+// FileEncoder segments a content blob into generations and encodes each.
+// It is the server-side source of a broadcast.
+type FileEncoder struct {
+	params Params
+	length int
+	gens   []*Encoder
+}
+
+// NewFileEncoder segments content according to params. The final
+// generation is zero-padded to a full h packets so every generation has
+// identical shape. The content slice is copied.
+func NewFileEncoder(params Params, content []byte) (*FileEncoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(content) == 0 {
+		return nil, errors.New("rlnc: empty content")
+	}
+	n := params.Generations(len(content))
+	fe := &FileEncoder{params: params, length: len(content), gens: make([]*Encoder, 0, n)}
+	for g := 0; g < n; g++ {
+		src := make([][]byte, params.GenSize)
+		base := g * params.genBytes()
+		for i := range src {
+			src[i] = make([]byte, params.PacketSize)
+			off := base + i*params.PacketSize
+			if off < len(content) {
+				copy(src[i], content[off:])
+			}
+		}
+		enc, err := NewEncoder(params.Field, uint32(g), src)
+		if err != nil {
+			return nil, err
+		}
+		fe.gens = append(fe.gens, enc)
+	}
+	return fe, nil
+}
+
+// Params returns the session coding parameters.
+func (fe *FileEncoder) Params() Params { return fe.params }
+
+// Length returns the original content length in bytes.
+func (fe *FileEncoder) Length() int { return fe.length }
+
+// NumGenerations returns the generation count.
+func (fe *FileEncoder) NumGenerations() int { return len(fe.gens) }
+
+// Packet emits a random coded packet for generation g.
+func (fe *FileEncoder) Packet(g int, r *rand.Rand) (*Packet, error) {
+	if g < 0 || g >= len(fe.gens) {
+		return nil, fmt.Errorf("rlnc: generation %d out of range [0,%d)", g, len(fe.gens))
+	}
+	return fe.gens[g].Packet(r), nil
+}
+
+// FileDecoder reassembles a content blob from coded packets spanning
+// multiple generations.
+type FileDecoder struct {
+	params Params
+	length int
+	decs   []*Decoder
+	done   int
+}
+
+// NewFileDecoder prepares decoding of a blob of contentLen bytes coded
+// with params.
+func NewFileDecoder(params Params, contentLen int) (*FileDecoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if contentLen <= 0 {
+		return nil, fmt.Errorf("rlnc: invalid content length %d", contentLen)
+	}
+	n := params.Generations(contentLen)
+	fd := &FileDecoder{params: params, length: contentLen, decs: make([]*Decoder, n)}
+	for g := range fd.decs {
+		dec, err := NewDecoder(params.Field, uint32(g), params.GenSize, params.PacketSize)
+		if err != nil {
+			return nil, err
+		}
+		fd.decs[g] = dec
+	}
+	return fd, nil
+}
+
+// Add absorbs a coded packet for any generation of the blob.
+func (fd *FileDecoder) Add(p *Packet) (innovative bool, err error) {
+	if int(p.Gen) >= len(fd.decs) {
+		return false, fmt.Errorf("rlnc: packet generation %d out of range [0,%d)", p.Gen, len(fd.decs))
+	}
+	dec := fd.decs[p.Gen]
+	wasComplete := dec.Complete()
+	innovative, err = dec.Add(p)
+	if err != nil {
+		return false, err
+	}
+	if !wasComplete && dec.Complete() {
+		fd.done++
+	}
+	return innovative, nil
+}
+
+// NumGenerations returns the generation count.
+func (fd *FileDecoder) NumGenerations() int { return len(fd.decs) }
+
+// GenerationRank returns the current rank of generation g's decoder.
+func (fd *FileDecoder) GenerationRank(g int) int { return fd.decs[g].Rank() }
+
+// GenerationComplete reports whether generation g has been decoded.
+func (fd *FileDecoder) GenerationComplete(g int) bool { return fd.decs[g].Complete() }
+
+// Complete reports whether every generation has been decoded.
+func (fd *FileDecoder) Complete() bool { return fd.done == len(fd.decs) }
+
+// Progress returns the fraction of total rank gathered, in [0,1].
+func (fd *FileDecoder) Progress() float64 {
+	if len(fd.decs) == 0 {
+		return 1
+	}
+	total := 0
+	for _, d := range fd.decs {
+		total += d.Rank()
+	}
+	return float64(total) / float64(len(fd.decs)*fd.params.GenSize)
+}
+
+// Bytes reassembles and returns the original content. It errors with
+// ErrIncomplete until Complete() holds.
+func (fd *FileDecoder) Bytes() ([]byte, error) {
+	if !fd.Complete() {
+		return nil, fmt.Errorf("%w: %d of %d generations decoded", ErrIncomplete, fd.done, len(fd.decs))
+	}
+	out := make([]byte, 0, fd.length)
+	for _, d := range fd.decs {
+		src, err := d.Source()
+		if err != nil {
+			return nil, err
+		}
+		for _, pkt := range src {
+			out = append(out, pkt...)
+		}
+	}
+	return out[:fd.length], nil
+}

@@ -1,0 +1,157 @@
+// Package rlnc implements practical randomized linear network coding in
+// the style of Chou, Wu, and Jain ("Practical network coding", Allerton
+// 2003), the data plane the paper builds on. Content is segmented into
+// generations of h source packets; every coded packet carries, alongside
+// its payload, the h-element coefficient vector expressing it as a linear
+// combination of the generation's source packets. Because the coefficients
+// travel with the packet, any node can re-code (emit fresh random
+// combinations of what it has buffered) with no coordination, and decoding
+// survives topology changes and failures — the property §1 of the paper
+// relies on.
+//
+// The package provides:
+//
+//   - Encoder: produces coded packets from a generation's source data.
+//   - Decoder: progressive Gaussian elimination; recovers the generation
+//     once h linearly independent packets have arrived.
+//   - Recoder: buffers innovative packets and emits fresh random
+//     combinations — the operation performed by every overlay node.
+//   - FileEncoder / FileDecoder: multi-generation framing for whole blobs.
+package rlnc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ncast/internal/gf"
+)
+
+// ErrPacketFormat is returned when unmarshalling a malformed packet.
+var ErrPacketFormat = errors.New("rlnc: malformed packet")
+
+// Packet is one coded packet: a linear combination of the source packets
+// of one generation, tagged with the combination's coefficients.
+type Packet struct {
+	// Gen identifies the generation this packet belongs to.
+	Gen uint32
+	// Coeff holds the h coefficients of the combination, one per source
+	// packet of the generation, as field elements.
+	Coeff []uint16
+	// Payload is the combined data, len = generation symbol size.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	return &Packet{
+		Gen:     p.Gen,
+		Coeff:   append([]uint16(nil), p.Coeff...),
+		Payload: append([]byte(nil), p.Payload...),
+	}
+}
+
+// IsZero reports whether every coefficient is zero (a useless packet).
+func (p *Packet) IsZero() bool {
+	for _, c := range p.Coeff {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// packetHeaderLen is the fixed wire header: 4B generation, 2B coefficient
+// count, 4B payload length.
+const packetHeaderLen = 4 + 2 + 4
+
+// WireSize returns the marshalled size of the packet over field f.
+func (p *Packet) WireSize(f gf.Field) int {
+	return packetHeaderLen + coeffWireLen(f, len(p.Coeff)) + len(p.Payload)
+}
+
+// coeffWireLen returns the encoded byte length of an n-element coefficient
+// vector over f: bit-packed for GF(2), 1 byte/elem for GF(2^8), 2 for
+// GF(2^16).
+func coeffWireLen(f gf.Field, n int) int {
+	switch f.Bits() {
+	case 1:
+		return (n + 7) / 8
+	case 8:
+		return n
+	default:
+		return 2 * n
+	}
+}
+
+// Marshal encodes the packet for the wire. The field is implicit: both
+// ends of a session agree on it out of band (it is part of the session
+// parameters in the protocol layer).
+func (p *Packet) Marshal(f gf.Field) []byte {
+	buf := make([]byte, 0, p.WireSize(f))
+	var hdr [packetHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], p.Gen)
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(p.Coeff)))
+	binary.BigEndian.PutUint32(hdr[6:], uint32(len(p.Payload)))
+	buf = append(buf, hdr[:]...)
+	switch f.Bits() {
+	case 1:
+		packed := make([]byte, (len(p.Coeff)+7)/8)
+		for i, c := range p.Coeff {
+			if c&1 != 0 {
+				packed[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, packed...)
+	case 8:
+		for _, c := range p.Coeff {
+			buf = append(buf, byte(c))
+		}
+	default:
+		for _, c := range p.Coeff {
+			var b [2]byte
+			binary.BigEndian.PutUint16(b[:], c)
+			buf = append(buf, b[:]...)
+		}
+	}
+	return append(buf, p.Payload...)
+}
+
+// Unmarshal decodes a packet produced by Marshal over the same field.
+func Unmarshal(f gf.Field, data []byte) (*Packet, error) {
+	if len(data) < packetHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need header of %d", ErrPacketFormat, len(data), packetHeaderLen)
+	}
+	gen := binary.BigEndian.Uint32(data[0:])
+	n := int(binary.BigEndian.Uint16(data[4:]))
+	plen := int(binary.BigEndian.Uint32(data[6:]))
+	clen := coeffWireLen(f, n)
+	if len(data) != packetHeaderLen+clen+plen {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrPacketFormat, len(data), packetHeaderLen+clen+plen)
+	}
+	coeff := make([]uint16, n)
+	cdata := data[packetHeaderLen : packetHeaderLen+clen]
+	switch f.Bits() {
+	case 1:
+		for i := range coeff {
+			coeff[i] = uint16(cdata[i/8]>>(i%8)) & 1
+		}
+	case 8:
+		for i := range coeff {
+			coeff[i] = uint16(cdata[i])
+		}
+	default:
+		for i := range coeff {
+			coeff[i] = binary.BigEndian.Uint16(cdata[2*i:])
+		}
+	}
+	payload := append([]byte(nil), data[packetHeaderLen+clen:]...)
+	return &Packet{Gen: gen, Coeff: coeff, Payload: payload}, nil
+}
+
+// OverheadBytes returns the per-packet byte overhead (header plus
+// coefficient vector) a generation of size h pays over field f — the
+// practicality metric of experiment E12.
+func OverheadBytes(f gf.Field, h int) int {
+	return packetHeaderLen + coeffWireLen(f, h)
+}

@@ -1,0 +1,293 @@
+// Package rs implements systematic Reed–Solomon erasure codes over GF(2^8)
+// or GF(2^16). It exists as the substrate for the paper's §1 prior-art
+// baseline: "data may be encoded with erasure codes (e.g., Reed–Solomon
+// codes) ... so that it is not necessary for a node to get data
+// successfully from all its parents". The multi-parent FEC baseline in
+// internal/baseline stripes RS-coded shards across parent connections.
+//
+// The code is MDS: any dataShards of the dataShards+parityShards total
+// shards suffice to reconstruct. The generator matrix is a Vandermonde
+// matrix normalised so the top block is the identity (systematic form).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"ncast/internal/gf"
+	"ncast/internal/matrix"
+)
+
+// ErrTooFewShards is returned by Reconstruct when fewer than dataShards
+// shards are present.
+var ErrTooFewShards = errors.New("rs: too few shards to reconstruct")
+
+// ErrShardSize is returned when present shards disagree in length or have
+// a length incompatible with the field's symbol size.
+var ErrShardSize = errors.New("rs: inconsistent shard sizes")
+
+// Code is an immutable erasure-coding configuration. It is safe for
+// concurrent use.
+type Code struct {
+	f      gf.Field
+	data   int
+	parity int
+	// enc is the (data+parity)×data systematic generator matrix: the top
+	// data rows are the identity, the bottom parity rows generate parity.
+	enc *matrix.Matrix
+}
+
+// New returns a Reed–Solomon code with the given shard counts.
+// dataShards+parityShards must not exceed the field order (255 shards
+// total over GF(2^8) keeps the Vandermonde points distinct and nonzero).
+func New(f gf.Field, dataShards, parityShards int) (*Code, error) {
+	if dataShards <= 0 || parityShards < 0 {
+		return nil, fmt.Errorf("rs: invalid shard counts data=%d parity=%d", dataShards, parityShards)
+	}
+	total := dataShards + parityShards
+	if total >= f.Order() {
+		return nil, fmt.Errorf("rs: %d total shards exceeds capacity of %s", total, f.Name())
+	}
+	if f.Bits() < 2 {
+		return nil, fmt.Errorf("rs: field %s too small for Reed-Solomon", f.Name())
+	}
+
+	// Vandermonde matrix V[i][j] = x_i^j with distinct evaluation points
+	// x_i = i+1 (nonzero so every submatrix stays invertible).
+	v := matrix.New(f, total, dataShards)
+	for i := 0; i < total; i++ {
+		x := uint16(i + 1)
+		p := uint16(1)
+		for j := 0; j < dataShards; j++ {
+			v.Set(i, j, p)
+			p = f.Mul(p, x)
+		}
+	}
+	// Normalise to systematic form: enc = V · (top block)^-1, making the
+	// top block the identity. Any dataShards×dataShards submatrix of a
+	// Vandermonde matrix with distinct points is invertible, and
+	// multiplying on the right by a fixed invertible matrix preserves
+	// that property, so the systematic code remains MDS.
+	top := matrix.New(f, dataShards, dataShards)
+	for i := 0; i < dataShards; i++ {
+		copy(top.Row(i), v.Row(i))
+	}
+	topInv, err := top.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rs: vandermonde top block not invertible: %w", err)
+	}
+	return &Code{f: f, data: dataShards, parity: parityShards, enc: v.Mul(topInv)}, nil
+}
+
+// DataShards returns the number of data shards.
+func (c *Code) DataShards() int { return c.data }
+
+// ParityShards returns the number of parity shards.
+func (c *Code) ParityShards() int { return c.parity }
+
+// TotalShards returns DataShards()+ParityShards().
+func (c *Code) TotalShards() int { return c.data + c.parity }
+
+// checkShards validates a full shard set: length data+parity, with present
+// (non-nil) shards of one common positive size aligned to the field symbol.
+func (c *Code) checkShards(shards [][]byte) (size int, err error) {
+	if len(shards) != c.TotalShards() {
+		return 0, fmt.Errorf("rs: got %d shards, want %d", len(shards), c.TotalShards())
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == 0 {
+			size = len(s)
+		}
+		if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	if size == 0 || size%c.f.SymbolSize() != 0 {
+		return 0, ErrShardSize
+	}
+	return size, nil
+}
+
+// Encode computes the parity shards for the given data shards in place:
+// shards[:data] must be filled, and Encode overwrites shards[data:].
+// Parity slices may be nil, in which case Encode allocates them.
+func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("rs: got %d shards, want %d", len(shards), c.TotalShards())
+	}
+	size := -1
+	for i := 0; i < c.data; i++ {
+		if shards[i] == nil {
+			return fmt.Errorf("rs: data shard %d is nil", i)
+		}
+		if size == -1 {
+			size = len(shards[i])
+		}
+		if len(shards[i]) != size {
+			return ErrShardSize
+		}
+	}
+	if size <= 0 || size%c.f.SymbolSize() != 0 {
+		return ErrShardSize
+	}
+	for i := 0; i < c.parity; i++ {
+		p := shards[c.data+i]
+		if len(p) != size {
+			p = make([]byte, size)
+			shards[c.data+i] = p
+		} else {
+			for j := range p {
+				p[j] = 0
+			}
+		}
+		row := c.enc.Row(c.data + i)
+		for j := 0; j < c.data; j++ {
+			c.f.AddMulSlice(p, shards[j], row[j])
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in missing (nil) shards, both data and parity, from
+// any DataShards() present shards. Present shards are never modified.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	size, err := c.checkShards(shards)
+	if err != nil {
+		return err
+	}
+	present := make([]int, 0, c.TotalShards())
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) < c.data {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.data)
+	}
+	present = present[:c.data]
+
+	// Solve for the data shards: rows of enc restricted to the present
+	// shards form an invertible data×data matrix (MDS property).
+	sub := matrix.New(c.f, c.data, c.data)
+	for r, idx := range present {
+		copy(sub.Row(r), c.enc.Row(idx))
+	}
+	subInv, err := sub.Inverse()
+	if err != nil {
+		return fmt.Errorf("rs: decode submatrix singular (corrupt code?): %w", err)
+	}
+
+	// data[j] = sum_r subInv[j][r] * shards[present[r]].
+	recovered := make([][]byte, c.data)
+	for j := 0; j < c.data; j++ {
+		if shards[j] != nil {
+			recovered[j] = shards[j]
+			continue
+		}
+		out := make([]byte, size)
+		row := subInv.Row(j)
+		for r, idx := range present {
+			c.f.AddMulSlice(out, shards[idx], row[r])
+		}
+		recovered[j] = out
+	}
+	copy(shards[:c.data], recovered)
+
+	// Re-encode any missing parity from the now-complete data shards.
+	for i := 0; i < c.parity; i++ {
+		if shards[c.data+i] != nil {
+			continue
+		}
+		p := make([]byte, size)
+		row := c.enc.Row(c.data + i)
+		for j := 0; j < c.data; j++ {
+			c.f.AddMulSlice(p, shards[j], row[j])
+		}
+		shards[c.data+i] = p
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards match the data shards. All
+// shards must be present.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("rs: verify requires all shards present")
+		}
+	}
+	buf := make([]byte, size)
+	for i := 0; i < c.parity; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		row := c.enc.Row(c.data + i)
+		for j := 0; j < c.data; j++ {
+			c.f.AddMulSlice(buf, shards[j], row[j])
+		}
+		if !bytesEqual(buf, shards[c.data+i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Split partitions data into DataShards() equal shards, zero-padding the
+// tail. The returned shards each have length ceil(len(data)/DataShards())
+// rounded up to the field symbol size.
+func (c *Code) Split(data []byte) [][]byte {
+	per := (len(data) + c.data - 1) / c.data
+	if per == 0 {
+		per = c.f.SymbolSize()
+	}
+	if rem := per % c.f.SymbolSize(); rem != 0 {
+		per += c.f.SymbolSize() - rem
+	}
+	shards := make([][]byte, c.TotalShards())
+	for i := 0; i < c.data; i++ {
+		shards[i] = make([]byte, per)
+		start := i * per
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Join concatenates the data shards and trims the result to size bytes,
+// inverting Split.
+func (c *Code) Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.data {
+		return nil, fmt.Errorf("rs: join needs %d data shards, got %d", c.data, len(shards))
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.data && len(out) < size; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("rs: data shard %d missing in join", i)
+		}
+		out = append(out, shards[i]...)
+	}
+	if len(out) < size {
+		return nil, fmt.Errorf("rs: shards hold %d bytes, need %d", len(out), size)
+	}
+	return out[:size], nil
+}

@@ -1,0 +1,295 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/gf"
+)
+
+func mustCode(t *testing.T, f gf.Field, data, parity int) *Code {
+	t.Helper()
+	c, err := New(f, data, parity)
+	if err != nil {
+		t.Fatalf("New(%s,%d,%d): %v", f.Name(), data, parity, err)
+	}
+	return c
+}
+
+func randShards(r *rand.Rand, c *Code, size int) [][]byte {
+	shards := make([][]byte, c.TotalShards())
+	for i := 0; i < c.DataShards(); i++ {
+		shards[i] = make([]byte, size)
+		r.Read(shards[i])
+	}
+	return shards
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		f       gf.Field
+		data    int
+		parity  int
+		wantErr bool
+	}{
+		{"ok 4+2", gf.F256, 4, 2, false},
+		{"ok 1+0", gf.F256, 1, 0, false},
+		{"ok large gf16", gf.F65536, 200, 100, false},
+		{"zero data", gf.F256, 0, 2, true},
+		{"negative parity", gf.F256, 4, -1, true},
+		{"too many shards gf8", gf.F256, 200, 56, true},
+		{"gf2 rejected", gf.F2, 2, 1, true},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := New(tt.f, tt.data, tt.parity)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeIsSystematic(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(1))
+	c := mustCode(t, gf.F256, 5, 3)
+	shards := randShards(r, c, 64)
+	orig := make([][]byte, c.DataShards())
+	for i := range orig {
+		orig[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("Encode modified data shard %d", i)
+		}
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v; want true, nil", ok, err)
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	t.Parallel()
+	// With 4+3 shards, delete every subset of size <= 3 and reconstruct.
+	r := rand.New(rand.NewSource(2))
+	c := mustCode(t, gf.F256, 4, 3)
+	master := randShards(r, c, 32)
+	if err := c.Encode(master); err != nil {
+		t.Fatal(err)
+	}
+	total := c.TotalShards()
+	for mask := 0; mask < 1<<total; mask++ {
+		erased := 0
+		for b := 0; b < total; b++ {
+			if mask&(1<<b) != 0 {
+				erased++
+			}
+		}
+		if erased > c.ParityShards() {
+			continue
+		}
+		shards := make([][]byte, total)
+		for i := range shards {
+			if mask&(1<<i) == 0 {
+				shards[i] = append([]byte(nil), master[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct mask %b: %v", mask, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], master[i]) {
+				t.Fatalf("mask %b: shard %d mismatch after reconstruct", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(3))
+	c := mustCode(t, gf.F256, 4, 2)
+	shards := randShards(r, c, 16)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Erase 3 shards: more than parity count.
+	shards[0], shards[2], shards[5] = nil, nil, nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(4))
+	c := mustCode(t, gf.F256, 3, 2)
+	shards := randShards(r, c, 24)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1][5] ^= 0xFF
+	ok, err := c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify accepted corrupted shard")
+	}
+}
+
+func TestShardSizeMismatch(t *testing.T) {
+	t.Parallel()
+	c := mustCode(t, gf.F256, 2, 1)
+	shards := [][]byte{make([]byte, 8), make([]byte, 9), nil}
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestGF65536RoundTrip(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(5))
+	c := mustCode(t, gf.F65536, 6, 4)
+	shards := randShards(r, c, 64) // even length for 2-byte symbols
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(shards))
+	for i := range shards {
+		want[i] = append([]byte(nil), shards[i]...)
+	}
+	shards[1], shards[3], shards[7], shards[9] = nil, nil, nil, nil
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(6))
+	c := mustCode(t, gf.F256, 5, 2)
+	for _, size := range []int{1, 4, 5, 63, 64, 65, 1000} {
+		data := make([]byte, size)
+		r.Read(data)
+		shards := c.Split(data)
+		if err := c.Encode(shards); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := c.Join(shards, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: join mismatch", size)
+		}
+	}
+}
+
+func TestSplitEncodeEraseJoin(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	c := mustCode(t, gf.F256, 8, 4)
+	data := make([]byte, 10000)
+	r.Read(data)
+	shards := c.Split(data)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Erase 4 random shards.
+	perm := r.Perm(c.TotalShards())
+	for _, i := range perm[:4] {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(shards, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after erasure + reconstruct")
+	}
+}
+
+func TestMDSPropertyRandomSubsets(t *testing.T) {
+	t.Parallel()
+	// Property: ANY DataShards-sized subset reconstructs. Random trials
+	// over a larger code than the exhaustive test covers.
+	r := rand.New(rand.NewSource(8))
+	c := mustCode(t, gf.F256, 10, 6)
+	master := randShards(r, c, 16)
+	if err := c.Encode(master); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		perm := r.Perm(c.TotalShards())
+		shards := make([][]byte, c.TotalShards())
+		for _, i := range perm[:c.DataShards()] {
+			shards[i] = append([]byte(nil), master[i]...)
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], master[i]) {
+				t.Fatalf("trial %d: shard %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode8x4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c, err := New(gf.F256, 8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := randShards(r, c, 4096)
+	b.SetBytes(8 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct8x4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c, err := New(gf.F256, 8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	master := randShards(r, c, 4096)
+	if err := c.Encode(master); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(master))
+		copy(shards, master)
+		shards[0], shards[3], shards[9], shards[11] = nil, nil, nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/metrics"
+)
+
+// E1Config parameterises experiment E1 (§3/§4 claim: the failure-free
+// curtain gives every node edge connectivity exactly d — its d thread
+// paths are edge-disjoint by construction).
+type E1Config struct {
+	// Configs lists the (k, d) pairs to sweep.
+	Configs []KD
+	// Sizes lists the population sizes N to sweep.
+	Sizes []int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// KD is a (server threads, node degree) pair.
+type KD struct {
+	K int
+	D int
+}
+
+// DefaultE1Config returns the standard E1 sweep.
+func DefaultE1Config() E1Config {
+	return E1Config{
+		Configs: []KD{{16, 2}, {32, 4}, {64, 8}},
+		Sizes:   []int{100, 400, 1600},
+		Seed:    1,
+	}
+}
+
+// E1Row is one measured configuration.
+type E1Row struct {
+	K, D, N      int
+	FracFullConn float64
+	MinConn      int
+}
+
+// E1Result holds the sweep.
+type E1Result struct {
+	Rows []E1Row
+}
+
+// Table renders the result.
+func (r E1Result) Table() *metrics.Table {
+	t := metrics.NewTable("E1: failure-free connectivity = d (§3)",
+		"k", "d", "N", "frac(conn=d)", "min conn")
+	for _, row := range r.Rows {
+		t.AddRow(row.K, row.D, row.N, row.FracFullConn, row.MinConn)
+	}
+	return t
+}
+
+// RunE1 executes experiment E1.
+func RunE1(cfg E1Config) (E1Result, error) {
+	var res E1Result
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, kd := range cfg.Configs {
+		for _, n := range cfg.Sizes {
+			c, err := BuildCurtain(kd.K, kd.D, n, rng)
+			if err != nil {
+				return E1Result{}, err
+			}
+			stats := MeasureConnectivity(c.Snapshot())
+			res.Rows = append(res.Rows, E1Row{
+				K: kd.K, D: kd.D, N: n,
+				FracFullConn: float64(stats.FullCount) / float64(stats.Working),
+				MinConn:      stats.MinConn,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E2Config parameterises experiment E2 (Theorem 4: before collapse,
+// E[B^t]/A <= (1+eps)·p·d). The simulator runs the §4 arrival process —
+// every arrival is pre-tagged failed with probability p — and measures the
+// exact normalized defect b = B/A at intervals after burn-in. The paper
+// predicts the steady-state mean of b to sit at the drift root
+// a1 = pd/((1-p)(1-d²/k))·(1+eps), slightly above pd and far below the
+// collapse region.
+type E2Config struct {
+	K     int
+	D     int
+	Ps    []float64
+	Steps int
+	// BurnIn is the number of arrivals ignored before measuring.
+	BurnIn int
+	// MeasureEvery spaces exact defect measurements (they cost C(k,d)
+	// max-flows each).
+	MeasureEvery int
+	Seed         int64
+}
+
+// DefaultE2Config returns the standard Theorem 4 sweep.
+func DefaultE2Config() E2Config {
+	return E2Config{
+		K:            24,
+		D:            2,
+		Ps:           []float64{0.005, 0.01, 0.02, 0.05},
+		Steps:        2500,
+		BurnIn:       800,
+		MeasureEvery: 25,
+		Seed:         2,
+	}
+}
+
+// E2Row is the measured steady state for one p.
+type E2Row struct {
+	P float64
+	// MeanB is the time-averaged normalized defect E[B]/A.
+	MeanB float64
+	// PD is the paper's reference level p·d.
+	PD float64
+	// Ratio is MeanB / PD, which Theorem 4 bounds by 1+eps.
+	Ratio float64
+	// FracDefective is the time-averaged probability a joining node picks
+	// a defective tuple (Lemma 2).
+	FracDefective float64
+	Measurements  int
+}
+
+// E2Result holds the sweep.
+type E2Result struct {
+	K, D int
+	Rows []E2Row
+}
+
+// Table renders the result.
+func (r E2Result) Table() *metrics.Table {
+	t := metrics.NewTable("E2: Theorem 4 — steady-state E[B]/A vs p·d",
+		"k", "d", "p", "E[B]/A", "p*d", "ratio", "P(defective tuple)")
+	for _, row := range r.Rows {
+		t.AddRow(r.K, r.D, row.P, row.MeanB, row.PD, row.Ratio, row.FracDefective)
+	}
+	return t
+}
+
+// RunE2 executes experiment E2.
+func RunE2(cfg E2Config) (E2Result, error) {
+	res := E2Result{K: cfg.K, D: cfg.D}
+	for i, p := range cfg.Ps {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1000))
+		c, err := core.New(cfg.K, cfg.D, rng)
+		if err != nil {
+			return E2Result{}, err
+		}
+		// Pure §4 growth process: no repairs, no population cap. A cap
+		// that evicts only working nodes would let failures accumulate
+		// and inflate the standing failure density far beyond p.
+		churn, err := NewChurn(c, ChurnConfig{P: p}, rng)
+		if err != nil {
+			return E2Result{}, err
+		}
+		var bSum, defSum float64
+		count := 0
+		for step := 0; step < cfg.Steps; step++ {
+			churn.Advance()
+			if step < cfg.BurnIn || (step-cfg.BurnIn)%cfg.MeasureEvery != 0 {
+				continue
+			}
+			m, err := defect.NewMeasurer(c.Snapshot(), cfg.D)
+			if err != nil {
+				return E2Result{}, err
+			}
+			dres, err := m.Exact()
+			if err != nil {
+				return E2Result{}, err
+			}
+			bSum += dres.NormalizedDefect()
+			defSum += dres.FractionDefective()
+			count++
+		}
+		row := E2Row{P: p, PD: p * float64(cfg.D), Measurements: count}
+		if count > 0 {
+			row.MeanB = bSum / float64(count)
+			row.FracDefective = defSum / float64(count)
+		}
+		if row.PD > 0 {
+			row.Ratio = row.MeanB / row.PD
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

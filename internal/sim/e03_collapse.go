@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E3Config parameterises experiment E3 (Theorem 5: the expected number of
+// steps before the defect process collapses is at least (1/ξ1)·e^{ξ2·k/d³}).
+// The runner stresses the system with a large p (so collapses happen in
+// observable time), sweeps k at fixed d, and records the median number of
+// arrivals until the sampled normalized defect b crosses the collapse
+// threshold. Theorem 5 predicts log(steps) to grow linearly in k/d³.
+type E3Config struct {
+	D  int
+	Ks []int
+	// P is the stress failure probability; it must be large enough that
+	// collapse is reachable in MaxSteps but small enough that the drift
+	// argument still applies (pd below ~0.5).
+	P float64
+	// Threshold is the b level counted as collapse (between the drift
+	// roots a1 and a2; 0.5 approximates the unstable midpoint).
+	Threshold float64
+	// Trials is the number of independent runs per k.
+	Trials int
+	// MaxSteps truncates runs that refuse to collapse (recorded at cap).
+	MaxSteps int
+	// CheckEvery spaces the (sampled) defect measurements.
+	CheckEvery int
+	// Samples is the number of Monte-Carlo tuples per measurement.
+	Samples int
+	// MaxNodes caps the working population via Lemma 1 graceful leaves.
+	MaxNodes int
+	// RepairDelay removes failed rows that many arrivals after they
+	// joined, making the process stationary: the standing failed set is
+	// roughly the last p·RepairDelay arrivals, matching the paper's "p is
+	// the probability that a node fails within the repair interval".
+	RepairDelay int
+	Seed        int64
+}
+
+// DefaultE3Config returns the standard Theorem 5 sweep.
+func DefaultE3Config() E3Config {
+	return E3Config{
+		D:           2,
+		Ks:          []int{4, 6, 8, 10, 12},
+		P:           0.22,
+		Threshold:   0.5,
+		Trials:      12,
+		MaxSteps:    30000,
+		CheckEvery:  10,
+		Samples:     80,
+		MaxNodes:    250,
+		RepairDelay: 250,
+		Seed:        3,
+	}
+}
+
+// E3Row is one k's collapse-time distribution.
+type E3Row struct {
+	K          int
+	KOverD3    float64
+	MedianStep float64
+	MeanStep   float64
+	Capped     int // trials that hit MaxSteps without collapsing
+	Trials     int
+}
+
+// E3Result holds the sweep plus the log-linear fit.
+type E3Result struct {
+	D    int
+	P    float64
+	Rows []E3Row
+	// Slope is the fitted slope of ln(median steps) against k/d³; Theorem
+	// 5 predicts it positive (exponential growth).
+	Slope float64
+	FitOK bool
+}
+
+// Table renders the result.
+func (r E3Result) Table() *metrics.Table {
+	t := metrics.NewTable("E3: Theorem 5 — steps to collapse vs k (d fixed)",
+		"k", "k/d^3", "median steps", "mean steps", "capped", "trials")
+	for _, row := range r.Rows {
+		t.AddRow(row.K, row.KOverD3, row.MedianStep, row.MeanStep, row.Capped, row.Trials)
+	}
+	t.AddRow("fit", "", "", "", "", "")
+	t.AddRow("slope d ln(steps)/d(k/d^3)", r.Slope, "", "", "", "")
+	return t
+}
+
+// RunE3 executes experiment E3.
+func RunE3(cfg E3Config) (E3Result, error) {
+	res := E3Result{D: cfg.D, P: cfg.P}
+	var xs, ys []float64
+	for ki, k := range cfg.Ks {
+		var steps metrics.Summary
+		capped := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ki)*10000 + int64(trial)))
+			s, hitCap, err := runCollapseTrial(k, cfg, rng)
+			if err != nil {
+				return E3Result{}, err
+			}
+			if hitCap {
+				capped++
+			}
+			steps.Add(float64(s))
+		}
+		row := E3Row{
+			K:          k,
+			KOverD3:    float64(k) / math.Pow(float64(cfg.D), 3),
+			MedianStep: steps.Median(),
+			MeanStep:   steps.Mean(),
+			Capped:     capped,
+			Trials:     cfg.Trials,
+		}
+		res.Rows = append(res.Rows, row)
+		if row.MedianStep > 0 {
+			xs = append(xs, row.KOverD3)
+			ys = append(ys, math.Log(row.MedianStep))
+		}
+	}
+	res.Slope, _, res.FitOK = metrics.LinearFit(xs, ys)
+	return res, nil
+}
+
+// runCollapseTrial runs one arrival process until collapse or the step
+// cap, returning the stopping step.
+func runCollapseTrial(k int, cfg E3Config, rng *rand.Rand) (step int, hitCap bool, err error) {
+	c, err := core.New(k, cfg.D, rng)
+	if err != nil {
+		return 0, false, err
+	}
+	churn, err := NewChurn(c, ChurnConfig{P: cfg.P, MaxNodes: cfg.MaxNodes, RepairDelay: cfg.RepairDelay}, rng)
+	if err != nil {
+		return 0, false, err
+	}
+	for step = 1; step <= cfg.MaxSteps; step++ {
+		churn.Advance()
+		if step%cfg.CheckEvery != 0 {
+			continue
+		}
+		m, err := defect.NewMeasurer(c.Snapshot(), cfg.D)
+		if err != nil {
+			return 0, false, err
+		}
+		var b float64
+		total := defect.Binomial(k, cfg.D)
+		if float64(cfg.Samples) >= total {
+			r, err := m.Exact()
+			if err != nil {
+				return 0, false, err
+			}
+			b = r.NormalizedDefect()
+		} else {
+			r, err := m.Sample(cfg.Samples, rng)
+			if err != nil {
+				return 0, false, err
+			}
+			b = r.NormalizedDefect()
+		}
+		if b >= cfg.Threshold*float64(cfg.D) {
+			return step, false, nil
+		}
+	}
+	return cfg.MaxSteps, true, nil
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E4Config parameterises experiment E4 (Lemma 6: a single arrival changes
+// the total defect by at most (d²/k)·A, with equality attained by a failed
+// node arriving at the very beginning). The runner measures the exact
+// defect before and after every arrival of a stressed process and tracks
+// the largest observed jump.
+type E4Config struct {
+	K     int
+	D     int
+	P     float64
+	Steps int
+	Seed  int64
+}
+
+// DefaultE4Config returns the standard Lemma 6 check.
+func DefaultE4Config() E4Config {
+	return E4Config{K: 12, D: 2, P: 0.2, Steps: 400, Seed: 4}
+}
+
+// E4Result reports the observed maximum jump against the bound.
+type E4Result struct {
+	K, D int
+	// MaxJump is the largest observed |B' - B| over all arrivals.
+	MaxJump int
+	// Bound is Lemma 6's (d²/k)·A.
+	Bound float64
+	// ExtremalJump is |B' - B| for a single failed node arriving on an
+	// empty curtain (the lemma's equality case).
+	ExtremalJump int
+	Steps        int
+}
+
+// Table renders the result.
+func (r E4Result) Table() *metrics.Table {
+	t := metrics.NewTable("E4: Lemma 6 — max single-arrival defect jump",
+		"k", "d", "steps", "max |B'-B|", "bound (d^2/k)A", "extremal case")
+	t.AddRow(r.K, r.D, r.Steps, r.MaxJump, r.Bound, r.ExtremalJump)
+	return t
+}
+
+// RunE4 executes experiment E4.
+func RunE4(cfg E4Config) (E4Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := E4Result{
+		K: cfg.K, D: cfg.D, Steps: cfg.Steps,
+		Bound: float64(cfg.D) * float64(cfg.D) / float64(cfg.K) * defect.Binomial(cfg.K, cfg.D),
+	}
+
+	// Extremal case: one failed node on an empty curtain.
+	ce, err := core.New(cfg.K, cfg.D, rng)
+	if err != nil {
+		return E4Result{}, err
+	}
+	ce.JoinTagged(true)
+	m, err := defect.NewMeasurer(ce.Snapshot(), cfg.D)
+	if err != nil {
+		return E4Result{}, err
+	}
+	dres, err := m.Exact()
+	if err != nil {
+		return E4Result{}, err
+	}
+	res.ExtremalJump = dres.TotalDefect()
+
+	// Stressed process with per-arrival measurement.
+	c, err := core.New(cfg.K, cfg.D, rng)
+	if err != nil {
+		return E4Result{}, err
+	}
+	// Pure arrival process: no repairs, no population cap, so every step
+	// is exactly one row insertion — the operation Lemma 6 bounds.
+	churn, err := NewChurn(c, ChurnConfig{P: cfg.P}, rng)
+	if err != nil {
+		return E4Result{}, err
+	}
+	prev := 0
+	for step := 0; step < cfg.Steps; step++ {
+		churn.Advance()
+		m, err := defect.NewMeasurer(c.Snapshot(), cfg.D)
+		if err != nil {
+			return E4Result{}, err
+		}
+		dres, err := m.Exact()
+		if err != nil {
+			return E4Result{}, err
+		}
+		cur := dres.TotalDefect()
+		jump := cur - prev
+		if jump < 0 {
+			jump = -jump
+		}
+		if jump > res.MaxJump {
+			res.MaxJump = jump
+		}
+		prev = cur
+	}
+	return res, nil
+}

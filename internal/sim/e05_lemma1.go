@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E5Config parameterises experiment E5 (Lemma 1: a graceful leave makes
+// the network distribution identical to the node never having joined).
+// Two populations of networks are built over many seeds: "fresh" networks
+// with n joins, and "churned" networks with n+m joins followed by m
+// graceful leaves of uniformly random nodes. Lemma 1 implies the two
+// populations are samples of the same distribution; we compare them with
+// two-sample KS tests on two statistics: the total defect B (after iid
+// tagging of failures) and the server's out-degree.
+type E5Config struct {
+	K int
+	D int
+	// N is the surviving population size; M the extra join/leave churn.
+	N, M int
+	// P tags failures post-hoc to give B a nondegenerate distribution.
+	P float64
+	// Trials is the number of networks per population.
+	Trials int
+	Seed   int64
+}
+
+// DefaultE5Config returns the standard Lemma 1 test.
+func DefaultE5Config() E5Config {
+	return E5Config{K: 8, D: 2, N: 30, M: 15, P: 0.1, Trials: 250, Seed: 5}
+}
+
+// E5Result reports the KS comparisons.
+type E5Result struct {
+	K, D, N, M int
+	Trials     int
+	// KSDefect / KSServerDeg are the two-sample KS statistics; Threshold
+	// is the alpha=0.01 critical value. Lemma 1 predicts both statistics
+	// below threshold.
+	KSDefect    float64
+	KSServerDeg float64
+	Threshold   float64
+}
+
+// Invariant reports whether both statistics pass the KS test.
+func (r E5Result) Invariant() bool {
+	return r.KSDefect < r.Threshold && r.KSServerDeg < r.Threshold
+}
+
+// Table renders the result.
+func (r E5Result) Table() *metrics.Table {
+	t := metrics.NewTable("E5: Lemma 1 — graceful-leave distribution invariance (two-sample KS)",
+		"statistic", "KS", "threshold(a=0.01)", "pass")
+	t.AddRow("total defect B", r.KSDefect, r.Threshold, r.KSDefect < r.Threshold)
+	t.AddRow("server out-degree", r.KSServerDeg, r.Threshold, r.KSServerDeg < r.Threshold)
+	return t
+}
+
+// RunE5 executes experiment E5.
+func RunE5(cfg E5Config) (E5Result, error) {
+	build := func(churned bool, seed int64) (float64, float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := core.New(cfg.K, cfg.D, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		var ids []core.NodeID
+		total := cfg.N
+		if churned {
+			total += cfg.M
+		}
+		for i := 0; i < total; i++ {
+			ids = append(ids, c.Join())
+		}
+		if churned {
+			// Leave M uniformly random nodes.
+			perm := rng.Perm(len(ids))
+			for _, i := range perm[:cfg.M] {
+				if err := c.Leave(ids[i]); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		FailIID(c, cfg.P, rng)
+		top := c.Snapshot()
+		m, err := defect.NewMeasurer(top, cfg.D)
+		if err != nil {
+			return 0, 0, err
+		}
+		dres, err := m.Exact()
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(dres.TotalDefect()), float64(top.Graph.OutDegree(0)), nil
+	}
+
+	var freshB, churnB, freshS, churnS []float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		b, s, err := build(false, cfg.Seed+int64(trial))
+		if err != nil {
+			return E5Result{}, err
+		}
+		freshB = append(freshB, b)
+		freshS = append(freshS, s)
+		b, s, err = build(true, cfg.Seed+100000+int64(trial))
+		if err != nil {
+			return E5Result{}, err
+		}
+		churnB = append(churnB, b)
+		churnS = append(churnS, s)
+	}
+	return E5Result{
+		K: cfg.K, D: cfg.D, N: cfg.N, M: cfg.M, Trials: cfg.Trials,
+		KSDefect:    KSStatistic(freshB, churnB),
+		KSServerDeg: KSStatistic(freshS, churnS),
+		Threshold:   KSThreshold(cfg.Trials, cfg.Trials),
+	}, nil
+}

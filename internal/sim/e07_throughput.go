@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/baseline"
+	"ncast/internal/metrics"
+)
+
+// E7Config parameterises experiment E7 (§1's throughput comparison:
+// network coding achieves the min-cut broadcast rate and beats the routing
+// baselines under failures). All schemes are built over the same
+// population size and evaluated on iid failure masks across a p sweep;
+// reported is the mean goodput of working nodes, normalized so 1.0 = full
+// content bandwidth.
+type E7Config struct {
+	N int
+	K int
+	D int
+	// TreeFanout is the single-tree baseline's fanout.
+	TreeFanout int
+	// FECData is the data-shard count per d threads for the FEC baseline.
+	FECData int
+	Ps      []float64
+	Trials  int
+	// IncludeEdmonds toggles the (expensive to construct) static tree
+	// packing baseline.
+	IncludeEdmonds bool
+	Seed           int64
+}
+
+// DefaultE7Config returns the standard throughput race.
+func DefaultE7Config() E7Config {
+	return E7Config{
+		N:              150,
+		K:              12,
+		D:              3,
+		TreeFanout:     3,
+		FECData:        2,
+		Ps:             []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2},
+		Trials:         15,
+		IncludeEdmonds: true,
+		Seed:           7,
+	}
+}
+
+// E7Row is the mean goodput of every scheme at one failure level.
+type E7Row struct {
+	P     float64
+	Means map[string]float64
+}
+
+// E7Result holds the sweep.
+type E7Result struct {
+	Schemes []string
+	Rows    []E7Row
+}
+
+// Table renders the result.
+func (r E7Result) Table() *metrics.Table {
+	header := append([]string{"p"}, r.Schemes...)
+	t := metrics.NewTable("E7: mean goodput of working nodes vs failure probability", header...)
+	for _, row := range r.Rows {
+		cells := make([]interface{}, 0, len(header))
+		cells = append(cells, row.P)
+		for _, s := range r.Schemes {
+			cells = append(cells, row.Means[s])
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// RunE7 executes experiment E7.
+func RunE7(cfg E7Config) (E7Result, error) {
+	build := rand.New(rand.NewSource(cfg.Seed))
+	var schemes []baseline.Scheme
+
+	chain, err := baseline.NewChain(cfg.N)
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, chain)
+
+	tree, err := baseline.NewTree(cfg.N, cfg.TreeFanout)
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, tree)
+
+	mt, err := baseline.NewMultiTree(cfg.N, cfg.D, build)
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, mt)
+
+	fec, err := baseline.NewFECCurtain(cfg.N, cfg.K, cfg.D, cfg.FECData, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, fec)
+
+	// The "recoding off" ablation: the same curtain topology with plain
+	// store-and-forward routing (all d threads required, no coding).
+	routing, err := baseline.NewFECCurtain(cfg.N, cfg.K, cfg.D, cfg.D, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, routing)
+
+	rl, err := baseline.NewRLNCCurtain(cfg.N, cfg.K, cfg.D, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return E7Result{}, err
+	}
+	schemes = append(schemes, rl)
+
+	if cfg.IncludeEdmonds {
+		tp, err := baseline.NewTreePacking(cfg.N, cfg.K, cfg.D, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return E7Result{}, fmt.Errorf("sim: edmonds baseline: %w", err)
+		}
+		schemes = append(schemes, tp)
+	}
+
+	res := E7Result{}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name())
+	}
+	for pi, p := range cfg.Ps {
+		row := E7Row{P: p, Means: make(map[string]float64, len(schemes))}
+		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(pi)))
+		sums := make(map[string]float64, len(schemes))
+		counts := make(map[string]int, len(schemes))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			failed := make([]bool, cfg.N)
+			for i := range failed {
+				failed[i] = rng.Float64() < p
+			}
+			for _, s := range schemes {
+				rates, err := s.Rates(failed)
+				if err != nil {
+					return E7Result{}, fmt.Errorf("sim: %s rates: %w", s.Name(), err)
+				}
+				for i, r := range rates {
+					if !failed[i] {
+						sums[s.Name()] += r
+						counts[s.Name()]++
+					}
+				}
+			}
+			if p == 0 {
+				break // deterministic mask; one trial suffices
+			}
+		}
+		for name, sum := range sums {
+			if counts[name] > 0 {
+				row.Means[name] = sum / float64(counts[name])
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

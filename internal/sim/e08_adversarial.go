@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/metrics"
+)
+
+// E8Config parameterises experiment E8 (§5: adversarial batch failures).
+// A p-fraction of the population are adversaries who all fail at the same
+// instant. Three arrangements are compared:
+//
+//   - append/contiguous: rows appended in arrival order and the
+//     adversaries arrived back-to-back — the §5 attack the plain scheme is
+//     vulnerable to (they occupy a contiguous band of M and can sever
+//     every thread below them);
+//   - random-insert/contiguous: the same coordinated arrival burst, but
+//     the server splices rows at random positions (§5's defense);
+//   - append/random: adversaries are a uniformly random subset — the iid
+//     reference the defense is supposed to reduce the attack to.
+//
+// The metric is the §6-style damage: the fraction of working nodes with
+// reduced connectivity after the simultaneous failure.
+type E8Config struct {
+	K, D   int
+	N      int
+	P      float64
+	Trials int
+	Seed   int64
+}
+
+// DefaultE8Config returns the standard adversarial comparison.
+func DefaultE8Config() E8Config {
+	return E8Config{K: 16, D: 2, N: 400, P: 0.05, Trials: 10, Seed: 8}
+}
+
+// E8Row is one arrangement's damage.
+type E8Row struct {
+	Arrangement string
+	// PLoss is the fraction of working nodes with connectivity < d after
+	// the batch failure.
+	PLoss float64
+	// MeanLossFrac is the mean connectivity loss fraction.
+	MeanLossFrac float64
+}
+
+// E8Result holds the comparison.
+type E8Result struct {
+	K, D, N int
+	P       float64
+	Rows    []E8Row
+}
+
+// Row returns the row for an arrangement name, or nil.
+func (r E8Result) Row(name string) *E8Row {
+	for i := range r.Rows {
+		if r.Rows[i].Arrangement == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the result.
+func (r E8Result) Table() *metrics.Table {
+	t := metrics.NewTable("E8: adversarial batch failure — insert-mode defense (§5)",
+		"arrangement", "P(conn loss)", "E[loss frac]")
+	for _, row := range r.Rows {
+		t.AddRow(row.Arrangement, row.PLoss, row.MeanLossFrac)
+	}
+	return t
+}
+
+// RunE8 executes experiment E8.
+func RunE8(cfg E8Config) (E8Result, error) {
+	res := E8Result{K: cfg.K, D: cfg.D, N: cfg.N, P: cfg.P}
+	m := int(float64(cfg.N) * cfg.P)
+	if m < 1 {
+		m = 1
+	}
+
+	type arrangement struct {
+		name       string
+		mode       core.InsertMode
+		contiguous bool
+	}
+	arrangements := []arrangement{
+		{"append/contiguous", core.InsertAppend, true},
+		{"random-insert/contiguous", core.InsertRandom, true},
+		{"append/random-subset", core.InsertAppend, false},
+	}
+
+	for ai, a := range arrangements {
+		var lossSum, fracSum float64
+		var trials int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ai)*1000 + int64(trial)))
+			c, err := core.New(cfg.K, cfg.D, rng, core.WithInsertMode(a.mode))
+			if err != nil {
+				return E8Result{}, err
+			}
+			ids := make([]core.NodeID, cfg.N)
+			for i := range ids {
+				ids[i] = c.Join()
+			}
+			var adversaries []core.NodeID
+			if a.contiguous {
+				// The burst arrives in the middle of the join sequence.
+				start := cfg.N/2 - m/2
+				adversaries = ids[start : start+m]
+			} else {
+				perm := rng.Perm(cfg.N)
+				for _, i := range perm[:m] {
+					adversaries = append(adversaries, ids[i])
+				}
+			}
+			FailSet(c, adversaries)
+			stats := MeasureConnectivity(c.Snapshot())
+			if stats.Working == 0 {
+				continue
+			}
+			lossSum += 1 - float64(stats.FullCount)/float64(stats.Working)
+			fracSum += stats.MeanLossFrac
+			trials++
+		}
+		row := E8Row{Arrangement: a.name}
+		if trials > 0 {
+			row.PLoss = lossSum / float64(trials)
+			row.MeanLossFrac = fracSum / float64(trials)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/metrics"
+)
+
+// E9Config parameterises experiment E9 (§6: delay vs cycles). The acyclic
+// curtain keeps full network-coding throughput but its depth — the
+// worst-case hop count from the server, i.e. the playback delay — grows
+// linearly in N. The §6 random-graph insertion tolerates cycles and gets
+// logarithmic depth. The runner sweeps N for both topologies and fits the
+// growth laws.
+type E9Config struct {
+	K, D   int
+	Sizes  []int
+	Trials int
+	Seed   int64
+}
+
+// DefaultE9Config returns the standard delay sweep.
+func DefaultE9Config() E9Config {
+	return E9Config{
+		K:      16,
+		D:      2,
+		Sizes:  []int{100, 200, 400, 800, 1600},
+		Trials: 3,
+		Seed:   9,
+	}
+}
+
+// E9Row is one size's depths.
+type E9Row struct {
+	N int
+	// CurtainMax/CurtainMean are hop depths of the acyclic curtain.
+	CurtainMax  float64
+	CurtainMean float64
+	// RandMax/RandMean are hop depths of the §6 random-graph topology.
+	RandMax  float64
+	RandMean float64
+}
+
+// E9Result holds the sweep plus growth fits.
+type E9Result struct {
+	K, D int
+	Rows []E9Row
+	// CurtainSlopePerN is the fitted slope of curtain max depth vs N
+	// (expected positive: linear growth).
+	CurtainSlopePerN float64
+	// RandSlopePerLogN is the fitted slope of random-graph max depth vs
+	// log2 N (expected small constant: logarithmic growth).
+	RandSlopePerLogN float64
+	// RandSlopePerN is the random graph's slope vs N (expected near 0).
+	RandSlopePerN float64
+}
+
+// Table renders the result.
+func (r E9Result) Table() *metrics.Table {
+	t := metrics.NewTable("E9: delay (hop depth) — acyclic curtain vs §6 random graph",
+		"N", "curtain max", "curtain mean", "randgraph max", "randgraph mean")
+	for _, row := range r.Rows {
+		t.AddRow(row.N, row.CurtainMax, row.CurtainMean, row.RandMax, row.RandMean)
+	}
+	t.AddRow("fits:", "", "", "", "")
+	t.AddRow("curtain d(max)/dN", r.CurtainSlopePerN, "", "", "")
+	t.AddRow("randgraph d(max)/dlog2N", r.RandSlopePerLogN, "", "", "")
+	t.AddRow("randgraph d(max)/dN", r.RandSlopePerN, "", "", "")
+	return t
+}
+
+// RunE9 executes experiment E9.
+func RunE9(cfg E9Config) (E9Result, error) {
+	res := E9Result{K: cfg.K, D: cfg.D}
+	for ni, n := range cfg.Sizes {
+		row := E9Row{N: n}
+		var cMax, cMean, rMax, rMean metrics.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ni)*100 + int64(trial)))
+			c, err := BuildCurtain(cfg.K, cfg.D, n, rng)
+			if err != nil {
+				return E9Result{}, err
+			}
+			maxD, meanD := depthStats(c.Snapshot())
+			cMax.Add(maxD)
+			cMean.Add(meanD)
+
+			rg, err := core.NewRandGraph(cfg.K, cfg.D, rng)
+			if err != nil {
+				return E9Result{}, err
+			}
+			for i := 0; i < n; i++ {
+				rg.Join()
+			}
+			maxD, meanD = depthStats(rg.Snapshot())
+			rMax.Add(maxD)
+			rMean.Add(meanD)
+		}
+		row.CurtainMax = cMax.Mean()
+		row.CurtainMean = cMean.Mean()
+		row.RandMax = rMax.Mean()
+		row.RandMean = rMean.Mean()
+		res.Rows = append(res.Rows, row)
+	}
+
+	var ns, logNs, curtainMaxes, randMaxes []float64
+	for _, row := range res.Rows {
+		ns = append(ns, float64(row.N))
+		logNs = append(logNs, math.Log2(float64(row.N)))
+		curtainMaxes = append(curtainMaxes, row.CurtainMax)
+		randMaxes = append(randMaxes, row.RandMax)
+	}
+	res.CurtainSlopePerN, _, _ = metrics.LinearFit(ns, curtainMaxes)
+	res.RandSlopePerLogN, _, _ = metrics.LinearFit(logNs, randMaxes)
+	res.RandSlopePerN, _, _ = metrics.LinearFit(ns, randMaxes)
+	return res, nil
+}
+
+// depthStats returns the max and mean BFS depth over reachable non-server
+// nodes of a snapshot.
+func depthStats(top *core.Topology) (maxDepth, meanDepth float64) {
+	depths := top.Graph.Depths(0)
+	var sum float64
+	var count int
+	for gi := 1; gi < len(depths); gi++ {
+		d := depths[gi]
+		if d < 0 {
+			continue
+		}
+		if float64(d) > maxDepth {
+			maxDepth = float64(d)
+		}
+		sum += float64(d)
+		count++
+	}
+	if count > 0 {
+		meanDepth = sum / float64(count)
+	}
+	return maxDepth, meanDepth
+}

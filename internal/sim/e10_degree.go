@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E10Config parameterises experiment E10 (§7's degree discussion: at a
+// fixed server bandwidth, k is proportional to d and each thread carries
+// 1/d of the content; the expected fraction of bandwidth lost is ≈ p
+// independent of d, while its variance should fall roughly like 1/d,
+// making larger d the choice for consistent-rate applications and d = 2
+// sufficient for bulk downloads).
+type E10Config struct {
+	// KPerD fixes the server bandwidth: k = KPerD * d.
+	KPerD  int
+	Ds     []int
+	N      int
+	P      float64
+	Trials int
+	Seed   int64
+}
+
+// DefaultE10Config returns the standard degree sweep.
+func DefaultE10Config() E10Config {
+	return E10Config{
+		KPerD:  8,
+		Ds:     []int{2, 4, 8, 16},
+		N:      300,
+		P:      0.03,
+		Trials: 8,
+		Seed:   10,
+	}
+}
+
+// E10Row is one degree's loss statistics.
+type E10Row struct {
+	D, K int
+	// MeanLoss is E[(d - conn)/d] over working nodes (§7 predicts ≈ p).
+	MeanLoss float64
+	// VarLoss is the across-node variance of the loss fraction (§7's open
+	// issue predicts it to shrink roughly like 1/d).
+	VarLoss float64
+	// VarTimesD is VarLoss * d; roughly constant if the 1/d law holds.
+	VarTimesD float64
+}
+
+// E10Result holds the sweep.
+type E10Result struct {
+	P    float64
+	Rows []E10Row
+}
+
+// Table renders the result.
+func (r E10Result) Table() *metrics.Table {
+	t := metrics.NewTable("E10: loss fraction vs degree d at fixed server bandwidth (§7)",
+		"d", "k", "E[loss]", "p ref", "Var[loss]", "d*Var[loss]")
+	for _, row := range r.Rows {
+		t.AddRow(row.D, row.K, row.MeanLoss, r.P, row.VarLoss, row.VarTimesD)
+	}
+	return t
+}
+
+// RunE10 executes experiment E10.
+func RunE10(cfg E10Config) (E10Result, error) {
+	res := E10Result{P: cfg.P}
+	for di, d := range cfg.Ds {
+		k := cfg.KPerD * d
+		var lossSummary metrics.Summary
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(di)*1000 + int64(trial)))
+			c, err := BuildCurtain(k, d, cfg.N, rng)
+			if err != nil {
+				return E10Result{}, err
+			}
+			FailIID(c, cfg.P, rng)
+			top := c.Snapshot()
+			// Per-node loss fractions feed the variance estimate.
+			stats := perNodeLossFractions(top, d)
+			for _, l := range stats {
+				lossSummary.Add(l)
+			}
+		}
+		res.Rows = append(res.Rows, E10Row{
+			D: d, K: k,
+			MeanLoss:  lossSummary.Mean(),
+			VarLoss:   lossSummary.Var(),
+			VarTimesD: lossSummary.Var() * float64(d),
+		})
+	}
+	return res, nil
+}
+
+// perNodeLossFractions returns (d-conn)/d for every working node of the
+// snapshot, with connectivity capped at d.
+func perNodeLossFractions(top *core.Topology, d int) []float64 {
+	conns := defect.NodeConnectivity(top, d)
+	out := make([]float64, 0, top.Graph.NumNodes())
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if !top.Working[gi] {
+			continue
+		}
+		c := conns[gi]
+		if c > d {
+			c = d
+		}
+		out = append(out, float64(d-c)/float64(d))
+	}
+	return out
+}

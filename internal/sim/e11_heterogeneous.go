@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E11Config parameterises experiment E11 (§5: heterogeneous bandwidths —
+// "some users could have DSL connections and others T1"). Two node classes
+// with different degrees share one curtain; under iid failures each class
+// should retain roughly the (1-p)-fraction of its own bandwidth, with the
+// high-degree class enjoying proportionally more absolute throughput.
+type E11Config struct {
+	K int
+	// DLow/DHigh are the two class degrees; FracHigh the population share
+	// of the high class.
+	DLow, DHigh int
+	FracHigh    float64
+	N           int
+	P           float64
+	Trials      int
+	Seed        int64
+}
+
+// DefaultE11Config returns the standard heterogeneous run.
+func DefaultE11Config() E11Config {
+	return E11Config{
+		K: 24, DLow: 2, DHigh: 6, FracHigh: 0.3,
+		N: 300, P: 0.03, Trials: 8, Seed: 11,
+	}
+}
+
+// E11Row is one class's outcome.
+type E11Row struct {
+	Class string
+	D     int
+	Nodes int
+	// DeliveredFrac is E[conn/d] over working nodes of the class.
+	DeliveredFrac float64
+	// AbsUnits is E[conn] — absolute bandwidth units delivered.
+	AbsUnits float64
+}
+
+// E11Result holds both classes.
+type E11Result struct {
+	K    int
+	P    float64
+	Rows []E11Row
+}
+
+// Table renders the result.
+func (r E11Result) Table() *metrics.Table {
+	t := metrics.NewTable("E11: heterogeneous degrees (DSL vs T1, §5)",
+		"class", "d", "nodes", "E[delivered frac]", "E[abs units]", "(1-p) ref")
+	for _, row := range r.Rows {
+		t.AddRow(row.Class, row.D, row.Nodes, row.DeliveredFrac, row.AbsUnits, 1-r.P)
+	}
+	return t
+}
+
+// RunE11 executes experiment E11.
+func RunE11(cfg E11Config) (E11Result, error) {
+	res := E11Result{K: cfg.K, P: cfg.P}
+	type acc struct {
+		frac, abs float64
+		n         int
+	}
+	var lo, hi acc
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+		c, err := core.New(cfg.K, cfg.DLow, rng)
+		if err != nil {
+			return E11Result{}, err
+		}
+		classOf := make(map[core.NodeID]int, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			d := cfg.DLow
+			cls := 0
+			if rng.Float64() < cfg.FracHigh {
+				d = cfg.DHigh
+				cls = 1
+			}
+			id, err := c.JoinDegree(d)
+			if err != nil {
+				return E11Result{}, err
+			}
+			classOf[id] = cls
+		}
+		FailIID(c, cfg.P, rng)
+		top := c.Snapshot()
+		conns := defect.NodeConnectivity(top, cfg.DHigh)
+		for _, id := range c.Nodes() {
+			if c.IsFailed(id) {
+				continue
+			}
+			gi := top.Index[id]
+			d, err := c.Degree(id)
+			if err != nil {
+				return E11Result{}, err
+			}
+			conn := conns[gi]
+			if conn > d {
+				conn = d
+			}
+			a := &lo
+			if classOf[id] == 1 {
+				a = &hi
+			}
+			a.frac += float64(conn) / float64(d)
+			a.abs += float64(conn)
+			a.n++
+		}
+	}
+	mk := func(name string, d int, a acc) E11Row {
+		row := E11Row{Class: name, D: d, Nodes: a.n}
+		if a.n > 0 {
+			row.DeliveredFrac = a.frac / float64(a.n)
+			row.AbsUnits = a.abs / float64(a.n)
+		}
+		return row
+	}
+	res.Rows = append(res.Rows, mk("dsl", cfg.DLow, lo), mk("t1", cfg.DHigh, hi))
+	return res, nil
+}

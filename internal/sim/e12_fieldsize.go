@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncast/internal/gf"
+	"ncast/internal/metrics"
+	"ncast/internal/rlnc"
+)
+
+// E12Config parameterises experiment E12 (the Chou–Wu–Jain practicality
+// ablation underlying the paper's data plane): decode efficiency and
+// per-packet overhead as a function of the coding field and generation
+// size. Packets travel server -> recoder -> receiver, the minimal path
+// that exercises re-mixing; the receiver counts how many packets it needs
+// beyond the information-theoretic minimum h.
+type E12Config struct {
+	Fields   []gf.Field
+	GenSizes []int
+	// PacketSize is the payload length in bytes.
+	PacketSize int
+	Trials     int
+	Seed       int64
+}
+
+// DefaultE12Config returns the standard field-size ablation.
+func DefaultE12Config() E12Config {
+	return E12Config{
+		Fields:     []gf.Field{gf.F2, gf.F256, gf.F65536},
+		GenSizes:   []int{16, 32, 64, 128},
+		PacketSize: 1024,
+		Trials:     10,
+		Seed:       12,
+	}
+}
+
+// E12Row is one (field, generation size) cell.
+type E12Row struct {
+	Field string
+	H     int
+	// MeanExtra is the mean number of packets beyond h needed to decode.
+	MeanExtra float64
+	// OverheadBytes is the per-packet header+coefficient overhead.
+	OverheadBytes int
+	// OverheadFrac is OverheadBytes / (OverheadBytes + PacketSize).
+	OverheadFrac float64
+}
+
+// E12Result holds the ablation grid.
+type E12Result struct {
+	PacketSize int
+	Rows       []E12Row
+}
+
+// Table renders the result.
+func (r E12Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E12: field-size ablation (payload %d B, through one recoder)", r.PacketSize),
+		"field", "h", "extra pkts to decode", "overhead B/pkt", "overhead frac")
+	for _, row := range r.Rows {
+		t.AddRow(row.Field, row.H, row.MeanExtra, row.OverheadBytes, row.OverheadFrac)
+	}
+	return t
+}
+
+// RunE12 executes experiment E12.
+func RunE12(cfg E12Config) (E12Result, error) {
+	res := E12Result{PacketSize: cfg.PacketSize}
+	for fi, f := range cfg.Fields {
+		for _, h := range cfg.GenSizes {
+			var extra metrics.Summary
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*1000 + int64(h)*10 + int64(trial)))
+				e, err := decodeCost(f, h, cfg.PacketSize, rng)
+				if err != nil {
+					return E12Result{}, err
+				}
+				extra.Add(float64(e))
+			}
+			oh := rlnc.OverheadBytes(f, h)
+			res.Rows = append(res.Rows, E12Row{
+				Field:         f.Name(),
+				H:             h,
+				MeanExtra:     extra.Mean(),
+				OverheadBytes: oh,
+				OverheadFrac:  float64(oh) / float64(oh+cfg.PacketSize),
+			})
+		}
+	}
+	return res, nil
+}
+
+// decodeCost pushes random packets through one recoder until the receiver
+// decodes, returning how many packets beyond h the receiver consumed.
+func decodeCost(f gf.Field, h, size int, rng *rand.Rand) (int, error) {
+	src := make([][]byte, h)
+	for i := range src {
+		src[i] = make([]byte, size)
+		rng.Read(src[i])
+	}
+	enc, err := rlnc.NewEncoder(f, 0, src)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := rlnc.NewRecoder(f, 0, h, size)
+	if err != nil {
+		return 0, err
+	}
+	dec, err := rlnc.NewDecoder(f, 0, h, size)
+	if err != nil {
+		return 0, err
+	}
+	// Seed the recoder with enough rank, as an upstream node would be.
+	for rec.Rank() < h {
+		if _, err := rec.Add(enc.Packet(rng)); err != nil {
+			return 0, err
+		}
+	}
+	received := 0
+	for !dec.Complete() {
+		p, ok := rec.Packet(rng)
+		if !ok {
+			return 0, fmt.Errorf("sim: recoder empty")
+		}
+		if _, err := dec.Add(p); err != nil {
+			return 0, err
+		}
+		received++
+		if received > 50*h {
+			return 0, fmt.Errorf("sim: decode not converging over %s", f.Name())
+		}
+	}
+	return received - h, nil
+}

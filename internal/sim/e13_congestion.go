@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/metrics"
+)
+
+// E13Config parameterises experiment E13 (§5 congestion handling: a
+// congested node picks a child and a parent and joins them directly,
+// reducing its degree; when the congestion clears it asks the server to
+// turn a zero of its row back into a one). The runner walks one node
+// through the full episode — congest (drop to a floor degree), then
+// recover (regrow to d) — and measures the node's own rate plus the rest
+// of the network's health at each phase.
+type E13Config struct {
+	K, D int
+	N    int
+	// FloorDegree is the degree the congested node backs off to.
+	FloorDegree int
+	Trials      int
+	Seed        int64
+}
+
+// DefaultE13Config returns the standard congestion episode.
+func DefaultE13Config() E13Config {
+	return E13Config{K: 16, D: 4, N: 200, FloorDegree: 1, Trials: 8, Seed: 13}
+}
+
+// E13Phase is one phase's measurements.
+type E13Phase struct {
+	Phase string
+	// NodeConn is the congested node's mean connectivity.
+	NodeConn float64
+	// NodeDegree is its mean degree.
+	NodeDegree float64
+	// OthersFullFrac is the fraction of other working nodes at full
+	// connectivity (the episode must not hurt bystanders).
+	OthersFullFrac float64
+}
+
+// E13Result holds the three phases.
+type E13Result struct {
+	K, D   int
+	Phases []E13Phase
+}
+
+// Phase returns the named phase, or nil.
+func (r E13Result) Phase(name string) *E13Phase {
+	for i := range r.Phases {
+		if r.Phases[i].Phase == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the result.
+func (r E13Result) Table() *metrics.Table {
+	t := metrics.NewTable("E13: congestion episode — degree backoff and regrowth (§5)",
+		"phase", "node conn", "node degree", "others at full conn")
+	for _, p := range r.Phases {
+		t.AddRow(p.Phase, p.NodeConn, p.NodeDegree, p.OthersFullFrac)
+	}
+	return t
+}
+
+// RunE13 executes experiment E13.
+func RunE13(cfg E13Config) (E13Result, error) {
+	res := E13Result{K: cfg.K, D: cfg.D}
+	type acc struct {
+		conn, deg, others float64
+		n                 int
+	}
+	accs := map[string]*acc{"before": {}, "congested": {}, "recovered": {}}
+
+	measure := func(c *core.Curtain, id core.NodeID, name string) error {
+		top := c.Snapshot()
+		conns := defect.NodeConnectivity(top, cfg.D)
+		d, err := c.Degree(id)
+		if err != nil {
+			return err
+		}
+		conn := conns[top.Index[id]]
+		if conn > d {
+			conn = d
+		}
+		full, others := 0, 0
+		for _, oid := range c.Nodes() {
+			if oid == id || c.IsFailed(oid) {
+				continue
+			}
+			od, err := c.Degree(oid)
+			if err != nil {
+				return err
+			}
+			oc := conns[top.Index[oid]]
+			others++
+			if oc >= od {
+				full++
+			}
+		}
+		a := accs[name]
+		a.conn += float64(conn)
+		a.deg += float64(d)
+		if others > 0 {
+			a.others += float64(full) / float64(others)
+		}
+		a.n++
+		return nil
+	}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+		c, err := BuildCurtain(cfg.K, cfg.D, cfg.N/2, rng)
+		if err != nil {
+			return E13Result{}, err
+		}
+		id := c.Join() // the node that will congest, mid-curtain
+		for i := 0; i < cfg.N/2; i++ {
+			c.Join()
+		}
+		if err := measure(c, id, "before"); err != nil {
+			return E13Result{}, err
+		}
+		for {
+			d, err := c.Degree(id)
+			if err != nil {
+				return E13Result{}, err
+			}
+			if d <= cfg.FloorDegree {
+				break
+			}
+			if _, err := c.ReduceDegree(id); err != nil {
+				return E13Result{}, err
+			}
+		}
+		if err := measure(c, id, "congested"); err != nil {
+			return E13Result{}, err
+		}
+		for {
+			d, err := c.Degree(id)
+			if err != nil {
+				return E13Result{}, err
+			}
+			if d >= cfg.D {
+				break
+			}
+			if _, err := c.IncreaseDegree(id); err != nil {
+				return E13Result{}, err
+			}
+		}
+		if err := measure(c, id, "recovered"); err != nil {
+			return E13Result{}, err
+		}
+	}
+
+	for _, name := range []string{"before", "congested", "recovered"} {
+		a := accs[name]
+		p := E13Phase{Phase: name}
+		if a.n > 0 {
+			p.NodeConn = a.conn / float64(a.n)
+			p.NodeDegree = a.deg / float64(a.n)
+			p.OthersFullFrac = a.others / float64(a.n)
+		}
+		res.Phases = append(res.Phases, p)
+	}
+	return res, nil
+}

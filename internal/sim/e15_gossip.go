@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math/rand"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+	"ncast/internal/gossip"
+	"ncast/internal/metrics"
+)
+
+// E15Config parameterises experiment E15 (§3/§7: "it is possible also to
+// have a distributed protocol... which uses a gossip mechanism for a newly
+// arriving node to find its parents" — "the specifics of the protocol are
+// less important than the topological structure of the resulting overlay
+// network"). The runner grows three overlays to the same size — the
+// central curtain, the central §6 random graph, and the tracker-free
+// gossip overlay — applies the same iid failure rate, runs the gossip
+// overlay's purely local repair, and compares health.
+type E15Config struct {
+	K, D   int
+	N      int
+	P      float64
+	Trials int
+	// ShuffleEvery controls gossip view refresh frequency (in joins).
+	ShuffleEvery int
+	Seed         int64
+}
+
+// DefaultE15Config returns the standard decentralisation comparison.
+func DefaultE15Config() E15Config {
+	return E15Config{K: 16, D: 2, N: 500, P: 0.03, Trials: 6, ShuffleEvery: 10, Seed: 15}
+}
+
+// E15Row is one overlay design's health.
+type E15Row struct {
+	Design string
+	// FracConnected is the fraction of working nodes with connectivity
+	// >= 1 after failures (gossip: after local repair).
+	FracConnected float64
+	// FracFullRate is the fraction with connectivity >= d.
+	FracFullRate float64
+	// MaxDepth is the mean max hop depth (delay).
+	MaxDepth float64
+}
+
+// E15Result holds the comparison.
+type E15Result struct {
+	K, D int
+	P    float64
+	Rows []E15Row
+}
+
+// Row returns the named design's row, or nil.
+func (r E15Result) Row(design string) *E15Row {
+	for i := range r.Rows {
+		if r.Rows[i].Design == design {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the result.
+func (r E15Result) Table() *metrics.Table {
+	t := metrics.NewTable("E15: central curtain vs §6 random graph vs tracker-free gossip",
+		"design", "frac connected", "frac full rate", "mean max depth")
+	for _, row := range r.Rows {
+		t.AddRow(row.Design, row.FracConnected, row.FracFullRate, row.MaxDepth)
+	}
+	return t
+}
+
+// RunE15 executes experiment E15.
+func RunE15(cfg E15Config) (E15Result, error) {
+	res := E15Result{K: cfg.K, D: cfg.D, P: cfg.P}
+	accs := map[string]*healthAcc{"curtain": {}, "randgraph": {}, "gossip": {}}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed + int64(trial)
+
+		// Central curtain with tracker repair (failures repaired away).
+		{
+			rng := rand.New(rand.NewSource(seed))
+			c, err := BuildCurtain(cfg.K, cfg.D, cfg.N, rng)
+			if err != nil {
+				return E15Result{}, err
+			}
+			failed := FailIID(c, cfg.P, rng)
+			for _, id := range failed {
+				if err := c.Repair(id); err != nil {
+					return E15Result{}, err
+				}
+			}
+			tally(accs["curtain"], c.Snapshot(), cfg.D)
+		}
+
+		// Central §6 random graph with tracker repair.
+		{
+			rng := rand.New(rand.NewSource(seed + 1000))
+			g, err := core.NewRandGraph(cfg.K, cfg.D, rng)
+			if err != nil {
+				return E15Result{}, err
+			}
+			var ids []core.NodeID
+			for i := 0; i < cfg.N; i++ {
+				ids = append(ids, g.Join())
+			}
+			for _, id := range ids {
+				if !g.IsFailed(id) && rng.Float64() < cfg.P {
+					if err := g.Fail(id); err != nil {
+						return E15Result{}, err
+					}
+					if err := g.Repair(id); err != nil {
+						return E15Result{}, err
+					}
+				}
+			}
+			tally(accs["randgraph"], g.Snapshot(), cfg.D)
+		}
+
+		// Tracker-free gossip overlay with local repair.
+		{
+			rng := rand.New(rand.NewSource(seed + 2000))
+			g, err := gossip.New(gossip.DefaultConfig(cfg.K, cfg.D), rng)
+			if err != nil {
+				return E15Result{}, err
+			}
+			var ids []core.NodeID
+			for i := 0; i < cfg.N; i++ {
+				ids = append(ids, g.Join())
+				if cfg.ShuffleEvery > 0 && i%cfg.ShuffleEvery == 0 {
+					g.Shuffle()
+				}
+			}
+			for _, id := range ids {
+				if !g.IsFailed(id) && rng.Float64() < cfg.P {
+					if err := g.Fail(id); err != nil {
+						return E15Result{}, err
+					}
+				}
+			}
+			g.Shuffle()
+			g.RepairAll()
+			tally(accs["gossip"], g.Snapshot(), cfg.D)
+		}
+	}
+
+	for _, design := range []string{"curtain", "randgraph", "gossip"} {
+		a := accs[design]
+		row := E15Row{Design: design}
+		if a.trials > 0 {
+			row.FracConnected = a.conn / a.trials
+			row.FracFullRate = a.full / a.trials
+			row.MaxDepth = a.depth / a.trials
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// healthAcc accumulates overlay-health observations across trials.
+type healthAcc struct{ conn, full, depth, trials float64 }
+
+// tally accumulates one snapshot's health into an accumulator.
+func tally(a *healthAcc, top *core.Topology, d int) {
+	conns := defect.NodeConnectivity(top, d)
+	working, connected, full := 0, 0, 0
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if !top.Working[gi] {
+			continue
+		}
+		working++
+		if conns[gi] >= 1 {
+			connected++
+		}
+		if conns[gi] >= d {
+			full++
+		}
+	}
+	if working > 0 {
+		a.conn += float64(connected) / float64(working)
+		a.full += float64(full) / float64(working)
+	}
+	maxDepth, _ := depthStats(top)
+	a.depth += maxDepth
+	a.trials++
+}

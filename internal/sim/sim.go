@@ -1,0 +1,250 @@
+// Package sim contains the experiment harness: the churn simulator that
+// drives a curtain through the paper's §4 stochastic process, failure
+// injectors, and one runner per experiment E1–E13 (see DESIGN.md for the
+// claim-to-experiment index). Each runner takes a config with sensible
+// defaults, is fully deterministic given its seed, and renders its results
+// as a metrics.Table — the "table or figure" the paper itself never
+// printed but whose shape its theorems predict.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ncast/internal/core"
+	"ncast/internal/defect"
+)
+
+// ChurnConfig describes the §4 arrival process: at every step one node
+// joins, pre-tagged failed with probability P (the paper's conceptual coin
+// toss before joining). Failed rows are repaired (removed) RepairDelay
+// steps after arrival when RepairDelay > 0; with RepairDelay == 0 failures
+// persist, which is the pure process Theorems 4 and 5 analyze. When
+// MaxNodes > 0, a uniformly random working node leaves gracefully whenever
+// the population exceeds the cap — justified by Lemma 1, which makes
+// graceful leaves distribution-neutral.
+type ChurnConfig struct {
+	P           float64
+	RepairDelay int
+	MaxNodes    int
+}
+
+// Churn drives a curtain through the arrival process.
+type Churn struct {
+	cfg     ChurnConfig
+	curtain *core.Curtain
+	rng     *rand.Rand
+	step    int
+	// pendingRepairs maps repair-due step -> failed node ids.
+	pendingRepairs map[int][]core.NodeID
+	working        []core.NodeID
+}
+
+// NewChurn wraps a curtain with the arrival process. The curtain should be
+// freshly built; rng drives the failure coin and cap evictions.
+func NewChurn(c *core.Curtain, cfg ChurnConfig, rng *rand.Rand) (*Churn, error) {
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("sim: failure probability %v out of [0,1]", cfg.P)
+	}
+	if cfg.RepairDelay < 0 {
+		return nil, fmt.Errorf("sim: negative repair delay %d", cfg.RepairDelay)
+	}
+	if cfg.MaxNodes < 0 {
+		return nil, fmt.Errorf("sim: negative population cap %d", cfg.MaxNodes)
+	}
+	return &Churn{
+		cfg:            cfg,
+		curtain:        c,
+		rng:            rng,
+		pendingRepairs: make(map[int][]core.NodeID),
+	}, nil
+}
+
+// Curtain returns the underlying overlay.
+func (ch *Churn) Curtain() *core.Curtain { return ch.curtain }
+
+// Step returns the number of arrivals processed.
+func (ch *Churn) Step() int { return ch.step }
+
+// Advance processes one arrival (one §4 time step) and any due repairs and
+// cap evictions. It returns the id of the arrived node.
+func (ch *Churn) Advance() core.NodeID {
+	ch.step++
+	failed := ch.rng.Float64() < ch.cfg.P
+	id := ch.curtain.JoinTagged(failed)
+	if failed && ch.cfg.RepairDelay > 0 {
+		due := ch.step + ch.cfg.RepairDelay
+		ch.pendingRepairs[due] = append(ch.pendingRepairs[due], id)
+	}
+	if !failed {
+		ch.working = append(ch.working, id)
+	}
+	for _, rid := range ch.pendingRepairs[ch.step] {
+		if ch.curtain.Contains(rid) && ch.curtain.IsFailed(rid) {
+			if err := ch.curtain.Repair(rid); err != nil {
+				panic(fmt.Sprintf("sim: repair of %d: %v", rid, err))
+			}
+		}
+	}
+	delete(ch.pendingRepairs, ch.step)
+	for ch.cfg.MaxNodes > 0 && ch.curtain.NumNodes() > ch.cfg.MaxNodes && len(ch.working) > 0 {
+		i := ch.rng.Intn(len(ch.working))
+		id := ch.working[i]
+		ch.working[i] = ch.working[len(ch.working)-1]
+		ch.working = ch.working[:len(ch.working)-1]
+		if !ch.curtain.Contains(id) || ch.curtain.IsFailed(id) {
+			continue // stale entry (node failed after arrival); skip
+		}
+		if err := ch.curtain.Leave(id); err != nil {
+			panic(fmt.Sprintf("sim: cap eviction of %d: %v", id, err))
+		}
+	}
+	return id
+}
+
+// BuildCurtain joins n working nodes onto a fresh curtain.
+func BuildCurtain(k, d, n int, rng *rand.Rand, opts ...core.Option) (*core.Curtain, error) {
+	c, err := core.New(k, d, rng, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		c.Join()
+	}
+	return c, nil
+}
+
+// FailIID tags each working node failed independently with probability p
+// and returns the failed ids. This is the paper's iid failure model
+// applied post-hoc to a built network ("p is the probability that a node
+// fails non-ergodically within the repair interval").
+func FailIID(c *core.Curtain, p float64, rng *rand.Rand) []core.NodeID {
+	var failed []core.NodeID
+	for _, id := range c.Nodes() {
+		if !c.IsFailed(id) && rng.Float64() < p {
+			if err := c.Fail(id); err != nil {
+				panic(fmt.Sprintf("sim: fail %d: %v", id, err))
+			}
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// FailSet tags the given nodes failed (adversarial batch failure, §5).
+// Unknown or already-failed ids are skipped.
+func FailSet(c *core.Curtain, ids []core.NodeID) {
+	for _, id := range ids {
+		if c.Contains(id) && !c.IsFailed(id) {
+			if err := c.Fail(id); err != nil {
+				panic(fmt.Sprintf("sim: fail %d: %v", id, err))
+			}
+		}
+	}
+}
+
+// ConnectivityStats summarises per-node connectivity of working nodes.
+type ConnectivityStats struct {
+	// Working is the number of working nodes measured.
+	Working int
+	// FullCount is the number of working nodes with connectivity >= their
+	// degree d.
+	FullCount int
+	// MeanLossFrac is the mean of (d - conn)/d over working nodes.
+	MeanLossFrac float64
+	// VarLossFrac is the sample variance of the loss fraction.
+	VarLossFrac float64
+	// MinConn is the minimum connectivity observed among working nodes.
+	MinConn int
+}
+
+// MeasureConnectivity computes connectivity statistics for every working
+// node of the snapshot, each capped at its in-degree (its personal d).
+func MeasureConnectivity(top *core.Topology) ConnectivityStats {
+	conns := defect.NodeConnectivity(top, -1)
+	stats := ConnectivityStats{MinConn: -1}
+	var sum, sumSq float64
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if !top.Working[gi] {
+			continue
+		}
+		d := top.Graph.InDegree(gi)
+		if d == 0 {
+			continue
+		}
+		c := conns[gi]
+		if c > d {
+			c = d
+		}
+		stats.Working++
+		if c >= d {
+			stats.FullCount++
+		}
+		if stats.MinConn < 0 || c < stats.MinConn {
+			stats.MinConn = c
+		}
+		loss := float64(d-c) / float64(d)
+		sum += loss
+		sumSq += loss * loss
+	}
+	if stats.Working > 0 {
+		stats.MeanLossFrac = sum / float64(stats.Working)
+		if stats.Working > 1 {
+			m := stats.MeanLossFrac
+			stats.VarLossFrac = (sumSq - float64(stats.Working)*m*m) / float64(stats.Working-1)
+		}
+	}
+	if stats.MinConn < 0 {
+		stats.MinConn = 0
+	}
+	return stats
+}
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic between
+// samples a and b: the max distance between their empirical CDFs.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Consume ALL values tied at the current point from both samples
+		// before comparing CDFs; advancing one sample at a time across a
+		// tie fabricates distance where the distributions agree.
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		diff := float64(i)/float64(len(as)) - float64(j)/float64(len(bs))
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSThreshold returns the critical value at significance alpha≈0.01 for a
+// two-sample KS test with sample sizes n and m: c(α)·sqrt((n+m)/(n·m)),
+// c(0.01) = 1.628.
+func KSThreshold(n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 1
+	}
+	return 1.628 * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}

@@ -1,0 +1,548 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/core"
+)
+
+func TestChurnValidation(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	c, err := core.New(8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChurn(c, ChurnConfig{P: -0.1}, rng); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewChurn(c, ChurnConfig{P: 1.5}, rng); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := NewChurn(c, ChurnConfig{RepairDelay: -1}, rng); err == nil {
+		t.Error("negative repair delay accepted")
+	}
+	if _, err := NewChurn(c, ChurnConfig{MaxNodes: -1}, rng); err == nil {
+		t.Error("negative cap accepted")
+	}
+}
+
+func TestChurnPopulationCap(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2))
+	c, err := core.New(8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChurn(c, ChurnConfig{P: 0.1, MaxNodes: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ch.Advance()
+		if c.NumNodes() > 51 { // transiently one over before eviction
+			t.Fatalf("step %d: population %d exceeds cap", i, c.NumNodes())
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Step() != 500 {
+		t.Fatalf("Step = %d", ch.Step())
+	}
+}
+
+func TestChurnRepairDelay(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	c, err := core.New(8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChurn(c, ChurnConfig{P: 0.5, RepairDelay: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		ch.Advance()
+	}
+	// With repairs, failed rows older than the delay are gone: the failed
+	// population stays bounded near p*RepairDelay.
+	if got := c.NumFailed(); got > 15 {
+		t.Fatalf("failed population %d not bounded by repair", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailIIDAndFailSet(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(4))
+	c, err := BuildCurtain(8, 2, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := FailIID(c, 0.1, rng)
+	if len(failed) == 0 || len(failed) > 60 {
+		t.Fatalf("iid failures = %d, implausible for p=0.1, n=200", len(failed))
+	}
+	if c.NumFailed() != len(failed) {
+		t.Fatal("NumFailed mismatch")
+	}
+	// FailSet skips already-failed and unknown ids.
+	FailSet(c, append(failed[:2:2], core.NodeID(99999)))
+	if c.NumFailed() != len(failed) {
+		t.Fatal("FailSet double-failed or failed a ghost")
+	}
+}
+
+func TestMeasureConnectivityFailureFree(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	c, err := BuildCurtain(12, 3, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := MeasureConnectivity(c.Snapshot())
+	if stats.Working != 80 || stats.FullCount != 80 || stats.MinConn != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.MeanLossFrac != 0 || stats.VarLossFrac != 0 {
+		t.Fatalf("loss on failure-free curtain: %+v", stats)
+	}
+}
+
+func TestKSStatistic(t *testing.T) {
+	t.Parallel()
+	same := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(same, same); d != 0 {
+		t.Fatalf("KS(same,same) = %v", d)
+	}
+	a := []float64{1, 1, 1}
+	b := []float64{2, 2, 2}
+	if d := KSStatistic(a, b); d != 1 {
+		t.Fatalf("KS(disjoint) = %v, want 1", d)
+	}
+	if d := KSStatistic(nil, a); d != 0 {
+		t.Fatalf("KS with empty = %v", d)
+	}
+	// Threshold sanity.
+	if th := KSThreshold(100, 100); th < 0.1 || th > 0.5 {
+		t.Fatalf("threshold = %v", th)
+	}
+	if th := KSThreshold(0, 5); th != 1 {
+		t.Fatalf("degenerate threshold = %v", th)
+	}
+}
+
+func TestRunE1(t *testing.T) {
+	t.Parallel()
+	cfg := E1Config{
+		Configs: []KD{{8, 2}, {12, 3}},
+		Sizes:   []int{50, 150},
+		Seed:    1,
+	}
+	res, err := RunE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FracFullConn != 1 {
+			t.Fatalf("k=%d d=%d N=%d: frac full = %v, want 1 (failure-free)",
+				row.K, row.D, row.N, row.FracFullConn)
+		}
+		if row.MinConn != row.D {
+			t.Fatalf("min conn = %d, want %d", row.MinConn, row.D)
+		}
+	}
+	if res.Table().NumRows() != 4 {
+		t.Fatal("table rows")
+	}
+}
+
+func TestRunE2Theorem4Shape(t *testing.T) {
+	t.Parallel()
+	cfg := E2Config{
+		K: 16, D: 2,
+		Ps:           []float64{0.02, 0.05},
+		Steps:        900,
+		BurnIn:       300,
+		MeasureEvery: 30,
+		Seed:         2,
+	}
+	res, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Measurements == 0 {
+			t.Fatal("no measurements")
+		}
+		// Theorem 4: E[B]/A <= (1+eps)pd. Allow generous sampling slack
+		// but demand the right order of magnitude and the lower side too
+		// (defects do occur, so b should not be ~0 at these p).
+		if row.Ratio > 3.0 {
+			t.Fatalf("p=%v: ratio E[B]/A / pd = %v, far above Theorem 4", row.P, row.Ratio)
+		}
+		if row.MeanB <= 0 {
+			t.Fatalf("p=%v: mean b = %v, expected positive defect", row.P, row.MeanB)
+		}
+	}
+	// b should grow with p.
+	if res.Rows[1].MeanB <= res.Rows[0].MeanB {
+		t.Fatalf("b not increasing in p: %v vs %v", res.Rows[0].MeanB, res.Rows[1].MeanB)
+	}
+}
+
+func TestRunE3CollapseGrowsWithK(t *testing.T) {
+	t.Parallel()
+	cfg := E3Config{
+		D:           2,
+		Ks:          []int{4, 8},
+		P:           0.28,
+		Threshold:   0.5,
+		Trials:      6,
+		MaxSteps:    4000,
+		CheckEvery:  10,
+		Samples:     60,
+		MaxNodes:    150,
+		RepairDelay: 150,
+		Seed:        3,
+	}
+	res, err := RunE3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	// Theorem 5 shape: collapse time grows (exponentially) with k.
+	if res.Rows[1].MedianStep <= res.Rows[0].MedianStep {
+		t.Fatalf("median collapse steps did not grow with k: %v -> %v",
+			res.Rows[0].MedianStep, res.Rows[1].MedianStep)
+	}
+	if res.FitOK && res.Slope <= 0 {
+		t.Fatalf("log collapse-time slope = %v, want positive", res.Slope)
+	}
+}
+
+func TestRunE4Lemma6Bound(t *testing.T) {
+	t.Parallel()
+	cfg := E4Config{K: 10, D: 2, P: 0.25, Steps: 150, Seed: 4}
+	res, err := RunE4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.MaxJump) > res.Bound+1e-9 {
+		t.Fatalf("observed jump %d exceeds Lemma 6 bound %v", res.MaxJump, res.Bound)
+	}
+	// The extremal case attains the bound exactly.
+	if math.Abs(float64(res.ExtremalJump)-res.Bound) > 1e-9 {
+		t.Fatalf("extremal jump %d != bound %v", res.ExtremalJump, res.Bound)
+	}
+}
+
+func TestRunE5Lemma1Invariance(t *testing.T) {
+	t.Parallel()
+	cfg := E5Config{K: 8, D: 2, N: 20, M: 10, P: 0.1, Trials: 120, Seed: 5}
+	res, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invariant() {
+		t.Fatalf("Lemma 1 invariance rejected: KS defect %v, KS server-deg %v, threshold %v",
+			res.KSDefect, res.KSServerDeg, res.Threshold)
+	}
+}
+
+func TestRunE6LocalityAndScaleInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := E6Config{
+		K: 16, D: 2, P: 0.03,
+		Sizes:  []int{150, 600},
+		Trials: 4,
+		Seed:   6,
+	}
+	res, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Locality: losing connectivity without a failed parent must be
+		// far rarer than overall loss.
+		if row.PLossNoParent > 0.5*row.PLoss+0.01 {
+			t.Fatalf("N=%d: P(loss|no parent failed)=%v not small vs P(loss)=%v",
+				row.N, row.PLossNoParent, row.PLoss)
+		}
+		// P(loss) should be near the parent-failure probability ~ pd.
+		if row.PLoss > 3*res.P*float64(res.D)+0.02 {
+			t.Fatalf("N=%d: P(loss)=%v far above pd=%v", row.N, row.PLoss, res.P*float64(res.D))
+		}
+	}
+	// Scalability: quadrupling N must not blow up the loss probability.
+	small, large := res.Rows[0].PLoss, res.Rows[1].PLoss
+	if large > 2*small+0.02 {
+		t.Fatalf("P(loss) grew with N: %v -> %v", small, large)
+	}
+}
+
+func TestRunE7ThroughputOrdering(t *testing.T) {
+	t.Parallel()
+	cfg := E7Config{
+		N: 60, K: 10, D: 2, TreeFanout: 3, FECData: 1,
+		Ps:             []float64{0, 0.1},
+		Trials:         8,
+		IncludeEdmonds: true,
+		Seed:           7,
+	}
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	noFail, fail := res.Rows[0].Means, res.Rows[1].Means
+	// With no failures RLNC and Edmonds deliver 1.0; FEC pays redundancy.
+	if noFail["rlnc"] != 1 || noFail["edmonds-static"] != 1 {
+		t.Fatalf("no-failure rates: %v", noFail)
+	}
+	if noFail["fec-1/2"] >= 1 {
+		t.Fatalf("FEC rate %v did not pay redundancy", noFail["fec-1/2"])
+	}
+	// Under failures: the paper's ordering — RLNC >= static Edmonds,
+	// RLNC > chain.
+	if fail["rlnc"] < fail["edmonds-static"] {
+		t.Fatalf("rlnc %v below edmonds-static %v", fail["rlnc"], fail["edmonds-static"])
+	}
+	if fail["rlnc"] <= fail["chain"] {
+		t.Fatalf("rlnc %v not above chain %v", fail["rlnc"], fail["chain"])
+	}
+}
+
+func TestRunE8AdversarialDefense(t *testing.T) {
+	t.Parallel()
+	cfg := E8Config{K: 10, D: 2, N: 200, P: 0.06, Trials: 6, Seed: 8}
+	res, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := res.Row("append/contiguous")
+	defended := res.Row("random-insert/contiguous")
+	reference := res.Row("append/random-subset")
+	if attack == nil || defended == nil || reference == nil {
+		t.Fatal("missing arrangements")
+	}
+	// §5: the contiguous attack on append-mode hurts more than the same
+	// burst under random insertion, which behaves like random failures.
+	if attack.MeanLossFrac <= defended.MeanLossFrac {
+		t.Fatalf("attack loss %v not above defended loss %v",
+			attack.MeanLossFrac, defended.MeanLossFrac)
+	}
+	if defended.MeanLossFrac > 3*reference.MeanLossFrac+0.02 {
+		t.Fatalf("defended loss %v not comparable to iid reference %v",
+			defended.MeanLossFrac, reference.MeanLossFrac)
+	}
+}
+
+func TestRunE9DelayShapes(t *testing.T) {
+	t.Parallel()
+	cfg := E9Config{
+		K: 8, D: 2,
+		Sizes:  []int{100, 400},
+		Trials: 2,
+		Seed:   9,
+	}
+	res, err := RunE9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Curtain depth grows ~linearly: 4x nodes => ~4x depth (allow 2.5x).
+	c0, c1 := res.Rows[0].CurtainMax, res.Rows[1].CurtainMax
+	if c1 < 2.5*c0 {
+		t.Fatalf("curtain depth not linear: %v -> %v", c0, c1)
+	}
+	// Random graph depth grows slowly: 4x nodes => well under 2x depth.
+	r0, r1 := res.Rows[0].RandMax, res.Rows[1].RandMax
+	if r1 > 2*r0 {
+		t.Fatalf("random graph depth not logarithmic: %v -> %v", r0, r1)
+	}
+	// And the absolute separation at the larger size.
+	if r1*2 > c1 {
+		t.Fatalf("random graph depth %v not clearly below curtain %v", r1, c1)
+	}
+}
+
+func TestRunE10DegreeSweep(t *testing.T) {
+	t.Parallel()
+	cfg := E10Config{
+		KPerD: 8, Ds: []int{2, 8},
+		N: 150, P: 0.04, Trials: 5, Seed: 10,
+	}
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// §7: expected loss ≈ p for every d.
+		if row.MeanLoss > 3*res.P+0.02 || row.MeanLoss <= 0 {
+			t.Fatalf("d=%d: mean loss %v implausible vs p=%v", row.D, row.MeanLoss, res.P)
+		}
+	}
+	// Variance falls with d.
+	if res.Rows[1].VarLoss >= res.Rows[0].VarLoss {
+		t.Fatalf("variance did not fall with d: %v -> %v",
+			res.Rows[0].VarLoss, res.Rows[1].VarLoss)
+	}
+}
+
+func TestRunE11Heterogeneous(t *testing.T) {
+	t.Parallel()
+	cfg := E11Config{
+		K: 16, DLow: 2, DHigh: 6, FracHigh: 0.3,
+		N: 150, P: 0.03, Trials: 4, Seed: 11,
+	}
+	res, err := RunE11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	dsl, t1 := res.Rows[0], res.Rows[1]
+	if dsl.Nodes == 0 || t1.Nodes == 0 {
+		t.Fatal("empty class")
+	}
+	// Both classes retain most of their bandwidth.
+	if dsl.DeliveredFrac < 0.85 || t1.DeliveredFrac < 0.85 {
+		t.Fatalf("class delivery too low: dsl %v t1 %v", dsl.DeliveredFrac, t1.DeliveredFrac)
+	}
+	// T1 gets proportionally more absolute bandwidth (≈3x).
+	if t1.AbsUnits < 2*dsl.AbsUnits {
+		t.Fatalf("t1 abs units %v not well above dsl %v", t1.AbsUnits, dsl.AbsUnits)
+	}
+}
+
+func TestRunE12FieldAblation(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultE12Config()
+	cfg.GenSizes = []int{16, 32}
+	cfg.Trials = 5
+	cfg.PacketSize = 256
+	res, err := RunE12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(field string, h int) *E12Row {
+		for i := range res.Rows {
+			if res.Rows[i].Field == field && res.Rows[i].H == h {
+				return &res.Rows[i]
+			}
+		}
+		t.Fatalf("row %s/%d missing", field, h)
+		return nil
+	}
+	// GF(2) wastes noticeably more packets than GF(256); GF(256) is near
+	// optimal; GF(65536) at least as good.
+	g2, g256, g65536 := get("GF(2)", 32), get("GF(256)", 32), get("GF(65536)", 32)
+	if g2.MeanExtra <= g256.MeanExtra {
+		t.Fatalf("GF(2) extra %v not above GF(256) %v", g2.MeanExtra, g256.MeanExtra)
+	}
+	if g256.MeanExtra > 0.5 {
+		t.Fatalf("GF(256) extra %v not near optimal", g256.MeanExtra)
+	}
+	if g65536.MeanExtra > g256.MeanExtra+0.2 {
+		t.Fatalf("GF(65536) extra %v worse than GF(256) %v", g65536.MeanExtra, g256.MeanExtra)
+	}
+	// Overhead ordering: GF(2) coefficients are 16x smaller than GF(256).
+	if g2.OverheadBytes >= g256.OverheadBytes || g256.OverheadBytes >= g65536.OverheadBytes {
+		t.Fatalf("overhead ordering wrong: %d %d %d",
+			g2.OverheadBytes, g256.OverheadBytes, g65536.OverheadBytes)
+	}
+}
+
+func TestRunE13CongestionEpisode(t *testing.T) {
+	t.Parallel()
+	cfg := E13Config{K: 12, D: 3, N: 80, FloorDegree: 1, Trials: 4, Seed: 13}
+	res, err := RunE13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, congested, recovered := res.Phase("before"), res.Phase("congested"), res.Phase("recovered")
+	if before == nil || congested == nil || recovered == nil {
+		t.Fatal("missing phases")
+	}
+	if before.NodeConn != float64(cfg.D) {
+		t.Fatalf("before conn = %v, want %d", before.NodeConn, cfg.D)
+	}
+	if congested.NodeConn != float64(cfg.FloorDegree) {
+		t.Fatalf("congested conn = %v, want %d", congested.NodeConn, cfg.FloorDegree)
+	}
+	if recovered.NodeConn != float64(cfg.D) {
+		t.Fatalf("recovered conn = %v, want %d", recovered.NodeConn, cfg.D)
+	}
+	// Bystanders unharmed throughout.
+	for _, p := range res.Phases {
+		if p.OthersFullFrac < 0.999 {
+			t.Fatalf("phase %s: bystanders hurt: %v", p.Phase, p.OthersFullFrac)
+		}
+	}
+}
+
+func TestRunE14ConjectureShape(t *testing.T) {
+	t.Parallel()
+	cfg := E14Config{K: 16, D: 2, N: 300, P: 0.04, Trials: 4, Seed: 14}
+	res, err := RunE14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != cfg.D+1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// kappa = 0 dominates and the two distributions agree closely there.
+	r0 := res.Rows[0]
+	if r0.PDeficit < 0.85 || r0.PParents < 0.85 {
+		t.Fatalf("kappa=0 masses too small: %+v", r0)
+	}
+	if r0.Ratio < 0.95 || r0.Ratio > 1.05 {
+		t.Fatalf("kappa=0 ratio %v outside [0.95,1.05]", r0.Ratio)
+	}
+	// kappa = 1: the conjecture says the ratio is near 1; allow slack for
+	// finite-size effects but demand the right order of magnitude.
+	r1 := res.Rows[1]
+	if r1.PParents > 0 && (r1.Ratio < 0.5 || r1.Ratio > 2) {
+		t.Fatalf("kappa=1 ratio %v far from 1", r1.Ratio)
+	}
+}
+
+func TestRunE15GossipComparable(t *testing.T) {
+	t.Parallel()
+	cfg := E15Config{K: 12, D: 2, N: 200, P: 0.03, Trials: 3, ShuffleEvery: 10, Seed: 15}
+	res, err := RunE15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gossipRow, curtain := res.Row("gossip"), res.Row("curtain")
+	if gossipRow == nil || curtain == nil {
+		t.Fatal("missing rows")
+	}
+	// The tracker-free overlay must keep essentially everyone connected
+	// after purely local repair.
+	if gossipRow.FracConnected < 0.99 {
+		t.Fatalf("gossip connected fraction %v", gossipRow.FracConnected)
+	}
+	// And with logarithmic depth, far below the curtain's linear depth.
+	if gossipRow.MaxDepth*2 > curtain.MaxDepth {
+		t.Fatalf("gossip depth %v not clearly below curtain %v", gossipRow.MaxDepth, curtain.MaxDepth)
+	}
+	// Central designs with tracker repair stay fully healthy.
+	if curtain.FracFullRate < 0.999 {
+		t.Fatalf("curtain full-rate fraction %v after repair", curtain.FracFullRate)
+	}
+}

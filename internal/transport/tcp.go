@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint implements Endpoint over TCP: it listens on its own address
+// and lazily dials peers, caching one outbound connection per peer. Each
+// frame on the wire is [4B addr len][sender addr][payload], inside the
+// standard length-prefixed framing, so receivers learn the sender's
+// listening address (needed to reply — the tracker addresses nodes by
+// their listening address, not their ephemeral dialing port).
+type TCPEndpoint struct {
+	ln      net.Listener
+	addr    string
+	recv    chan memFrame
+	mu      sync.Mutex
+	conns   map[string]*Conn
+	inbound map[*Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP creates an endpoint listening on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		recv:    make(chan memFrame, 256),
+		conns:   make(map[string]*Conn),
+		inbound: make(map[*Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the listening address.
+func (e *TCPEndpoint) Addr() string { return e.addr }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := NewConn(conn)
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c *Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return
+		}
+		from, payload, err := splitSender(frame)
+		if err != nil {
+			return // malformed peer; drop the connection
+		}
+		select {
+		case e.recv <- memFrame{from: from, msg: payload}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func splitSender(frame []byte) (string, []byte, error) {
+	if len(frame) < 4 {
+		return "", nil, errors.New("transport: short tcp frame")
+	}
+	n := binary.BigEndian.Uint32(frame)
+	if int(n) > len(frame)-4 {
+		return "", nil, errors.New("transport: bad sender length")
+	}
+	return string(frame[4 : 4+n]), frame[4+n:], nil
+}
+
+func prependSender(from string, msg []byte) []byte {
+	out := make([]byte, 4+len(from)+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(from)))
+	copy(out[4:], from)
+	copy(out[4+len(from):], msg)
+	return out
+}
+
+// Send implements Endpoint. It dials the peer on first use and reuses the
+// connection afterwards; a send error invalidates the cached connection so
+// the next send redials.
+func (e *TCPEndpoint) Send(ctx context.Context, to string, msg []byte) error {
+	conn, err := e.conn(ctx, to)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(prependSender(e.addr, msg)); err != nil {
+		e.dropConn(to, conn)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(ctx context.Context, to string) (*Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	c := NewConn(raw)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		c.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to string, c *Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	c.Close()
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv(ctx context.Context) (string, []byte, error) {
+	select {
+	case f := <-e.recv:
+		return f.from, f.msg, nil
+	case <-e.done:
+		return "", nil, ErrClosed
+	case <-ctx.Done():
+		return "", nil, ctx.Err()
+	}
+}
+
+// Close implements Endpoint: it stops the listener, closes cached
+// connections, and waits for reader goroutines to exit.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = map[string]*Conn{}
+	// Close accepted connections too: their readLoops block in Recv and
+	// would otherwise stall the WaitGroup below forever.
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.wg.Wait()
+	return err
+}

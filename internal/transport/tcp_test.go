@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTCPEndpointRoundTrip(t *testing.T) {
+	t.Parallel()
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx := context.Background()
+	if err := a.Send(ctx, b.Addr(), []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	from, msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != a.Addr() || string(msg) != "over tcp" {
+		t.Fatalf("got %q from %q", msg, from)
+	}
+	// Reply using the learned sender address.
+	if err := b.Send(ctx, from, []byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	_, msg, err = a.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "ack" {
+		t.Fatalf("reply = %q", msg)
+	}
+}
+
+func TestTCPEndpointConnReuseConcurrent(t *testing.T) {
+	t.Parallel()
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx := context.Background()
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.Send(ctx, b.Addr(), []byte{byte(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[byte]bool, n)
+	for i := 0; i < n; i++ {
+		_, msg, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[msg[0]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("received %d distinct frames, want %d", len(seen), n)
+	}
+}
+
+func TestTCPEndpointSendAfterClose(t *testing.T) {
+	t.Parallel()
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), "127.0.0.1:1", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after close: %v", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPEndpointDialFailure(t *testing.T) {
+	t.Parallel()
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := a.Send(ctx, "127.0.0.1:1", []byte("x")); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

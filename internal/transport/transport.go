@@ -1,0 +1,298 @@
+// Package transport provides the message transports the protocol layer
+// runs on: an in-memory transport with configurable latency and loss (for
+// tests and simulations — the substitution for real residential links
+// documented in DESIGN.md) and a TCP transport (for the cmd/ tools).
+//
+// The abstraction is deliberately minimal: datagram-style framed messages
+// between named endpoints. Reliability semantics are those of the
+// underlying medium — the in-memory transport can drop frames when
+// configured with loss, mimicking ergodic failures; TCP never drops.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned after an endpoint or network is closed.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when sending to an address with no endpoint.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// maxFrame bounds a frame's size on stream transports (16 MiB).
+const maxFrame = 16 << 20
+
+// Endpoint is one side of a transport: it can send framed messages to
+// named peers and receive messages addressed to it.
+type Endpoint interface {
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Send delivers msg to the named peer. It may fail fast (unknown
+	// peer, closed) or silently drop (lossy media), but never blocks
+	// beyond the context.
+	Send(ctx context.Context, to string, msg []byte) error
+	// Recv blocks for the next message, returning the sender's address.
+	Recv(ctx context.Context) (from string, msg []byte, err error)
+	// Close releases the endpoint; pending and future Recv calls fail.
+	Close() error
+}
+
+// Network is an in-memory message fabric connecting named endpoints.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[string]*memEndpoint
+	rng       *rand.Rand
+	loss      float64
+	latency   time.Duration
+	closed    bool
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithLoss drops each frame independently with probability p (ergodic
+// failures of §2).
+func WithLoss(p float64) NetworkOption {
+	return func(n *Network) { n.loss = p }
+}
+
+// WithLatency delays each delivery by d.
+func WithLatency(d time.Duration) NetworkOption {
+	return func(n *Network) { n.latency = d }
+}
+
+// WithSeed seeds the loss coin.
+func WithSeed(seed int64) NetworkOption {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewNetwork creates an in-memory fabric.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{
+		endpoints: make(map[string]*memEndpoint),
+		rng:       rand.New(rand.NewSource(0)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint registers (or returns an error for a duplicate) address.
+func (n *Network) Endpoint(addr string) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already registered", addr)
+	}
+	ep := &memEndpoint{
+		net:  n,
+		addr: addr,
+		ch:   make(chan memFrame, 256),
+		done: make(chan struct{}),
+	}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// CloseEndpoint force-closes the endpoint at addr without unregistering
+// semantics beyond Close: it simulates a node crash (the process dies; the
+// address stops consuming frames). It reports whether an endpoint existed.
+func (n *Network) CloseEndpoint(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[addr]
+	if !ok {
+		return false
+	}
+	ep.closeLocked()
+	delete(n.endpoints, addr)
+	return true
+}
+
+// Close shuts the fabric and every endpoint down.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, ep := range n.endpoints {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+type memFrame struct {
+	from string
+	msg  []byte
+	// due is when the frame may be delivered (enqueue time + latency);
+	// the zero value means immediately.
+	due time.Time
+}
+
+type memEndpoint struct {
+	net  *Network
+	addr string
+	ch   chan memFrame
+	// done signals closure; the data channel itself is never closed, so
+	// concurrent senders can never hit a closed-channel panic — they
+	// select on done instead.
+	done   chan struct{}
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Addr() string { return e.addr }
+
+func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
+	n := e.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to]
+	drop := n.loss > 0 && n.rng.Float64() < n.loss
+	latency := n.latency
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if drop {
+		return nil // silently lost, like a UDP frame on a congested link
+	}
+	frame := memFrame{from: e.addr, msg: append([]byte(nil), msg...)}
+	if latency > 0 {
+		// Latency is applied on the delivery side (Recv waits until the
+		// frame is due), so concurrent frames pipeline like packets on a
+		// real link instead of serialising their senders. Enqueueing
+		// still blocks on a full buffer, which is the backpressure that
+		// keeps fast producers honest.
+		frame.due = time.Now().Add(latency)
+	}
+	select {
+	case dst.ch <- frame:
+		return nil
+	case <-dst.done:
+		return nil // receiver gone: frame lost
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *memEndpoint) Recv(ctx context.Context) (string, []byte, error) {
+	select {
+	case f := <-e.ch:
+		if wait := time.Until(f.due); wait > 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				// The frame is consumed but undelivered: model it as
+				// lost in flight, like a datagram on a dying link.
+				return "", nil, ctx.Err()
+			}
+		}
+		return f.from, f.msg, nil
+	case <-e.done:
+		return "", nil, ErrClosed
+	case <-ctx.Done():
+		return "", nil, ctx.Err()
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closeLocked()
+	delete(e.net.endpoints, e.addr)
+	return nil
+}
+
+func (e *memEndpoint) closeLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.done)
+	}
+}
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(msg))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(msg); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads a length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	return msg, nil
+}
+
+// Conn is a framed, bidirectional stream connection (TCP or net.Pipe).
+type Conn struct {
+	c  net.Conn
+	wm sync.Mutex
+	rm sync.Mutex
+}
+
+// NewConn wraps a net.Conn with frame semantics.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Send writes one frame. Safe for concurrent use.
+func (c *Conn) Send(msg []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	return WriteFrame(c.c, msg)
+}
+
+// Recv reads one frame. Safe for concurrent use with Send.
+func (c *Conn) Recv() ([]byte, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	return ReadFrame(c.c)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestMemNetworkRoundTrip(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Send(ctx, "b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	from, msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "a" || string(msg) != "hello" {
+		t.Fatalf("got %q from %q", msg, from)
+	}
+}
+
+func TestMemNetworkUnknownPeer(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	if err := a.Send(context.Background(), "ghost", []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestMemNetworkDuplicateAddress(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+func TestMemNetworkLoss(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(WithLoss(1.0), WithSeed(1))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	if err := a.Send(context.Background(), "b", []byte("x")); err != nil {
+		t.Fatal(err) // loss is silent
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := b.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("lossy frame arrived: err = %v", err)
+	}
+}
+
+func TestMemNetworkPartialLossStatistics(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(WithLoss(0.5), WithSeed(2))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	ctx := context.Background()
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if err := a.Send(ctx, "b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for {
+		c, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+		_, _, err := b.Recv(c)
+		cancel()
+		if err != nil {
+			break
+		}
+		got++
+	}
+	if got < sent/4 || got > 3*sent/4 {
+		t.Fatalf("received %d of %d at 50%% loss", got, sent)
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork(WithLatency(30 * time.Millisecond))
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	ctx := context.Background()
+	start := time.Now()
+	if err := a.Send(ctx, "b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivery after %v, want >= latency", elapsed)
+	}
+}
+
+func TestMemEndpointClose(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after close: %v", err)
+	}
+	// Address is reusable after close.
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatalf("address not released: %v", err)
+	}
+}
+
+func TestNetworkCloseClosesEndpoints(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	a, _ := n.Endpoint("a")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after network close: %v", err)
+	}
+	if _, err := n.Endpoint("b"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Endpoint after close: %v", err)
+	}
+}
+
+func TestSendToClosedEndpointDropsFrame(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	// Close b's receive side without unregistering (simulates crash
+	// before repair): close via the network-held reference.
+	n.mu.Lock()
+	n.endpoints["b"].closeLocked()
+	n.mu.Unlock()
+	if err := a.Send(context.Background(), "b", []byte("x")); err != nil {
+		t.Fatalf("send to crashed endpoint: %v", err)
+	}
+	_ = b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	msgs := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 100000)}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// A forged oversized header must be rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("forged oversized header accepted")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	t.Parallel()
+	p1, p2 := net.Pipe()
+	c1, c2 := NewConn(p1), NewConn(p2)
+	defer c1.Close()
+	defer c2.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- c1.Send([]byte("ping"))
+	}()
+	msg, err := c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "ping" {
+		t.Fatalf("got %q", msg)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		msg []byte
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			res <- result{err: err}
+			return
+		}
+		c := NewConn(conn)
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			res <- result{err: err}
+			return
+		}
+		if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+			res <- result{err: err}
+			return
+		}
+		res <- result{msg: msg}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(conn)
+	defer c.Close()
+	if err := c.Send([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:payload" {
+		t.Fatalf("reply = %q", reply)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+}

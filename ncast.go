@@ -1,0 +1,228 @@
+// Package ncast is a peer-to-peer content broadcasting library built on
+// randomized linear network coding, implementing the overlay construction
+// of Jain, Lovász, and Chou, "Building Scalable and Robust Peer-to-Peer
+// Overlay Networks for Broadcasting using Network Coding" (PODC 2005).
+//
+// A broadcast session consists of a Server — the paper's curtain rod: the
+// tracker that owns the overlay matrix M plus the data source that emits k
+// unit-bandwidth coded streams — and any number of Clients, each of which
+// clips onto d random threads, re-mixes the packets it receives with
+// random linear network coding, forwards one unit stream per thread, and
+// decodes the content once it has gathered full rank.
+//
+// Two deployment styles are supported:
+//
+//   - In-process sessions (NewSession) over an in-memory message fabric
+//     with configurable loss and latency — for simulations, tests, and
+//     the examples/ programs.
+//   - TCP sessions (ListenAndServe, Dial) — the same protocol over real
+//     sockets, used by the cmd/ncast-server and cmd/ncast-node tools.
+//
+// The analysis-plane packages (overlay defect measurement, the experiment
+// harness regenerating the paper's claims) live under internal/ and are
+// exercised through cmd/ncast-bench and the repository's benchmarks.
+package ncast
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ncast/internal/core"
+	"ncast/internal/gf"
+	"ncast/internal/protocol"
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// Field selects the network-coding field.
+type Field int
+
+// Supported coding fields. GF256 is the practical default (near-zero
+// decode waste at one byte per coefficient); GF2 is cheap but wasteful;
+// GF65536 trades double coefficient overhead for marginally fewer
+// non-innovative packets.
+const (
+	GF2 Field = iota + 1
+	GF256
+	GF65536
+)
+
+func (f Field) field() (gf.Field, error) {
+	switch f {
+	case GF2:
+		return gf.F2, nil
+	case GF256:
+		return gf.F256, nil
+	case GF65536:
+		return gf.F65536, nil
+	default:
+		return nil, fmt.Errorf("ncast: unknown field %d", f)
+	}
+}
+
+// InsertMode selects how the server places joining nodes in the overlay.
+type InsertMode int
+
+// InsertAppend is the paper's §3 scheme (new rows at the bottom);
+// InsertRandom is the §5 hardening that makes coordinated adversarial
+// arrivals no more harmful than random failures.
+const (
+	InsertAppend InsertMode = InsertMode(core.InsertAppend)
+	InsertRandom InsertMode = InsertMode(core.InsertRandom)
+)
+
+// Config collects session parameters. The zero value is unusable; obtain
+// defaults through the options on NewSession / ListenAndServe.
+type Config struct {
+	// K is the server's bandwidth in unit streams (threads).
+	K int
+	// D is the default node degree (incoming/outgoing unit streams).
+	D int
+	// Field is the coding field.
+	Field Field
+	// GenSize is the number of source packets per generation.
+	GenSize int
+	// PacketSize is the coded-packet payload size in bytes.
+	PacketSize int
+	// Insert selects append or random row insertion.
+	Insert InsertMode
+	// ComplaintTimeout is how long a client waits on a silent thread
+	// before reporting the parent to the tracker.
+	ComplaintTimeout time.Duration
+	// Seed drives the server's randomness (thread assignment).
+	Seed int64
+	// SourceInterval throttles the source pump (0 = backpressure only).
+	SourceInterval time.Duration
+	// LayerWeights, when non-empty, enables §5 priority-layered
+	// broadcasting: the content is split into len(LayerWeights) equal
+	// priority layers, and the coded stream is weighted toward lower
+	// layers so degraded receivers finish the base layer first.
+	LayerWeights []float64
+}
+
+// DefaultConfig returns the baseline configuration: k=16 threads, degree
+// d=4, GF(256), 16-packet generations of 1 KiB packets, append insertion.
+func DefaultConfig() Config {
+	return Config{
+		K:                16,
+		D:                4,
+		Field:            GF256,
+		GenSize:          16,
+		PacketSize:       1024,
+		Insert:           InsertAppend,
+		ComplaintTimeout: 500 * time.Millisecond,
+		Seed:             1,
+		SourceInterval:   200 * time.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K <= 0 || c.D <= 0 || c.D > c.K {
+		return fmt.Errorf("ncast: invalid k=%d d=%d (need 0 < d <= k)", c.K, c.D)
+	}
+	f, err := c.Field.field()
+	if err != nil {
+		return err
+	}
+	params := rlnc.Params{Field: f, GenSize: c.GenSize, PacketSize: c.PacketSize}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	switch c.Insert {
+	case InsertAppend, InsertRandom:
+	default:
+		return fmt.Errorf("ncast: invalid insert mode %d", c.Insert)
+	}
+	if len(c.LayerWeights) > 0 {
+		lp := rlnc.LayeredParams{Params: params, Weights: c.LayerWeights}
+		if err := lp.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c Config) params() (rlnc.Params, error) {
+	f, err := c.Field.field()
+	if err != nil {
+		return rlnc.Params{}, err
+	}
+	return rlnc.Params{Field: f, GenSize: c.GenSize, PacketSize: c.PacketSize}, nil
+}
+
+func (c Config) trackerConfig(session protocol.SessionParams) protocol.TrackerConfig {
+	return protocol.TrackerConfig{
+		K:          c.K,
+		D:          c.D,
+		Session:    session,
+		InsertMode: core.InsertMode(c.Insert),
+		Seed:       c.Seed,
+	}
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithKD sets the server thread count and default node degree.
+func WithKD(k, d int) Option {
+	return func(c *Config) { c.K, c.D = k, d }
+}
+
+// WithField selects the coding field.
+func WithField(f Field) Option {
+	return func(c *Config) { c.Field = f }
+}
+
+// WithGeneration sets the generation size (packets) and packet size
+// (bytes).
+func WithGeneration(genSize, packetSize int) Option {
+	return func(c *Config) { c.GenSize, c.PacketSize = genSize, packetSize }
+}
+
+// WithInsertMode selects append (§3) or random (§5) row insertion.
+func WithInsertMode(m InsertMode) Option {
+	return func(c *Config) { c.Insert = m }
+}
+
+// WithComplaintTimeout tunes failure detection latency.
+func WithComplaintTimeout(d time.Duration) Option {
+	return func(c *Config) { c.ComplaintTimeout = d }
+}
+
+// WithSeed makes the session deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithSourceInterval throttles the source pump.
+func WithSourceInterval(d time.Duration) Option {
+	return func(c *Config) { c.SourceInterval = d }
+}
+
+// WithLayers enables §5 priority-layered broadcasting with the given
+// per-layer stream weights (base layer first).
+func WithLayers(weights ...float64) Option {
+	return func(c *Config) { c.LayerWeights = append([]float64(nil), weights...) }
+}
+
+// newSource builds the flat or layered data source for cfg.
+func (c Config) newSource(ep sourceEndpoint, content []byte) (*protocol.Source, error) {
+	params, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.LayerWeights) > 0 {
+		lp := rlnc.LayeredParams{Params: params, Weights: c.LayerWeights}
+		return protocol.NewLayeredSource(ep, c.K, lp, content, c.Seed)
+	}
+	return protocol.NewSource(ep, c.K, params, content, c.Seed)
+}
+
+// ErrClosed is returned by operations on a closed session.
+var ErrClosed = errors.New("ncast: closed")
+
+// sourceEndpoint is the transport dependency of newSource, satisfied by
+// both in-memory and TCP endpoints.
+type sourceEndpoint = transport.Endpoint

@@ -1,0 +1,313 @@
+package ncast
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.K, cfg.D = 8, 2
+	cfg.GenSize, cfg.PacketSize = 8, 64
+	cfg.ComplaintTimeout = 200 * time.Millisecond
+	return cfg
+}
+
+func testContent(n int) []byte {
+	r := rand.New(rand.NewSource(7))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"default ok", func(*Config) {}, false},
+		{"zero k", func(c *Config) { c.K = 0 }, true},
+		{"d above k", func(c *Config) { c.D = c.K + 1 }, true},
+		{"bad field", func(c *Config) { c.Field = Field(99) }, true},
+		{"zero gen", func(c *Config) { c.GenSize = 0 }, true},
+		{"bad insert", func(c *Config) { c.Insert = InsertMode(42) }, true},
+		{"gf2 ok", func(c *Config) { c.Field = GF2 }, false},
+		{"gf65536 ok", func(c *Config) { c.Field = GF65536 }, false},
+		{"random insert ok", func(c *Config) { c.Insert = InsertRandom }, false},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSessionBroadcast(t *testing.T) {
+	t.Parallel()
+	content := testContent(3000)
+	s, err := NewSession(content, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var clients []*Client
+	for i := 0; i < 6; i++ {
+		c, err := s.AddClient(ctx)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		clients = append(clients, c)
+	}
+	if s.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", s.NumNodes())
+	}
+	for i, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("client %d: %v (progress %.2f)", i, err, c.Progress())
+		}
+		got, err := c.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("client %d content mismatch", i)
+		}
+		if c.Progress() != 1 {
+			t.Fatalf("client %d progress = %v", i, c.Progress())
+		}
+		received, innovative := c.Stats()
+		if received == 0 || innovative == 0 {
+			t.Fatalf("client %d stats: %d/%d", i, received, innovative)
+		}
+	}
+}
+
+func TestSessionChurnLeaveAndCrash(t *testing.T) {
+	t.Parallel()
+	content := testContent(2000)
+	s, err := NewSession(content, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	defer cancel()
+
+	var clients []*Client
+	for i := 0; i < 6; i++ {
+		c, err := s.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	// One graceful leave, one crash.
+	if err := clients[1].Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clients[2].Crash()
+	// The rest still finish and the tracker population converges to 4.
+	for _, i := range []int{0, 3, 4, 5} {
+		if err := clients[i].Wait(ctx); err != nil {
+			t.Fatalf("client %d: %v (progress %.2f)", i, err, clients[i].Progress())
+		}
+		got, err := clients[i].Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("client %d content mismatch", i)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.NumNodes() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("NumNodes = %d, want 4 after leave+crash repair", s.NumNodes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSessionLossyAndLatency(t *testing.T) {
+	t.Parallel()
+	content := testContent(1500)
+	s, err := NewSession(content, testConfig(),
+		WithLoss(0.05), WithLatency(time.Millisecond), WithNetworkSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	defer cancel()
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c, err := s.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for i, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		got, err := c.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch over lossy fabric")
+		}
+	}
+}
+
+func TestSessionHeterogeneousDegrees(t *testing.T) {
+	t.Parallel()
+	content := testContent(1000)
+	s, err := NewSession(content, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dsl, err := s.AddClient(ctx, WithDegree(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := s.AddClient(ctx, WithDegree(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{dsl, t1} {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch")
+		}
+	}
+	if _, err := s.AddClient(ctx, WithDegree(99)); err == nil {
+		t.Fatal("degree beyond k accepted")
+	}
+}
+
+func TestSessionRandomInsertMode(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.Insert = InsertRandom
+	content := testContent(1200)
+	s, err := NewSession(content, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var clients []*Client
+	for i := 0; i < 5; i++ {
+		c, err := s.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch in random-insert session")
+		}
+	}
+}
+
+func TestSessionAddAfterClose(t *testing.T) {
+	t.Parallel()
+	s, err := NewSession(testContent(100), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddClient(context.Background()); err == nil {
+		t.Fatal("AddClient after Close succeeded")
+	}
+	// Double close is fine.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAndDialOverTCP(t *testing.T) {
+	t.Parallel()
+	content := testContent(2000)
+	cfg := testConfig()
+	cfg.SourceInterval = time.Millisecond
+	srv, err := ListenAndServe("127.0.0.1:0", content, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	defer cancel()
+	var clients []*RemoteClient
+	for i := 0; i < 3; i++ {
+		c, err := Dial(ctx, srv.Addr(), "127.0.0.1:0", cfg, WithClientSeed(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	if srv.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", srv.NumNodes())
+	}
+	for i, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("client %d: %v (progress %.2f)", i, err, c.Progress())
+		}
+		got, err := c.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch over TCP")
+		}
+	}
+	// Graceful leave via the public API.
+	if err := clients[0].Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.NumNodes() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("NumNodes = %d after leave", srv.NumNodes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,314 @@
+package ncast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ncast/internal/protocol"
+	"ncast/internal/transport"
+)
+
+// Session is an in-process broadcast: a server and its clients communicate
+// over an in-memory message fabric with configurable loss and latency.
+// Sessions are the unit of the examples and of churn simulations; the same
+// protocol runs over TCP via ListenAndServe / Dial.
+type Session struct {
+	cfg          Config
+	net          *transport.Network
+	tracker      *protocol.Tracker
+	source       *protocol.Source
+	cancel       context.CancelFunc
+	sourceCancel context.CancelFunc
+	wg           sync.WaitGroup
+
+	mu      sync.Mutex
+	nextID  int
+	clients map[string]*Client
+	closed  bool
+}
+
+// SessionOption configures the in-memory fabric.
+type SessionOption func(*sessionSettings)
+
+type sessionSettings struct {
+	loss    float64
+	latency time.Duration
+	netSeed int64
+}
+
+// WithLoss drops each in-memory frame with probability p (§2's ergodic
+// failures).
+func WithLoss(p float64) SessionOption {
+	return func(s *sessionSettings) { s.loss = p }
+}
+
+// WithLatency adds per-frame delivery delay.
+func WithLatency(d time.Duration) SessionOption {
+	return func(s *sessionSettings) { s.latency = d }
+}
+
+// WithNetworkSeed seeds the fabric's loss coin.
+func WithNetworkSeed(seed int64) SessionOption {
+	return func(s *sessionSettings) { s.netSeed = seed }
+}
+
+// NewSession creates and starts an in-process broadcast of content.
+// The returned session runs until Close.
+func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var settings sessionSettings
+	for _, o := range opts {
+		o(&settings)
+	}
+	netOpts := []transport.NetworkOption{transport.WithSeed(settings.netSeed)}
+	if settings.loss > 0 {
+		netOpts = append(netOpts, transport.WithLoss(settings.loss))
+	}
+	if settings.latency > 0 {
+		netOpts = append(netOpts, transport.WithLatency(settings.latency))
+	}
+	net := transport.NewNetwork(netOpts...)
+
+	ep, err := net.Endpoint("server")
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	source, err := cfg.newSource(ep, content)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	source.RoundInterval = cfg.SourceInterval
+	tracker, err := protocol.NewTracker(ep, source, cfg.trackerConfig(source.Session()))
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sourceCtx, sourceCancel := context.WithCancel(ctx)
+	s := &Session{
+		cfg:          cfg,
+		net:          net,
+		tracker:      tracker,
+		source:       source,
+		cancel:       cancel,
+		sourceCancel: sourceCancel,
+		clients:      make(map[string]*Client),
+	}
+	s.wg.Add(2)
+	go func() { defer s.wg.Done(); _ = tracker.Run(ctx) }()
+	go func() { defer s.wg.Done(); _ = source.Run(sourceCtx) }()
+	return s, nil
+}
+
+// DisconnectSource stops the server's data pump while keeping the tracker
+// (membership authority) alive — the §6 file-download scenario: "it may be
+// possible eventually for the server to disconnect itself completely from
+// the network after the content has been delivered to a small fraction of
+// the population". Peers that hold rank keep re-mixing and forwarding, so
+// the swarm becomes self-sustaining. Irreversible for the session.
+func (s *Session) DisconnectSource() {
+	s.sourceCancel()
+}
+
+// NumNodes returns the current overlay population.
+func (s *Session) NumNodes() int { return s.tracker.NumNodes() }
+
+// CompletedCount returns how many clients reported a full decode.
+func (s *Session) CompletedCount() int { return s.tracker.CompletedCount() }
+
+// Events exposes tracker events (join/leave/repair/complete).
+func (s *Session) Events() <-chan protocol.TrackerEvent { return s.tracker.Events() }
+
+// ClientOption configures one client.
+type ClientOption func(*clientSettings)
+
+type clientSettings struct {
+	degree   int
+	seed     int64
+	behavior protocol.Behavior
+}
+
+// WithDegree requests a non-default degree (heterogeneous bandwidth, §5).
+func WithDegree(d int) ClientOption {
+	return func(c *clientSettings) { c.degree = d }
+}
+
+// WithClientSeed seeds the client's recoding randomness.
+func WithClientSeed(seed int64) ClientOption {
+	return func(c *clientSettings) { c.seed = seed }
+}
+
+// Byzantine behaviors for attack experiments (§5/§7): see the protocol
+// package for semantics.
+const (
+	// BehaviorHonest re-mixes and forwards (the default).
+	BehaviorHonest = protocol.Honest
+	// BehaviorEntropyAttacker forwards information-free replays.
+	BehaviorEntropyAttacker = protocol.EntropyAttacker
+	// BehaviorFreeloader forwards nothing and sends no liveness.
+	BehaviorFreeloader = protocol.Freeloader
+)
+
+// WithBehavior makes the client adversarial (attack experiments).
+func WithBehavior(b protocol.Behavior) ClientOption {
+	return func(c *clientSettings) { c.behavior = b }
+}
+
+// AddClient joins a new client to the session and waits for the tracker to
+// accept it.
+func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	addr := fmt.Sprintf("client-%d", s.nextID)
+	settings := clientSettings{seed: int64(s.nextID)}
+	s.mu.Unlock()
+	for _, o := range opts {
+		o(&settings)
+	}
+
+	ep, err := s.net.Endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	node := protocol.NewNode(ep, protocol.NodeConfig{
+		TrackerAddr:      "server",
+		Degree:           settings.degree,
+		ComplaintTimeout: s.cfg.ComplaintTimeout,
+		Behavior:         settings.behavior,
+		Seed:             settings.seed,
+	})
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &Client{node: node, addr: addr, session: s, cancel: cancel}
+	s.wg.Add(1)
+	go func() { defer s.wg.Done(); _ = node.Run(runCtx) }()
+
+	select {
+	case err := <-node.Joined():
+		if err != nil {
+			cancel()
+			ep.Close()
+			return nil, err
+		}
+	case <-ctx.Done():
+		cancel()
+		ep.Close()
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	s.clients[addr] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Close tears the session down: all clients, the fabric, the server.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	clients := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.cancel()
+	}
+	s.cancel()
+	s.net.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is one overlay node of a session.
+type Client struct {
+	node    *protocol.Node
+	addr    string
+	session *Session
+	cancel  context.CancelFunc
+}
+
+// ID returns the overlay node id assigned by the tracker.
+func (c *Client) ID() uint64 { return c.node.ID() }
+
+// Progress returns the decoded-rank fraction in [0,1].
+func (c *Client) Progress() float64 { return c.node.Progress() }
+
+// Stats returns (received, innovative) packet counts.
+func (c *Client) Stats() (received, innovative int) { return c.node.Stats() }
+
+// Completed closes when the full content has been decoded.
+func (c *Client) Completed() <-chan struct{} { return c.node.Completed() }
+
+// Wait blocks until completion or context cancellation.
+func (c *Client) Wait(ctx context.Context) error {
+	select {
+	case <-c.node.Completed():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Content returns the decoded blob once complete.
+func (c *Client) Content() ([]byte, error) { return c.node.Content() }
+
+// Leave performs the §3 good-bye protocol and waits for the ack.
+func (c *Client) Leave(ctx context.Context) error {
+	if err := c.node.Leave(ctx); err != nil {
+		return err
+	}
+	select {
+	case <-c.node.Left():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	c.session.detach(c)
+	return nil
+}
+
+// Crash kills the client without a good-bye: its endpoint closes, its
+// streams go silent, and its children must detect the failure and complain
+// — the §3 repair path.
+func (c *Client) Crash() {
+	c.cancel()
+	c.session.net.CloseEndpoint(c.addr)
+	c.session.detach(c)
+}
+
+func (s *Session) detach(c *Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.clients, c.addr)
+}
+
+// CompletedLayers returns, for layered sessions, the number of consecutive
+// priority layers fully decoded (the playable resolution).
+func (c *Client) CompletedLayers() int { return c.node.CompletedLayers() }
+
+// Layer returns the decoded bytes of priority layer l once complete.
+func (c *Client) Layer(l int) ([]byte, error) { return c.node.Layer(l) }
+
+// Congest asks for §5 congestion relief: the client drops one thread and
+// its parent is joined directly to its child. Asynchronous; observe the
+// effect via Degree.
+func (c *Client) Congest(ctx context.Context) error { return c.node.Congest(ctx) }
+
+// Uncongest regrows one previously dropped thread (§5 recovery).
+func (c *Client) Uncongest(ctx context.Context) error { return c.node.Uncongest(ctx) }
+
+// Degree returns the client's current thread count.
+func (c *Client) Degree() int { return c.node.Degree() }

@@ -1,0 +1,168 @@
+package ncast
+
+import (
+	"context"
+	"sync"
+
+	"ncast/internal/protocol"
+	"ncast/internal/transport"
+)
+
+// Server is a TCP-facing broadcast server: the tracker (overlay authority)
+// and the data source bound to one listening address.
+type Server struct {
+	ep      *transport.TCPEndpoint
+	tracker *protocol.Tracker
+	source  *protocol.Source
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// ListenAndServe starts a broadcast server for content on addr
+// (e.g. "127.0.0.1:0"; use Addr to learn the bound address).
+func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ep, err := transport.ListenTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	source, err := cfg.newSource(ep, content)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	source.RoundInterval = cfg.SourceInterval
+	tracker, err := protocol.NewTracker(ep, source, cfg.trackerConfig(source.Session()))
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{ep: ep, tracker: tracker, source: source, cancel: cancel}
+	s.wg.Add(2)
+	go func() { defer s.wg.Done(); _ = tracker.Run(ctx) }()
+	go func() { defer s.wg.Done(); _ = source.Run(ctx) }()
+	return s, nil
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() string { return s.ep.Addr() }
+
+// NumNodes returns the overlay population.
+func (s *Server) NumNodes() int { return s.tracker.NumNodes() }
+
+// CompletedCount returns how many nodes reported a full decode.
+func (s *Server) CompletedCount() int { return s.tracker.CompletedCount() }
+
+// Events exposes tracker events.
+func (s *Server) Events() <-chan protocol.TrackerEvent { return s.tracker.Events() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.cancel()
+	err := s.ep.Close()
+	s.wg.Wait()
+	return err
+}
+
+// RemoteClient is a TCP-connected overlay node.
+type RemoteClient struct {
+	node   *protocol.Node
+	ep     *transport.TCPEndpoint
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Dial joins the broadcast at serverAddr, listening on listenAddr
+// (typically "127.0.0.1:0" or ":0"). cfg supplies the complaint timeout;
+// opts may request a degree.
+func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts ...ClientOption) (*RemoteClient, error) {
+	settings := clientSettings{seed: cfg.Seed}
+	for _, o := range opts {
+		o(&settings)
+	}
+	ep, err := transport.ListenTCP(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	node := protocol.NewNode(ep, protocol.NodeConfig{
+		TrackerAddr:      serverAddr,
+		Degree:           settings.degree,
+		ComplaintTimeout: cfg.ComplaintTimeout,
+		Seed:             settings.seed,
+	})
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &RemoteClient{node: node, ep: ep, cancel: cancel}
+	c.wg.Add(1)
+	go func() { defer c.wg.Done(); _ = node.Run(runCtx) }()
+	select {
+	case err := <-node.Joined():
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	case <-ctx.Done():
+		c.Close()
+		return nil, ctx.Err()
+	}
+	return c, nil
+}
+
+// ID returns the node's overlay id.
+func (c *RemoteClient) ID() uint64 { return c.node.ID() }
+
+// Progress returns the decoded-rank fraction in [0,1].
+func (c *RemoteClient) Progress() float64 { return c.node.Progress() }
+
+// Completed closes when the content is fully decoded.
+func (c *RemoteClient) Completed() <-chan struct{} { return c.node.Completed() }
+
+// Wait blocks until completion or context cancellation.
+func (c *RemoteClient) Wait(ctx context.Context) error {
+	select {
+	case <-c.node.Completed():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Content returns the decoded blob once complete.
+func (c *RemoteClient) Content() ([]byte, error) { return c.node.Content() }
+
+// Leave performs the good-bye protocol, then closes the client.
+func (c *RemoteClient) Leave(ctx context.Context) error {
+	if err := c.node.Leave(ctx); err != nil {
+		return err
+	}
+	select {
+	case <-c.node.Left():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return c.Close()
+}
+
+// Close tears the client down without a good-bye (a crash, from the
+// overlay's perspective — the repair protocol will splice around it).
+func (c *RemoteClient) Close() error {
+	c.cancel()
+	err := c.ep.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Congest asks for §5 congestion relief (drop one thread).
+func (c *RemoteClient) Congest(ctx context.Context) error { return c.node.Congest(ctx) }
+
+// Uncongest regrows one previously dropped thread.
+func (c *RemoteClient) Uncongest(ctx context.Context) error { return c.node.Uncongest(ctx) }
+
+// Degree returns the client's current thread count.
+func (c *RemoteClient) Degree() int { return c.node.Degree() }
+
+// CompletedLayers returns the playable priority-layer count (layered
+// sessions; flat sessions report 1 when complete).
+func (c *RemoteClient) CompletedLayers() int { return c.node.CompletedLayers() }
