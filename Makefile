@@ -1,0 +1,31 @@
+# Developer checks. `make check` is the gate every change should pass.
+
+GO ?= go
+RACE_PKGS := ./internal/obs ./internal/protocol ./internal/transport
+
+.PHONY: check build vet fmt test race bench
+
+check: vet fmt build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages (atomics in obs, the tracker
+# and node state machines, both transports).
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test . -run NONE -bench . -benchmem

@@ -224,6 +224,48 @@ func BenchmarkE15Gossip(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead compares an in-memory download with observability
+// enabled against the same download with DisableObs, isolating the cost of
+// the instrumentation (atomic counters plus a few clock reads per packet).
+// Compare the two sub-benchmark ns/op figures; the acceptance budget for
+// the obs layer is 5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	content := make([]byte, 32<<10)
+	rand.New(rand.NewSource(1)).Read(content)
+	run := func(b *testing.B, disable bool) {
+		cfg := DefaultConfig()
+		cfg.K, cfg.D = 8, 2
+		cfg.GenSize, cfg.PacketSize = 8, 512
+		cfg.DisableObs = disable
+		b.SetBytes(int64(len(content) * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := NewSession(content, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			clients := make([]*Client, 0, 4)
+			for j := 0; j < 4; j++ {
+				c, err := s.AddClient(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			for _, c := range clients {
+				if err := c.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cancel()
+			s.Close()
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, false) })
+	b.Run("uninstrumented", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSessionBroadcast measures end-to-end goodput of the public API:
 // one server, 8 peers, 64 KiB content per iteration.
 func BenchmarkSessionBroadcast(b *testing.B) {

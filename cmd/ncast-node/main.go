@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"ncast"
+	"ncast/internal/obs"
 )
 
 func main() {
 	server := flag.String("server", "", "server address (required)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics and /debug/overlay (empty = off)")
 	listen := flag.String("listen", "127.0.0.1:0", "local listen address")
 	out := flag.String("out", "", "output file (required)")
 	degree := flag.Int("degree", 0, "requested degree (0 = session default)")
@@ -50,6 +52,16 @@ func main() {
 	}
 	defer client.Close()
 	fmt.Printf("joined as node %d\n", client.ID())
+
+	if *obsAddr != "" {
+		hs, err := obs.Serve(*obsAddr, client.Observability(), client.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("observability on http://%s/metrics and http://%s/debug/overlay\n", hs.Addr(), hs.Addr())
+	}
 
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()

@@ -17,10 +17,12 @@ import (
 	"time"
 
 	"ncast"
+	"ncast/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics and /debug/overlay (empty = off)")
 	file := flag.String("file", "", "content file to broadcast (required)")
 	k := flag.Int("k", 16, "server threads (unit streams)")
 	d := flag.Int("d", 4, "default node degree")
@@ -69,6 +71,16 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("serving %d bytes on %s (k=%d d=%d gen=%d pkt=%d)\n",
 		len(content), srv.Addr(), *k, *d, *genSize, *pktSize)
+
+	if *obsAddr != "" {
+		hs, err := obs.Serve(*obsAddr, srv.Observability(), srv.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("observability on http://%s/metrics and http://%s/debug/overlay\n", hs.Addr(), hs.Addr())
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"ncast/internal/defect"
 	"ncast/internal/gossip"
 	"ncast/internal/metrics"
+	"ncast/internal/obs"
 	"ncast/internal/sim"
 )
 
@@ -33,6 +35,7 @@ func main() {
 	insert := flag.String("insert", "append", "row insertion: append or random")
 	mode := flag.String("mode", "curtain", "overlay: curtain (central) or gossip (tracker-free)")
 	samples := flag.Int("samples", 200, "defect tuples sampled per report (0 = exact)")
+	snapshots := flag.Bool("snapshots", false, "also print an overlay-health JSON snapshot at each report step (curtain mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -98,9 +101,42 @@ func main() {
 		}
 		table.AddRow(s, curtain.NumNodes(), curtain.NumFailed(),
 			dres.NormalizedDefect(), dres.FractionDefective(), fullFrac, conn.MinConn)
+		if *snapshots {
+			printHealth(curtain, *k, *d, s)
+		}
 	}
 	fmt.Print(table)
 	fmt.Printf("reference p*d = %v\n", *p*float64(*d))
+}
+
+// printHealth emits the curtain's state as an obs.OverlayHealth JSON line,
+// the same schema the live /debug/overlay endpoint serves.
+func printHealth(curtain *core.Curtain, k, d, step int) {
+	h := obs.OverlayHealth{
+		K:             k,
+		DefaultDegree: d,
+		Nodes:         curtain.NumNodes(),
+		Failed:        curtain.NumFailed(),
+		DegreeDist:    make(map[int]int),
+	}
+	for _, id := range curtain.Nodes() {
+		if deg, err := curtain.Degree(id); err == nil {
+			h.DegreeDist[deg]++
+		}
+	}
+	for _, id := range curtain.HangingThreads() {
+		if id == core.ServerID {
+			h.EmptyThreads++
+		}
+	}
+	out, err := json.Marshal(struct {
+		Step int `json:"step"`
+		obs.OverlayHealth
+	}{Step: step, OverlayHealth: h})
+	if err != nil {
+		return
+	}
+	fmt.Printf("snapshot %s\n", out)
 }
 
 // runGossip drives the tracker-free overlay (§7): joins with view-guided

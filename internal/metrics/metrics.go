@@ -19,6 +19,10 @@ type Summary struct {
 	min  float64
 	max  float64
 	vals []float64 // retained for quantiles
+	// sorted caches sort.Float64s(vals); Add invalidates it so repeated
+	// Quantile calls (the common report pattern: p50, p90, p99 in a row)
+	// sort once instead of once per call.
+	sorted []float64
 }
 
 // Add records one observation.
@@ -38,6 +42,7 @@ func (s *Summary) Add(x float64) {
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
 	s.vals = append(s.vals, x)
+	s.sorted = nil
 }
 
 // N returns the number of observations.
@@ -75,8 +80,11 @@ func (s *Summary) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))

@@ -81,6 +81,28 @@ func TestQuantileClamping(t *testing.T) {
 	}
 }
 
+func TestQuantileCacheInvalidation(t *testing.T) {
+	t.Parallel()
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	if got := s.Median(); got != 2 {
+		t.Fatalf("median of {1,3} = %v, want 2", got)
+	}
+	// A later Add must invalidate the cached sorted slice.
+	s.Add(100)
+	if got := s.Median(); got != 3 {
+		t.Fatalf("median of {1,3,100} = %v, want 3", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("max quantile = %v, want 100", got)
+	}
+	// Repeated reads without Add keep returning consistent values.
+	if a, b := s.Quantile(0.5), s.Quantile(0.5); a != b {
+		t.Fatalf("repeated quantile differs: %v vs %v", a, b)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	t.Parallel()
 	h, err := NewHistogram(0, 10, 5)

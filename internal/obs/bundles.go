@@ -1,0 +1,187 @@
+package obs
+
+import "time"
+
+// This file defines the per-layer metric bundles the stack is
+// instrumented with. Each New*Metrics constructor returns nil when the
+// registry is nil, and the bundles' helper methods are nil-safe, so a
+// component wired without observability pays a single nil check per
+// event.
+
+// TransportMetrics instruments one endpoint's frame traffic.
+type TransportMetrics struct {
+	FramesSent *Counter
+	FramesRecv *Counter
+	BytesSent  *Counter
+	BytesRecv  *Counter
+	Drops      *Counter
+	SendNanos  *Histogram
+}
+
+// NewTransportMetrics registers the transport family labeled with the
+// endpoint's address.
+func NewTransportMetrics(r *Registry, endpoint string) *TransportMetrics {
+	if r == nil {
+		return nil
+	}
+	l := Label{Key: "endpoint", Value: endpoint}
+	return &TransportMetrics{
+		FramesSent: r.Counter("ncast_transport_frames_sent_total", "Frames sent by the endpoint.", l),
+		FramesRecv: r.Counter("ncast_transport_frames_recv_total", "Frames delivered to the endpoint.", l),
+		BytesSent:  r.Counter("ncast_transport_bytes_sent_total", "Payload bytes sent by the endpoint.", l),
+		BytesRecv:  r.Counter("ncast_transport_bytes_recv_total", "Payload bytes delivered to the endpoint.", l),
+		Drops:      r.Counter("ncast_transport_frames_dropped_total", "Frames dropped (loss, dead peer, clogged queue, send error).", l),
+		SendNanos:  r.Histogram("ncast_transport_send_nanos", "Per-frame send latency in nanoseconds.", LatencyBuckets(), l),
+	}
+}
+
+// Start returns the timestamp ObserveSend pairs with, or the zero time
+// when the bundle is nil so the clock is never read for no-op metrics.
+func (m *TransportMetrics) Start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Sent records one delivered outbound frame of the given size.
+func (m *TransportMetrics) Sent(bytes int) {
+	if m == nil {
+		return
+	}
+	m.FramesSent.Inc()
+	m.BytesSent.Add(uint64(bytes))
+}
+
+// Received records one inbound frame of the given size.
+func (m *TransportMetrics) Received(bytes int) {
+	if m == nil {
+		return
+	}
+	m.FramesRecv.Inc()
+	m.BytesRecv.Add(uint64(bytes))
+}
+
+// Dropped records one lost frame.
+func (m *TransportMetrics) Dropped() {
+	if m == nil {
+		return
+	}
+	m.Drops.Inc()
+}
+
+// ObserveSend records the latency of a send that began at start.
+func (m *TransportMetrics) ObserveSend(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.SendNanos.ObserveSince(start)
+}
+
+// TrackerMetrics instruments the curtain authority: §3 hello/good-bye/
+// repair traffic, §5 congestion transitions, and the overlay gauges.
+type TrackerMetrics struct {
+	Hellos        *Counter
+	Goodbyes      *Counter
+	Complaints    *Counter
+	Repairs       *Counter
+	Redirects     *Counter
+	Completions   *Counter
+	Congestions   *Counter
+	Uncongestions *Counter
+	Nodes         *Gauge // rows of M
+	EmptyThreads  *Gauge // threads with no clips (served directly by the rod)
+	Completed     *Gauge
+	Trace         *Ring
+}
+
+// NewTrackerMetrics registers the tracker family on r, sharing r's trace
+// ring.
+func NewTrackerMetrics(r *Registry) *TrackerMetrics {
+	if r == nil {
+		return nil
+	}
+	return &TrackerMetrics{
+		Hellos:        r.Counter("ncast_tracker_hellos_total", "Hello requests processed (joins and welcome retries)."),
+		Goodbyes:      r.Counter("ncast_tracker_goodbyes_total", "Good-bye requests processed."),
+		Complaints:    r.Counter("ncast_tracker_complaints_total", "Complaints received."),
+		Repairs:       r.Counter("ncast_tracker_repairs_total", "Repair splice-outs performed on accused nodes."),
+		Redirects:     r.Counter("ncast_tracker_redirects_total", "Stream redirections issued to parents and the source."),
+		Completions:   r.Counter("ncast_tracker_completions_total", "First-time full-decode reports."),
+		Congestions:   r.Counter("ncast_tracker_congestions_total", "Degree reductions granted (§5 congestion relief)."),
+		Uncongestions: r.Counter("ncast_tracker_uncongestions_total", "Degree regrowths granted (§5 recovery)."),
+		Nodes:         r.Gauge("ncast_overlay_nodes", "Current overlay population (rows of M)."),
+		EmptyThreads:  r.Gauge("ncast_overlay_empty_threads", "Threads with no clipped rows."),
+		Completed:     r.Gauge("ncast_overlay_completed", "Nodes that reported a full decode."),
+		Trace:         r.Trace(),
+	}
+}
+
+// NodeMetrics instruments one overlay client: packet flow, rank progress,
+// and the codec underneath it.
+type NodeMetrics struct {
+	Received   *Counter
+	Innovative *Counter
+	Redundant  *Counter
+	Emitted    *Counter // re-coded data frames forwarded downstream
+	Complaints *Counter
+	Rank       *Gauge
+	GensDone   *Gauge
+	Codec      *CodecMetrics
+}
+
+// NewNodeMetrics registers the node family labeled with the node's
+// transport address.
+func NewNodeMetrics(r *Registry, node string) *NodeMetrics {
+	if r == nil {
+		return nil
+	}
+	l := Label{Key: "node", Value: node}
+	return &NodeMetrics{
+		Received:   r.Counter("ncast_node_received_total", "Data packets received.", l),
+		Innovative: r.Counter("ncast_node_innovative_total", "Received packets that increased rank.", l),
+		Redundant:  r.Counter("ncast_node_redundant_total", "Received packets that did not increase rank.", l),
+		Emitted:    r.Counter("ncast_node_emitted_total", "Re-coded data frames forwarded downstream.", l),
+		Complaints: r.Counter("ncast_node_complaints_total", "Complaints sent about silent parents.", l),
+		Rank:       r.Gauge("ncast_node_rank", "Total decoded rank across generations.", l),
+		GensDone:   r.Gauge("ncast_node_generations_done", "Fully decoded generations.", l),
+		Codec:      NewCodecMetrics(r, l),
+	}
+}
+
+// CodecMetrics instruments the RLNC layer: Gaussian-elimination time per
+// absorbed packet and per-generation completion latency.
+type CodecMetrics struct {
+	GaussNanos   *Histogram
+	GenLatency   *Histogram
+	GensComplete *Counter
+}
+
+// NewCodecMetrics registers the rlnc family with the given labels.
+func NewCodecMetrics(r *Registry, labels ...Label) *CodecMetrics {
+	if r == nil {
+		return nil
+	}
+	return &CodecMetrics{
+		GaussNanos:   r.Histogram("ncast_rlnc_gauss_nanos", "Gaussian-elimination time per absorbed packet, nanoseconds.", LatencyBuckets(), labels...),
+		GenLatency:   r.Histogram("ncast_rlnc_generation_latency_nanos", "First-packet-to-full-rank latency per generation, nanoseconds.", LatencyBuckets(), labels...),
+		GensComplete: r.Counter("ncast_rlnc_generations_completed_total", "Generations decoded to full rank.", labels...),
+	}
+}
+
+// SourceMetrics instruments the server's data pump.
+type SourceMetrics struct {
+	Rounds  *Counter
+	Packets *Counter
+}
+
+// NewSourceMetrics registers the source family on r.
+func NewSourceMetrics(r *Registry) *SourceMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SourceMetrics{
+		Rounds:  r.Counter("ncast_source_rounds_total", "Pump rounds with at least one live thread."),
+		Packets: r.Counter("ncast_source_packets_total", "Coded packets emitted by the source."),
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry at /metrics (Prometheus text format) and
+// /debug/overlay (an OverlaySnapshot as JSON). snapshot may be nil, in
+// which case /debug/overlay serves the metrics and recent trace events
+// without overlay health.
+func Handler(r *Registry, snapshot func() OverlaySnapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w) //nolint:errcheck // client gone
+	})
+	mux.HandleFunc("/debug/overlay", func(w http.ResponseWriter, _ *http.Request) {
+		var snap OverlaySnapshot
+		if snapshot != nil {
+			snap = snapshot()
+		} else {
+			snap = OverlaySnapshot{At: time.Now(), Metrics: r.Snapshot(), Recent: r.Trace().Events()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap) //nolint:errcheck // client gone
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP server on addr exposing Handler(r, snapshot). Use
+// Addr to learn the bound address (addr may end in ":0").
+func Serve(addr string, r *Registry, snapshot func() OverlaySnapshot) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r, snapshot)}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	return &HTTPServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listening address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// series carries the identity a metric was registered under.
+type series struct {
+	labels []Label
+	key    string
+}
+
+func newSeries(labels []Label, key string) series {
+	return series{labels: append([]Label(nil), labels...), key: key}
+}
+
+// labelMap renders the labels for snapshots (nil when unlabeled).
+func (s *series) labelMap() map[string]string {
+	if len(s.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.labels))
+	for _, l := range s.labels {
+		out[l.Key] = l.Value
+	}
+	return out
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// no-ops on a nil receiver, so uninstrumented components can hold nil
+// counters without branching at call sites.
+type Counter struct {
+	series
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. All methods are no-ops on a nil
+// receiver.
+type Gauge struct {
+	series
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into buckets with fixed upper bounds plus
+// an implicit +Inf bucket, tracking the running sum and count. Observe is
+// lock- and allocation-free. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	series
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(s series, bounds []float64) *Histogram {
+	return &Histogram{
+		series: s,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~16) and the branch
+	// predictor does better here than binary search would.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start; it is a no-op
+// when start is the zero time (the convention nil-metric timing helpers
+// use to skip the clock read entirely).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(float64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// snapshot returns sum, count, and cumulative buckets (Prometheus style:
+// each bucket counts observations ≤ its bound; the last bound is +Inf).
+func (h *Histogram) snapshot() (sum float64, count uint64, buckets []Bucket) {
+	buckets = make([]Bucket, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		buckets[i] = Bucket{LE: le, Count: cum}
+	}
+	return h.sum.load(), h.count.Load(), buckets
+}
+
+// atomicFloat is a float64 accumulated with compare-and-swap.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets returns the default nanosecond buckets used by the
+// built-in latency histograms: 1µs to ~4.2s, factor 4.
+func LatencyBuckets() []float64 { return ExpBuckets(1e3, 4, 12) }

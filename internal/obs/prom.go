@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and series
+// by label key so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		keys := append([]string(nil), f.keys...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			switch m := f.byKey[key].(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", key, "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", key, "", strconv.FormatInt(m.Value(), 10))
+			case *Histogram:
+				sum, count, buckets := m.snapshot()
+				for _, b := range buckets {
+					writeSample(bw, f.name, "_bucket", key, `le="`+formatLE(b.LE)+`"`, formatUint(b.Count))
+				}
+				writeSample(bw, f.name, "_sum", key, "", strconv.FormatFloat(sum, 'g', -1, 64))
+				writeSample(bw, f.name, "_count", key, "", formatUint(count))
+			}
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// writeSample writes one line: name suffix {labels,extra} value.
+func writeSample(bw *bufio.Writer, name, suffix, labels, extra, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

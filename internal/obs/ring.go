@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record: a membership change, a repair, a
+// congestion transition — anything worth replaying when diagnosing an
+// overlay.
+type Event struct {
+	At     time.Time `json:"at"`
+	Layer  string    `json:"layer"`            // "tracker", "node", "source", ...
+	Kind   string    `json:"kind"`             // "join", "leave", "repair", ...
+	Node   uint64    `json:"node,omitempty"`   // overlay node id, when known
+	Detail string    `json:"detail,omitempty"` // free-form context (addr, thread, ...)
+}
+
+// Ring is a fixed-capacity trace-event buffer: recording overwrites the
+// oldest event and never blocks or allocates. All methods are no-ops on a
+// nil receiver.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	len  int
+}
+
+// NewRing creates a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, stamping At with the current time when unset.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.len < len(r.buf) {
+		r.len++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.len
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.len)
+	start := r.next - r.len
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.len; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

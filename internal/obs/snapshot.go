@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// MetricPoint is one metric series in a snapshot. Counters and gauges
+// carry Value; histograms carry Sum, Count, and cumulative Buckets.
+type MetricPoint struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// ≤ LE. The last bucket's LE is +Inf, which JSON numbers cannot express,
+// so Bucket marshals it as the string "+Inf" (matching the Prometheus
+// text format) and unmarshals it back.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+type bucketJSON struct {
+	LE    json.RawMessage `json:"le"`
+	Count uint64          `json:"count"`
+}
+
+// MarshalJSON renders LE=+Inf as "+Inf" so histograms survive encoding.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := json.RawMessage(strconv.FormatFloat(b.LE, 'g', -1, 64))
+	if math.IsInf(b.LE, +1) {
+		le = json.RawMessage(`"+Inf"`)
+	}
+	return json.Marshal(bucketJSON{LE: le, Count: b.Count})
+}
+
+// UnmarshalJSON accepts both numeric LE values and the "+Inf" string.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var aux bucketJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	b.Count = aux.Count
+	var s string
+	if json.Unmarshal(aux.LE, &s) == nil {
+		if s != "+Inf" {
+			return fmt.Errorf("obs: bucket le %q", s)
+		}
+		b.LE = math.Inf(+1)
+		return nil
+	}
+	return json.Unmarshal(aux.LE, &b.LE)
+}
+
+// OverlayHealth is the tracker-side view of the matrix M — the paper's §3
+// invariants as live values: row count (population), degree distribution,
+// and empty threads (threads whose bottom clip is the server itself, the
+// hanging slots a joining row clips onto).
+type OverlayHealth struct {
+	K             int         `json:"k"`
+	DefaultDegree int         `json:"default_degree"`
+	Nodes         int         `json:"nodes"`
+	Failed        int         `json:"failed"`
+	Completed     int         `json:"completed"`
+	EmptyThreads  int         `json:"empty_threads"`
+	DegreeDist    map[int]int `json:"degree_dist,omitempty"` // degree -> node count
+}
+
+// NodeHealth is a client-side view: rank progress and decode state.
+type NodeHealth struct {
+	ID         uint64  `json:"id"`
+	Joined     bool    `json:"joined"`
+	Degree     int     `json:"degree"`
+	Rank       int     `json:"rank"`
+	MaxRank    int     `json:"max_rank"`
+	Progress   float64 `json:"progress"`
+	GensDone   int     `json:"gens_done"`
+	TotalGens  int     `json:"total_gens"`
+	Received   int     `json:"received"`
+	Innovative int     `json:"innovative"`
+	Complete   bool    `json:"complete"`
+}
+
+// OverlaySnapshot is the exported health document: overlay and/or node
+// state, every metric series, and the recent trace events. It is what
+// Session.Snapshot / Server.Snapshot return and what the /debug/overlay
+// endpoint serves as JSON.
+type OverlaySnapshot struct {
+	At      time.Time      `json:"at"`
+	Overlay *OverlayHealth `json:"overlay,omitempty"`
+	Node    *NodeHealth    `json:"node,omitempty"`
+	Metrics []MetricPoint  `json:"metrics"`
+	Recent  []Event        `json:"recent_events,omitempty"`
+}
+
+// Metric returns the first point with the given name and label subset, or
+// nil. Convenience for tests and health checks.
+func (s *OverlaySnapshot) Metric(name string, labels ...Label) *MetricPoint {
+	for i := range s.Metrics {
+		p := &s.Metrics[i]
+		if p.Name != name {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if p.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p
+		}
+	}
+	return nil
+}
+
+// SumMetric sums Value over every series of the named family (e.g. the
+// per-node innovative-packet counters of a whole session).
+func (s *OverlaySnapshot) SumMetric(name string) float64 {
+	total := 0.0
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			total += s.Metrics[i].Value
+		}
+	}
+	return total
+}

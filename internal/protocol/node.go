@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ncast/internal/gf"
+	"ncast/internal/obs"
 	"ncast/internal/rlnc"
 	"ncast/internal/transport"
 )
@@ -48,6 +49,9 @@ type NodeConfig struct {
 	Behavior Behavior
 	// Seed drives recoding randomness.
 	Seed int64
+	// Obs carries optional instrumentation; nil leaves the node (and its
+	// codecs) uninstrumented at zero cost.
+	Obs *obs.NodeMetrics
 }
 
 // Node is an overlay client: it joins via the hello protocol, receives
@@ -140,6 +144,32 @@ func (n *Node) Stats() (received, innovative int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.received, n.innovative
+}
+
+// Health summarises the node's download state for obs snapshots.
+func (n *Node) Health() obs.NodeHealth {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rank := 0
+	for _, rc := range n.recoders {
+		rank += rc.Rank()
+	}
+	h := obs.NodeHealth{
+		ID:         n.id,
+		Joined:     n.joined,
+		Degree:     len(n.threads),
+		Rank:       rank,
+		MaxRank:    n.totalGens * n.params.GenSize,
+		GensDone:   n.gensDone,
+		TotalGens:  n.totalGens,
+		Received:   n.received,
+		Innovative: n.innovative,
+		Complete:   n.complete,
+	}
+	if h.MaxRank > 0 {
+		h.Progress = float64(rank) / float64(h.MaxRank)
+	}
+	return h
 }
 
 // Content reassembles the decoded blob; it errors until completion.
@@ -516,7 +546,11 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		n.mu.Unlock()
 		return
 	}
+	m := n.cfg.Obs
 	n.received++
+	if m != nil {
+		m.Received.Inc()
+	}
 	n.lastRecv[th] = time.Now()
 	n.parentOf[th] = from
 	rc, ok := n.recoders[p.Gen]
@@ -525,6 +559,9 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		if err != nil {
 			n.mu.Unlock()
 			return
+		}
+		if m != nil {
+			rc.Instrument(m.Codec)
 		}
 		n.recoders[p.Gen] = rc
 	}
@@ -536,10 +573,19 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 	}
 	if innovative {
 		n.innovative++
+		if m != nil {
+			m.Innovative.Inc()
+			m.Rank.Add(1)
+		}
+	} else if m != nil {
+		m.Redundant.Inc()
 	}
 	justCompleted := false
 	if !wasComplete && rc.Complete() {
 		n.gensDone++
+		if m != nil {
+			m.GensDone.Set(int64(n.gensDone))
+		}
 		if n.gensDone == n.totalGens && !n.complete {
 			n.complete = true
 			justCompleted = true
@@ -603,6 +649,9 @@ func (n *Node) emitPacketLocked(gen uint32, rc *rlnc.Recoder) *rlnc.Packet {
 // drop a datagram. RLNC makes drops harmless — no specific packet is ever
 // required, only enough innovative ones.
 func (n *Node) sendData(ctx context.Context, to string, frame []byte) {
+	if m := n.cfg.Obs; m != nil && IsData(frame) {
+		m.Emitted.Inc()
+	}
 	sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 	defer cancel()
 	_ = n.ep.Send(sendCtx, to, frame) //nolint:errcheck // lossy data plane
@@ -715,6 +764,9 @@ func (n *Node) complaintLoop(ctx context.Context) {
 			msg, err := EncodeControl(MsgComplaint, Complaint{ID: id, Thread: c.th, ParentAddr: c.parent})
 			if err != nil {
 				continue
+			}
+			if m := n.cfg.Obs; m != nil {
+				m.Complaints.Inc()
 			}
 			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // best-effort
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ncast/internal/obs"
 	"ncast/internal/rlnc"
 	"ncast/internal/transport"
 )
@@ -28,6 +29,8 @@ type Source struct {
 	// RoundInterval throttles pump rounds; zero relies on transport
 	// backpressure alone.
 	RoundInterval time.Duration
+	// Obs carries optional instrumentation; nil is a no-op.
+	Obs *obs.SourceMetrics
 }
 
 // NewSource wraps content for broadcasting on k threads.
@@ -118,6 +121,7 @@ func (s *Source) Run(ctx context.Context) error {
 		s.mu.Lock()
 		children := append([]string(nil), s.childOf...)
 		s.mu.Unlock()
+		m := s.Obs
 		idle := true
 		for th, child := range children {
 			if child == "" {
@@ -146,6 +150,12 @@ func (s *Source) Run(ctx context.Context) error {
 				// other threads; repair or drainage will fix this one.
 				continue
 			}
+			if m != nil {
+				m.Packets.Inc()
+			}
+		}
+		if !idle && m != nil {
+			m.Rounds.Inc()
 		}
 		if s.RoundInterval > 0 || idle {
 			interval := s.RoundInterval

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ncast/internal/core"
+	"ncast/internal/obs"
 	"ncast/internal/transport"
 )
 
@@ -23,6 +24,9 @@ type TrackerConfig struct {
 	InsertMode core.InsertMode
 	// Seed drives the curtain's randomness.
 	Seed int64
+	// Obs, when non-nil, instruments the tracker: control-plane counters,
+	// the overlay gauges, and the trace ring.
+	Obs *obs.TrackerMetrics
 }
 
 // Tracker is the §3 "server (or some other centralized authority)": it
@@ -75,8 +79,14 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 	}, nil
 }
 
-// Events exposes the tracker's event stream. The channel is buffered;
-// events are dropped if no one drains it.
+// Events exposes the tracker's event stream.
+//
+// Drop/buffer policy: the channel is buffered (capacity 1024) and the
+// tracker never blocks on it — when the buffer is full because the
+// consumer is slow or absent, new events are silently dropped so the
+// control plane keeps running. Consumers needing a lossless record
+// should instead read the trace ring via TrackerConfig.Obs, which
+// overwrites oldest-first rather than dropping newest.
 func (t *Tracker) Events() <-chan TrackerEvent { return t.events }
 
 // NumNodes returns the current overlay population.
@@ -153,6 +163,55 @@ func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payloa
 	default:
 		// Unknown control types are ignored for forward compatibility.
 	}
+	t.refreshGauges()
+}
+
+// refreshGauges re-exports the overlay gauges (rows of M, empty threads,
+// completions) after a control message may have changed them.
+func (t *Tracker) refreshGauges() {
+	m := t.cfg.Obs
+	if m == nil {
+		return
+	}
+	t.mu.Lock()
+	nodes := t.curtain.NumNodes()
+	empty := 0
+	for _, id := range t.curtain.HangingThreads() {
+		if id == core.ServerID {
+			empty++
+		}
+	}
+	completed := len(t.completed)
+	t.mu.Unlock()
+	m.Nodes.Set(int64(nodes))
+	m.EmptyThreads.Set(int64(empty))
+	m.Completed.Set(int64(completed))
+}
+
+// Health reports the live matrix-M invariants: population, failure tags,
+// per-degree row counts, and threads with no clips.
+func (t *Tracker) Health() obs.OverlayHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := obs.OverlayHealth{
+		K:             t.cfg.K,
+		DefaultDegree: t.cfg.D,
+		Nodes:         t.curtain.NumNodes(),
+		Failed:        t.curtain.NumFailed(),
+		Completed:     len(t.completed),
+		DegreeDist:    make(map[int]int),
+	}
+	for _, id := range t.curtain.Nodes() {
+		if d, err := t.curtain.Degree(id); err == nil {
+			h.DegreeDist[d]++
+		}
+	}
+	for _, id := range t.curtain.HangingThreads() {
+		if id == core.ServerID {
+			h.EmptyThreads++
+		}
+	}
+	return h
 }
 
 // sendControl marshals and sends with a bounded wait: a peer whose queue
@@ -169,6 +228,9 @@ func (t *Tracker) sendControl(ctx context.Context, to string, typ MsgType, paylo
 }
 
 func (t *Tracker) emit(ev TrackerEvent) {
+	if m := t.cfg.Obs; m != nil {
+		m.Trace.Record(obs.Event{Layer: "tracker", Kind: ev.Kind, Node: uint64(ev.ID), Detail: ev.Addr})
+	}
 	select {
 	case t.events <- ev:
 	default: // observer asleep: drop rather than block the control plane
@@ -178,6 +240,9 @@ func (t *Tracker) emit(ev TrackerEvent) {
 // handleHello performs the §3 hello protocol: insert a row, then ask each
 // parent to redirect its stream to the new node.
 func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
+	if m := t.cfg.Obs; m != nil {
+		m.Hellos.Inc()
+	}
 	addr := h.Addr
 	if addr == "" {
 		addr = from
@@ -236,6 +301,9 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 
 // redirect routes thread th of owner (a node id or ServerID) to childAddr.
 func (t *Tracker) redirect(ctx context.Context, owner core.NodeID, th int, childAddr string) {
+	if m := t.cfg.Obs; m != nil {
+		m.Redirects.Inc()
+	}
 	if owner == core.ServerID {
 		if t.source != nil {
 			t.source.SetChild(th, childAddr)
@@ -332,6 +400,9 @@ func (t *Tracker) childPerThread(id core.NodeID, threads []int) ([]core.NodeID, 
 
 // handleGoodbye performs the §3 good-bye protocol.
 func (t *Tracker) handleGoodbye(ctx context.Context, from string, g Goodbye) {
+	if m := t.cfg.Obs; m != nil {
+		m.Goodbyes.Inc()
+	}
 	id := core.NodeID(g.ID)
 	t.mu.Lock()
 	addr, ok := t.addrOf[id]
@@ -357,6 +428,9 @@ func (t *Tracker) handleGoodbye(ctx context.Context, from string, g Goodbye) {
 // parent is still the complainer's parent on that thread, then splice the
 // failed node out exactly as if it had left gracefully.
 func (t *Tracker) handleComplaint(ctx context.Context, c Complaint) {
+	if m := t.cfg.Obs; m != nil {
+		m.Complaints.Inc()
+	}
 	childID := core.NodeID(c.ID)
 	t.mu.Lock()
 	if !t.curtain.Contains(childID) {
@@ -409,6 +483,9 @@ func (t *Tracker) handleComplaint(ctx context.Context, c Complaint) {
 	if err != nil {
 		return
 	}
+	if m := t.cfg.Obs; m != nil {
+		m.Repairs.Inc()
+	}
 	// Tell the expelled node, in case it is alive-but-slow: it can
 	// re-join with a fresh row (its decoded state survives).
 	t.sendControl(ctx, accusedAddr, MsgExpelled, Expelled{ID: uint64(accused)})
@@ -456,6 +533,9 @@ func (t *Tracker) handleCongested(ctx context.Context, c Congested) {
 	}
 	t.mu.Unlock()
 
+	if m := t.cfg.Obs; m != nil {
+		m.Congestions.Inc()
+	}
 	// Join the dropped thread's parent directly to its child.
 	t.redirect(ctx, parent, dropped, childAddr)
 	t.sendControl(ctx, addr, MsgThreadDropped, ThreadDropped{Thread: dropped})
@@ -503,6 +583,9 @@ func (t *Tracker) handleUncongested(ctx context.Context, u Uncongested) {
 	}
 	t.mu.Unlock()
 
+	if m := t.cfg.Obs; m != nil {
+		m.Uncongestions.Inc()
+	}
 	// New parent sends to the node; the node serves the displaced child.
 	t.redirect(ctx, parent, gained, addr)
 	t.sendControl(ctx, addr, MsgThreadAdded, ThreadAdded{Thread: gained, ChildAddr: childAddr})
@@ -517,6 +600,9 @@ func (t *Tracker) handleComplete(c Complete) {
 	addr := t.addrOf[id]
 	t.mu.Unlock()
 	if !already {
+		if m := t.cfg.Obs; m != nil {
+			m.Completions.Inc()
+		}
 		t.emit(TrackerEvent{Kind: "complete", ID: id, Addr: addr})
 	}
 }

@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ncast/internal/gf"
+	"ncast/internal/obs"
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// TestEventsSlowConsumerNeverBlocksTracker pins the Events drop policy: a
+// consumer that never drains the channel must not stall the tracker's
+// control plane. The events buffer is filled to capacity and beyond, then
+// a node joins — the join only succeeds if Run is still dispatching.
+func TestEventsSlowConsumerNeverBlocksTracker(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	net := transport.NewNetwork()
+	var wg sync.WaitGroup
+	t.Cleanup(func() {
+		cancel()
+		net.Close()
+		wg.Wait()
+	})
+
+	trackerEP, err := net.Endpoint("tracker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := rlnc.Params{Field: gf.F256, GenSize: 8, PacketSize: 32}
+	source, err := NewSource(trackerEP, 8, params, randContent(256), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracker, err := NewTracker(trackerEP, source, TrackerConfig{
+		K: 8, D: 2,
+		Session: source.Session(),
+		Seed:    7,
+		Obs:     obs.NewTrackerMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = tracker.Run(ctx) }()
+	go func() { defer wg.Done(); _ = source.Run(ctx) }()
+
+	// Nobody reads Events(). Overfill the buffer; every call must return
+	// immediately (a blocking emit would hang the test here, well before
+	// the overall test timeout).
+	const overfill = 1100 // > the 1024 buffer
+	for i := 0; i < overfill; i++ {
+		tracker.emit(TrackerEvent{Kind: "synthetic", ID: 1})
+	}
+	if got := len(tracker.Events()); got != cap(tracker.Events()) {
+		t.Fatalf("events buffer holds %d, want full at %d", got, cap(tracker.Events()))
+	}
+
+	// The control plane must still be alive: a hello handled by Run.
+	ep, err := net.Endpoint("latecomer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(ep, NodeConfig{TrackerAddr: "tracker", Seed: 5})
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = node.Run(ctx) }()
+	select {
+	case err := <-node.Joined():
+		if err != nil {
+			t.Fatalf("join with full events buffer: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tracker stopped dispatching with a full events buffer")
+	}
+	if n := tracker.NumNodes(); n != 1 {
+		t.Fatalf("population = %d, want 1", n)
+	}
+
+	// The lossless record: the trace ring kept (the newest of) the
+	// synthetic events even though the channel dropped them.
+	evs := reg.Trace().Events()
+	if len(evs) == 0 {
+		t.Fatal("trace ring empty after overfill")
+	}
+	sawSynthetic := false
+	for _, ev := range evs {
+		if ev.Kind == "synthetic" {
+			sawSynthetic = true
+			break
+		}
+	}
+	if !sawSynthetic {
+		t.Fatal("trace ring did not record dropped events")
+	}
+}

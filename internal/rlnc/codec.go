@@ -3,9 +3,40 @@ package rlnc
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ncast/internal/gf"
+	"ncast/internal/obs"
 )
+
+// codecObs carries optional instrumentation for a Decoder or Recoder:
+// Gaussian-elimination time per absorbed packet and first-packet-to-full-
+// rank latency per generation. A nil *codecObs is a single-branch no-op,
+// so uninstrumented codecs never read the clock.
+type codecObs struct {
+	m       *obs.CodecMetrics
+	firstAt time.Time
+	done    bool
+}
+
+// addObserved runs b.add under o's timing. o may be nil.
+func addObserved(b *basis, o *codecObs, coeff []uint16, payload []byte) (bool, error) {
+	if o == nil {
+		return b.add(coeff, payload)
+	}
+	if o.firstAt.IsZero() {
+		o.firstAt = time.Now()
+	}
+	start := time.Now()
+	innovative, err := b.add(coeff, payload)
+	o.m.GaussNanos.ObserveSince(start)
+	if err == nil && !o.done && b.complete() {
+		o.done = true
+		o.m.GenLatency.ObserveSince(o.firstAt)
+		o.m.GensComplete.Inc()
+	}
+	return innovative, err
+}
 
 // Encoder produces coded packets for one generation of source data. It is
 // the role of the broadcast server, which holds the original packets.
@@ -72,6 +103,15 @@ type Decoder struct {
 	f   gf.Field
 	gen uint32
 	b   *basis
+	obs *codecObs
+}
+
+// Instrument attaches obs metrics; a nil bundle leaves the decoder
+// uninstrumented. Not safe to call concurrently with Add.
+func (d *Decoder) Instrument(m *obs.CodecMetrics) {
+	if m != nil {
+		d.obs = &codecObs{m: m}
+	}
 }
 
 // NewDecoder creates a decoder for generation gen with h source packets of
@@ -93,7 +133,7 @@ func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
 	}
 	coeff := append([]uint16(nil), p.Coeff...)
 	payload := append([]byte(nil), p.Payload...)
-	return d.b.add(coeff, payload)
+	return addObserved(d.b, d.obs, coeff, payload)
 }
 
 // Rank returns the number of linearly independent packets received.
@@ -116,6 +156,16 @@ type Recoder struct {
 	f   gf.Field
 	gen uint32
 	b   *basis
+	obs *codecObs
+}
+
+// Instrument attaches obs metrics; a nil bundle leaves the recoder
+// uninstrumented. Callers must serialise with Add (the protocol layer
+// instruments a recoder at creation, before any packet arrives).
+func (rc *Recoder) Instrument(m *obs.CodecMetrics) {
+	if m != nil {
+		rc.obs = &codecObs{m: m}
+	}
 }
 
 // NewRecoder creates a recoder for generation gen.
@@ -134,7 +184,7 @@ func (rc *Recoder) Add(p *Packet) (innovative bool, err error) {
 	}
 	coeff := append([]uint16(nil), p.Coeff...)
 	payload := append([]byte(nil), p.Payload...)
-	return rc.b.add(coeff, payload)
+	return addObserved(rc.b, rc.obs, coeff, payload)
 }
 
 // Rank returns the dimension of the received subspace.

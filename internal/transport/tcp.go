@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"ncast/internal/obs"
 )
 
 // TCPEndpoint implements Endpoint over TCP: it listens on its own address
@@ -25,9 +28,16 @@ type TCPEndpoint struct {
 	closed  bool
 	wg      sync.WaitGroup
 	done    chan struct{}
+	metrics atomic.Pointer[obs.TransportMetrics]
 }
 
-var _ Endpoint = (*TCPEndpoint)(nil)
+var (
+	_ Endpoint       = (*TCPEndpoint)(nil)
+	_ Instrumentable = (*TCPEndpoint)(nil)
+)
+
+// SetMetrics attaches obs counters to the endpoint.
+func (e *TCPEndpoint) SetMetrics(m *obs.TransportMetrics) { e.metrics.Store(m) }
 
 // ListenTCP creates an endpoint listening on addr (e.g. "127.0.0.1:0").
 func ListenTCP(addr string) (*TCPEndpoint, error) {
@@ -91,6 +101,7 @@ func (e *TCPEndpoint) readLoop(c *Conn) {
 		}
 		select {
 		case e.recv <- memFrame{from: from, msg: payload}:
+			e.metrics.Load().Received(len(payload))
 		case <-e.done:
 			return
 		}
@@ -120,14 +131,20 @@ func prependSender(from string, msg []byte) []byte {
 // connection afterwards; a send error invalidates the cached connection so
 // the next send redials.
 func (e *TCPEndpoint) Send(ctx context.Context, to string, msg []byte) error {
+	m := e.metrics.Load()
 	conn, err := e.conn(ctx, to)
 	if err != nil {
+		m.Dropped()
 		return err
 	}
+	start := m.Start()
 	if err := conn.Send(prependSender(e.addr, msg)); err != nil {
 		e.dropConn(to, conn)
+		m.Dropped()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	m.Sent(len(msg))
+	m.ObserveSend(start)
 	return nil
 }
 

@@ -18,7 +18,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ncast/internal/obs"
 )
 
 // ErrClosed is returned after an endpoint or network is closed.
@@ -29,6 +32,21 @@ var ErrUnknownPeer = errors.New("transport: unknown peer")
 
 // maxFrame bounds a frame's size on stream transports (16 MiB).
 const maxFrame = 16 << 20
+
+// Instrumentable is implemented by endpoints that can carry obs metrics.
+// Both built-in endpoint types do.
+type Instrumentable interface {
+	// SetMetrics attaches the bundle; it is safe to call concurrently
+	// with traffic and with a nil bundle (which un-instruments).
+	SetMetrics(*obs.TransportMetrics)
+}
+
+// Instrument attaches m to ep when ep supports it; a no-op otherwise.
+func Instrument(ep Endpoint, m *obs.TransportMetrics) {
+	if i, ok := ep.(Instrumentable); ok {
+		i.SetMetrics(m)
+	}
+}
 
 // Endpoint is one side of a transport: it can send framed messages to
 // named peers and receive messages addressed to it.
@@ -150,16 +168,24 @@ type memEndpoint struct {
 	// done signals closure; the data channel itself is never closed, so
 	// concurrent senders can never hit a closed-channel panic — they
 	// select on done instead.
-	done   chan struct{}
-	mu     sync.Mutex
-	closed bool
+	done    chan struct{}
+	mu      sync.Mutex
+	closed  bool
+	metrics atomic.Pointer[obs.TransportMetrics]
 }
 
-var _ Endpoint = (*memEndpoint)(nil)
+var (
+	_ Endpoint       = (*memEndpoint)(nil)
+	_ Instrumentable = (*memEndpoint)(nil)
+)
 
 func (e *memEndpoint) Addr() string { return e.addr }
 
+// SetMetrics attaches obs counters to the endpoint.
+func (e *memEndpoint) SetMetrics(m *obs.TransportMetrics) { e.metrics.Store(m) }
+
 func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
+	m := e.metrics.Load()
 	n := e.net
 	n.mu.Lock()
 	if n.closed {
@@ -174,6 +200,7 @@ func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
 	if drop {
+		m.Dropped()
 		return nil // silently lost, like a UDP frame on a congested link
 	}
 	frame := memFrame{from: e.addr, msg: append([]byte(nil), msg...)}
@@ -185,12 +212,17 @@ func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 		// keeps fast producers honest.
 		frame.due = time.Now().Add(latency)
 	}
+	start := m.Start()
 	select {
 	case dst.ch <- frame:
+		m.Sent(len(msg))
+		m.ObserveSend(start)
 		return nil
 	case <-dst.done:
+		m.Dropped()
 		return nil // receiver gone: frame lost
 	case <-ctx.Done():
+		m.Dropped()
 		return ctx.Err()
 	}
 }
@@ -206,9 +238,11 @@ func (e *memEndpoint) Recv(ctx context.Context) (string, []byte, error) {
 			case <-ctx.Done():
 				// The frame is consumed but undelivered: model it as
 				// lost in flight, like a datagram on a dying link.
+				e.metrics.Load().Dropped()
 				return "", nil, ctx.Err()
 			}
 		}
+		e.metrics.Load().Received(len(f.msg))
 		return f.from, f.msg, nil
 	case <-e.done:
 		return "", nil, ErrClosed

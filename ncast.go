@@ -99,6 +99,10 @@ type Config struct {
 	// priority layers, and the coded stream is weighted toward lower
 	// layers so degraded receivers finish the base layer first.
 	LayerWeights []float64
+	// DisableObs turns runtime observability off: no metrics registry is
+	// created and every layer runs uninstrumented (one nil check per hot
+	// path). Snapshot then returns an empty snapshot.
+	DisableObs bool
 }
 
 // DefaultConfig returns the baseline configuration: k=16 threads, degree
@@ -205,6 +209,11 @@ func WithSourceInterval(d time.Duration) Option {
 // per-layer stream weights (base layer first).
 func WithLayers(weights ...float64) Option {
 	return func(c *Config) { c.LayerWeights = append([]float64(nil), weights...) }
+}
+
+// WithoutObservability disables the runtime metrics layer entirely.
+func WithoutObservability() Option {
+	return func(c *Config) { c.DisableObs = true }
 }
 
 // newSource builds the flat or layered data source for cfg.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ncast/internal/obs"
 	"ncast/internal/protocol"
 	"ncast/internal/transport"
 )
@@ -19,6 +20,7 @@ type Session struct {
 	net          *transport.Network
 	tracker      *protocol.Tracker
 	source       *protocol.Source
+	obs          *obs.Registry
 	cancel       context.CancelFunc
 	sourceCancel context.CancelFunc
 	wg           sync.WaitGroup
@@ -78,13 +80,21 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 		net.Close()
 		return nil, err
 	}
+	var reg *obs.Registry
+	if !cfg.DisableObs {
+		reg = obs.NewRegistry()
+	}
+	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
 	source, err := cfg.newSource(ep, content)
 	if err != nil {
 		net.Close()
 		return nil, err
 	}
 	source.RoundInterval = cfg.SourceInterval
-	tracker, err := protocol.NewTracker(ep, source, cfg.trackerConfig(source.Session()))
+	source.Obs = obs.NewSourceMetrics(reg)
+	trackerCfg := cfg.trackerConfig(source.Session())
+	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
+	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
 		net.Close()
 		return nil, err
@@ -97,6 +107,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 		net:          net,
 		tracker:      tracker,
 		source:       source,
+		obs:          reg,
 		cancel:       cancel,
 		sourceCancel: sourceCancel,
 		clients:      make(map[string]*Client),
@@ -125,6 +136,25 @@ func (s *Session) CompletedCount() int { return s.tracker.CompletedCount() }
 
 // Events exposes tracker events (join/leave/repair/complete).
 func (s *Session) Events() <-chan protocol.TrackerEvent { return s.tracker.Events() }
+
+// Observability returns the session's metrics registry (nil when disabled
+// via DisableObs). Pass it to obs.Serve to expose /metrics and
+// /debug/overlay over HTTP.
+func (s *Session) Observability() *obs.Registry { return s.obs }
+
+// Snapshot captures the session's current health: overlay matrix-M state
+// (population, degree distribution, hanging threads), every metric series,
+// and the most recent trace events.
+func (s *Session) Snapshot() obs.OverlaySnapshot {
+	snap := obs.OverlaySnapshot{At: time.Now()}
+	h := s.tracker.Health()
+	snap.Overlay = &h
+	if s.obs != nil {
+		snap.Metrics = s.obs.Snapshot()
+		snap.Recent = s.obs.Trace().Events()
+	}
+	return snap
+}
 
 // ClientOption configures one client.
 type ClientOption func(*clientSettings)
@@ -181,12 +211,14 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 	if err != nil {
 		return nil, err
 	}
+	transport.Instrument(ep, obs.NewTransportMetrics(s.obs, addr))
 	node := protocol.NewNode(ep, protocol.NodeConfig{
 		TrackerAddr:      "server",
 		Degree:           settings.degree,
 		ComplaintTimeout: s.cfg.ComplaintTimeout,
 		Behavior:         settings.behavior,
 		Seed:             settings.seed,
+		Obs:              obs.NewNodeMetrics(s.obs, addr),
 	})
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &Client{node: node, addr: addr, session: s, cancel: cancel}

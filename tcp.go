@@ -3,7 +3,9 @@ package ncast
 import (
 	"context"
 	"sync"
+	"time"
 
+	"ncast/internal/obs"
 	"ncast/internal/protocol"
 	"ncast/internal/transport"
 )
@@ -14,6 +16,7 @@ type Server struct {
 	ep      *transport.TCPEndpoint
 	tracker *protocol.Tracker
 	source  *protocol.Source
+	obs     *obs.Registry
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 }
@@ -28,19 +31,27 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var reg *obs.Registry
+	if !cfg.DisableObs {
+		reg = obs.NewRegistry()
+	}
+	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
 	source, err := cfg.newSource(ep, content)
 	if err != nil {
 		ep.Close()
 		return nil, err
 	}
 	source.RoundInterval = cfg.SourceInterval
-	tracker, err := protocol.NewTracker(ep, source, cfg.trackerConfig(source.Session()))
+	source.Obs = obs.NewSourceMetrics(reg)
+	trackerCfg := cfg.trackerConfig(source.Session())
+	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
+	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
 		ep.Close()
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{ep: ep, tracker: tracker, source: source, cancel: cancel}
+	s := &Server{ep: ep, tracker: tracker, source: source, obs: reg, cancel: cancel}
 	s.wg.Add(2)
 	go func() { defer s.wg.Done(); _ = tracker.Run(ctx) }()
 	go func() { defer s.wg.Done(); _ = source.Run(ctx) }()
@@ -59,6 +70,22 @@ func (s *Server) CompletedCount() int { return s.tracker.CompletedCount() }
 // Events exposes tracker events.
 func (s *Server) Events() <-chan protocol.TrackerEvent { return s.tracker.Events() }
 
+// Observability returns the server's metrics registry (nil when disabled).
+func (s *Server) Observability() *obs.Registry { return s.obs }
+
+// Snapshot captures the server's current overlay health, metrics, and
+// recent trace events.
+func (s *Server) Snapshot() obs.OverlaySnapshot {
+	snap := obs.OverlaySnapshot{At: time.Now()}
+	h := s.tracker.Health()
+	snap.Overlay = &h
+	if s.obs != nil {
+		snap.Metrics = s.obs.Snapshot()
+		snap.Recent = s.obs.Trace().Events()
+	}
+	return snap
+}
+
 // Close stops the server.
 func (s *Server) Close() error {
 	s.cancel()
@@ -71,6 +98,7 @@ func (s *Server) Close() error {
 type RemoteClient struct {
 	node   *protocol.Node
 	ep     *transport.TCPEndpoint
+	obs    *obs.Registry
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
@@ -87,14 +115,20 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 	if err != nil {
 		return nil, err
 	}
+	var reg *obs.Registry
+	if !cfg.DisableObs {
+		reg = obs.NewRegistry()
+	}
+	transport.Instrument(ep, obs.NewTransportMetrics(reg, ep.Addr()))
 	node := protocol.NewNode(ep, protocol.NodeConfig{
 		TrackerAddr:      serverAddr,
 		Degree:           settings.degree,
 		ComplaintTimeout: cfg.ComplaintTimeout,
 		Seed:             settings.seed,
+		Obs:              obs.NewNodeMetrics(reg, ep.Addr()),
 	})
 	runCtx, cancel := context.WithCancel(context.Background())
-	c := &RemoteClient{node: node, ep: ep, cancel: cancel}
+	c := &RemoteClient{node: node, ep: ep, obs: reg, cancel: cancel}
 	c.wg.Add(1)
 	go func() { defer c.wg.Done(); _ = node.Run(runCtx) }()
 	select {
@@ -131,6 +165,22 @@ func (c *RemoteClient) Wait(ctx context.Context) error {
 
 // Content returns the decoded blob once complete.
 func (c *RemoteClient) Content() ([]byte, error) { return c.node.Content() }
+
+// Observability returns the client's metrics registry (nil when disabled).
+func (c *RemoteClient) Observability() *obs.Registry { return c.obs }
+
+// Snapshot captures the client's download health, metrics, and recent
+// trace events.
+func (c *RemoteClient) Snapshot() obs.OverlaySnapshot {
+	snap := obs.OverlaySnapshot{At: time.Now()}
+	h := c.node.Health()
+	snap.Node = &h
+	if c.obs != nil {
+		snap.Metrics = c.obs.Snapshot()
+		snap.Recent = c.obs.Trace().Events()
+	}
+	return snap
+}
 
 // Leave performs the good-bye protocol, then closes the client.
 func (c *RemoteClient) Leave(ctx context.Context) error {
