@@ -1,11 +1,14 @@
 # Developer checks. `make check` is the gate every change should pass.
 
 GO ?= go
-RACE_PKGS := ./internal/obs ./internal/protocol ./internal/transport
+RACE_PKGS := ./internal/obs ./internal/protocol ./internal/rlnc ./internal/transport
+# Packages with build-tag-gated accelerated kernels; purego forces the
+# scalar reference implementations so both dispatch arms stay tested.
+PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test purego race bench
 
-check: vet fmt build test race
+check: vet fmt build test purego race
 
 build:
 	$(GO) build ./...
@@ -22,10 +25,16 @@ fmt:
 test:
 	$(GO) test ./...
 
+purego:
+	$(GO) test -tags purego $(PUREGO_PKGS)
+
 # Race-check the concurrency-heavy packages (atomics in obs, the tracker
-# and node state machines, both transports).
+# and node state machines, the parallel decoder, both transports).
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Data-plane fast-path trajectory: kernel throughput, emit-path allocs,
+# and serial-vs-parallel file decode, recorded in BENCH_rlnc.json.
 bench:
+	$(GO) run ./cmd/ncast-perf -o BENCH_rlnc.json
 	$(GO) test . -run NONE -bench . -benchmem

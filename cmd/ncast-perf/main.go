@@ -1,0 +1,263 @@
+// Command ncast-perf measures the data-plane fast path and writes the
+// results as JSON (default BENCH_rlnc.json) so kernel and pipeline
+// regressions show up as a diff. It records, per field:
+//
+//   - bulk-kernel throughput (AddSlice / AddMulSlice) for the dispatched
+//     implementation and the scalar reference, with the speedup ratio;
+//   - steady-state codec emit cost (Encoder.Packet, Recoder.Packet) in
+//     ns/op and allocs/op — the zero-allocation budget of the pipeline;
+//   - whole-file decode throughput, serial FileDecoder vs the
+//     generation-sharded ParallelFileDecoder worker pool.
+//
+// Usage:
+//
+//	ncast-perf                 # write BENCH_rlnc.json and print a summary
+//	ncast-perf -o results.json # choose the output path
+//	ncast-perf -size 8192      # payload bytes for the kernel benchmarks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"ncast/internal/gf"
+	"ncast/internal/rlnc"
+)
+
+// report is the schema of BENCH_rlnc.json.
+type report struct {
+	Accel      string        `json:"accel"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	SliceBytes int           `json:"slice_bytes"`
+	Kernels    []kernelRow   `json:"kernels"`
+	Codec      []codecRow    `json:"codec"`
+	FileDecode fileDecodeRow `json:"file_decode"`
+}
+
+type kernelRow struct {
+	Name    string  `json:"name"`
+	MBps    float64 `json:"mb_per_s"`
+	RefMBps float64 `json:"ref_mb_per_s"`
+	Speedup float64 `json:"speedup"`
+}
+
+type codecRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type fileDecodeRow struct {
+	ContentBytes int     `json:"content_bytes"`
+	Generations  int     `json:"generations"`
+	Workers      int     `json:"workers"`
+	SerialMBps   float64 `json:"serial_mb_per_s"`
+	ParallelMBps float64 `json:"parallel_mb_per_s"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// mbps converts a benchmark over size-byte operations to MB/s.
+func mbps(r testing.BenchmarkResult, size int) float64 {
+	if r.NsPerOp() <= 0 {
+		return 0
+	}
+	return float64(size) / float64(r.NsPerOp()) * 1e9 / 1e6
+}
+
+// benchKernel measures one dst/src bulk kernel at the given payload size.
+func benchKernel(size int, fn func(dst, src []byte)) testing.BenchmarkResult {
+	dst, src := make([]byte, size), make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(src)
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(size))
+		for i := 0; i < b.N; i++ {
+			fn(dst, src)
+		}
+	})
+}
+
+func kernelRows(size int) []kernelRow {
+	const c256 = uint16(0x5A)
+	const c65536 = uint16(0x1234)
+	cases := []struct {
+		name string
+		opt  func(dst, src []byte)
+		ref  func(dst, src []byte)
+	}{
+		{"AddSlice(GF2)",
+			func(d, s []byte) { gf.F2.AddSlice(d, s) },
+			func(d, s []byte) { gf.RefAddSlice(gf.F2, d, s) }},
+		{"AddMulSlice(GF256)",
+			func(d, s []byte) { gf.F256.AddMulSlice(d, s, c256) },
+			func(d, s []byte) { gf.RefAddMulSlice(gf.F256, d, s, c256) }},
+		{"AddMulSlice(GF65536)",
+			func(d, s []byte) { gf.F65536.AddMulSlice(d, s, c65536) },
+			func(d, s []byte) { gf.RefAddMulSlice(gf.F65536, d, s, c65536) }},
+	}
+	rows := make([]kernelRow, 0, len(cases))
+	for _, tc := range cases {
+		opt := benchKernel(size, tc.opt)
+		ref := benchKernel(size, tc.ref)
+		row := kernelRow{Name: tc.name, MBps: mbps(opt, size), RefMBps: mbps(ref, size)}
+		if row.RefMBps > 0 {
+			row.Speedup = row.MBps / row.RefMBps
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// codecRows measures the pooled emit paths at h=16, 1 KiB payloads.
+func codecRows() []codecRow {
+	const h, size = 16, 1024
+	r := rand.New(rand.NewSource(2))
+	src := make([][]byte, h)
+	for i := range src {
+		src[i] = make([]byte, size)
+		r.Read(src[i])
+	}
+	enc, err := rlnc.NewEncoder(gf.F256, 0, src)
+	check(err)
+	rc, err := rlnc.NewRecoder(gf.F256, 0, h, size)
+	check(err)
+	for rc.Rank() < h {
+		p := enc.Packet(r)
+		_, err := rc.Add(p)
+		check(err)
+		p.Release()
+	}
+	encRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := enc.Packet(r)
+			p.Release()
+		}
+	})
+	rcRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, ok := rc.Packet(r)
+			if !ok {
+				b.Fatal("recoder empty")
+			}
+			p.Release()
+		}
+	})
+	return []codecRow{
+		{"Encoder.Packet(GF256,h=16,1KiB)", float64(encRes.NsPerOp()), encRes.AllocsPerOp()},
+		{"Recoder.Packet(GF256,h=16,1KiB)", float64(rcRes.NsPerOp()), rcRes.AllocsPerOp()},
+	}
+}
+
+// fileDecode measures serial vs parallel whole-blob decode over 8
+// generations of h=16, 1 KiB packets.
+func fileDecode() fileDecodeRow {
+	params := rlnc.Params{Field: gf.F256, GenSize: 16, PacketSize: 1024}
+	const gens = 8
+	content := make([]byte, gens*params.GenSize*params.PacketSize)
+	rand.New(rand.NewSource(3)).Read(content)
+	fe, err := rlnc.NewFileEncoder(params, content)
+	check(err)
+	r := rand.New(rand.NewSource(4))
+	perGen := params.GenSize + 2
+	pkts := make([]*rlnc.Packet, 0, gens*perGen)
+	for g := 0; g < gens; g++ {
+		for i := 0; i < perGen; i++ {
+			p, err := fe.Packet(g, r)
+			check(err)
+			pkts = append(pkts, p.Clone())
+			p.Release()
+		}
+	}
+	serial := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(content)))
+		for i := 0; i < b.N; i++ {
+			fd, err := rlnc.NewFileDecoder(params, len(content))
+			check(err)
+			for _, p := range pkts {
+				if fd.Complete() {
+					break
+				}
+				_, err := fd.Add(p)
+				check(err)
+			}
+			if !fd.Complete() {
+				panic("serial decode incomplete")
+			}
+		}
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > gens {
+		workers = gens
+	}
+	parallel := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(content)))
+		for i := 0; i < b.N; i++ {
+			pd, err := rlnc.NewParallelFileDecoder(params, len(content), workers, nil)
+			check(err)
+			for _, p := range pkts {
+				check(pd.Add(p.Clone()))
+			}
+			pd.Close()
+			if !pd.Complete() {
+				panic("parallel decode incomplete")
+			}
+		}
+	})
+	row := fileDecodeRow{
+		ContentBytes: len(content),
+		Generations:  gens,
+		Workers:      workers,
+		SerialMBps:   mbps(serial, len(content)),
+		ParallelMBps: mbps(parallel, len(content)),
+	}
+	if row.SerialMBps > 0 {
+		row.Speedup = row.ParallelMBps / row.SerialMBps
+	}
+	return row
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncast-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_rlnc.json", "output path for the JSON report")
+	size := flag.Int("size", 4096, "payload bytes for the kernel benchmarks")
+	flag.Parse()
+
+	rep := report{
+		Accel:      gf.Accel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		SliceBytes: *size,
+	}
+	fmt.Printf("accel=%s gomaxprocs=%d %s\n", rep.Accel, rep.GOMAXPROCS, rep.GoVersion)
+	rep.Kernels = kernelRows(*size)
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-24s %9.0f MB/s (ref %7.0f MB/s, %5.1fx)\n", k.Name, k.MBps, k.RefMBps, k.Speedup)
+	}
+	rep.Codec = codecRows()
+	for _, c := range rep.Codec {
+		fmt.Printf("%-32s %8.0f ns/op %3d allocs/op\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+	}
+	rep.FileDecode = fileDecode()
+	fd := rep.FileDecode
+	fmt.Printf("file decode %d B / %d gens: serial %.0f MB/s, parallel(%d) %.0f MB/s (%.2fx)\n",
+		fd.ContentBytes, fd.Generations, fd.SerialMBps, fd.Workers, fd.ParallelMBps, fd.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	data = append(data, '\n')
+	check(os.WriteFile(*out, data, 0o644))
+	fmt.Println("wrote", *out)
+}

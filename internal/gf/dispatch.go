@@ -1,0 +1,17 @@
+//go:build !purego
+
+package gf
+
+// Default dispatch: upgrade the kernels from the scalar reference to the
+// word-at-a-time generic implementations, then let the platform hook swap
+// in vector assembly where available. Building with -tags purego skips
+// this file entirely, pinning every kernel to the reference path.
+func init() {
+	accelName = "generic"
+	xorSlice = xorWords
+	// The GF(2^8) table row and the GF(2^16) log/exp loop are the pure-Go
+	// ceiling on measured hardware (a scalar four-nibble-table variant of
+	// the 16-bit multiply benched slower than log/exp here); only platform
+	// kernels beat them.
+	initPlatformKernels()
+}

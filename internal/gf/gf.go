@@ -60,7 +60,20 @@ type Field interface {
 	MulSlice(dst, src []byte, c uint16)
 	// AddMulSlice sets dst[i] += c * src[i] symbol-wise.
 	AddMulSlice(dst, src []byte, c uint16)
+
+	// MulCoeff sets dst[j] = c * dst[j] over a coefficient vector of
+	// field elements (one element per uint16, unlike the byte-packed
+	// payload kernels).
+	MulCoeff(dst []uint16, c uint16)
+	// AddMulCoeff sets dst[j] += c * src[j] over coefficient vectors.
+	// dst and src must have equal length and may alias exactly.
+	AddMulCoeff(dst, src []uint16, c uint16)
 }
+
+// Accel names the bulk-kernel implementation selected at package load:
+// "purego" (scalar reference, forced by the purego build tag), "generic"
+// (word-at-a-time pure Go), or "avx2" (amd64 vector assembly).
+func Accel() string { return accelName }
 
 // Compile-time interface conformance checks.
 var (
@@ -68,6 +81,14 @@ var (
 	_ Field = GF256{}
 	_ Field = GF65536{}
 )
+
+// checkCoeffLen panics when a coefficient kernel is invoked with
+// mismatched vectors.
+func checkCoeffLen(dst, src []uint16) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf: coeff length mismatch: dst=%d src=%d", len(dst), len(src)))
+	}
+}
 
 // checkLen panics when a bulk kernel is invoked with mismatched slices.
 // Length mismatches are programming errors, never data errors.

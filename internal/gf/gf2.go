@@ -50,28 +50,46 @@ func (GF2) RandNonZero(*rand.Rand) uint16 { return 1 }
 // AddSlice implements Field.
 func (GF2) AddSlice(dst, src []byte) {
 	checkLen(dst, src, 1)
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
+	xorSlice(dst, src)
 }
 
 // MulSlice implements Field.
 func (GF2) MulSlice(dst, src []byte, c uint16) {
 	checkLen(dst, src, 1)
 	if c&1 == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 		return
 	}
 	copy(dst, src)
 }
 
 // AddMulSlice implements Field.
-func (g GF2) AddMulSlice(dst, src []byte, c uint16) {
+func (GF2) AddMulSlice(dst, src []byte, c uint16) {
 	checkLen(dst, src, 1)
 	if c&1 == 0 {
 		return
 	}
-	g.AddSlice(dst, src)
+	xorSlice(dst, src)
+}
+
+// MulCoeff implements Field.
+func (GF2) MulCoeff(dst []uint16, c uint16) {
+	if c&1 == 0 {
+		clear(dst)
+		return
+	}
+	for j, v := range dst {
+		dst[j] = v & 1
+	}
+}
+
+// AddMulCoeff implements Field.
+func (GF2) AddMulCoeff(dst, src []uint16, c uint16) {
+	checkCoeffLen(dst, src)
+	if c&1 == 0 {
+		return
+	}
+	for j, v := range src {
+		dst[j] ^= v & 1
+	}
 }

@@ -22,6 +22,7 @@ var (
 	log256 [256]uint16        // log256[x] = i such that alpha^i = x; log256[0] unused
 	inv256 [256]byte          // inv256[x] = x^-1; inv256[0] unused
 	mul256 [256][256]byte     // full product table
+	nib256 [256][32]byte      // nib256[c] = {c*n | n<16} ++ {c*(n<<4) | n<16}
 	_      = buildTables256() // force table construction at package load
 )
 
@@ -45,6 +46,17 @@ func buildTables256() struct{} {
 		inv256[a] = exp256[255-int(log256[a])]
 		for b := 1; b < 256; b++ {
 			mul256[a][b] = exp256[int(log256[a])+int(log256[b])]
+		}
+	}
+	// Nibble-split product tables: a byte product c*s decomposes as
+	// c*(s&0x0f) ^ c*(s&0xf0), so the vector kernels can look 32 products
+	// up per PSHUFB pair. Built for every c so table selection is a plain
+	// index, including c=0 and c=1 (the dispatchers peel those off, but
+	// correctness must not depend on it).
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			nib256[c][n] = mul256[c][n]
+			nib256[c][16+n] = mul256[c][n<<4]
 		}
 	}
 	return struct{}{}
@@ -92,9 +104,7 @@ func (GF256) Exp(i int) uint16 { return uint16(exp256[i%255]) }
 // AddSlice implements Field.
 func (GF256) AddSlice(dst, src []byte) {
 	checkLen(dst, src, 1)
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
+	xorSlice(dst, src)
 }
 
 // MulSlice implements Field.
@@ -102,16 +112,11 @@ func (GF256) MulSlice(dst, src []byte, c uint16) {
 	checkLen(dst, src, 1)
 	switch c & 0xFF {
 	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 	case 1:
 		copy(dst, src)
 	default:
-		row := &mul256[c&0xFF]
-		for i := range dst {
-			dst[i] = row[src[i]]
-		}
+		mulSlice256(dst, src, c&0xFF)
 	}
 }
 
@@ -121,11 +126,39 @@ func (g GF256) AddMulSlice(dst, src []byte, c uint16) {
 	switch c & 0xFF {
 	case 0:
 	case 1:
-		g.AddSlice(dst, src)
+		xorSlice(dst, src)
+	default:
+		addMulSlice256(dst, src, c&0xFF)
+	}
+}
+
+// MulCoeff implements Field.
+func (GF256) MulCoeff(dst []uint16, c uint16) {
+	switch c & 0xFF {
+	case 0:
+		clear(dst)
+	case 1:
 	default:
 		row := &mul256[c&0xFF]
-		for i := range dst {
-			dst[i] ^= row[src[i]]
+		for j, v := range dst {
+			dst[j] = uint16(row[v&0xFF])
+		}
+	}
+}
+
+// AddMulCoeff implements Field.
+func (GF256) AddMulCoeff(dst, src []uint16, c uint16) {
+	checkCoeffLen(dst, src)
+	switch c & 0xFF {
+	case 0:
+	case 1:
+		for j, v := range src {
+			dst[j] ^= v & 0xFF
+		}
+	default:
+		row := &mul256[c&0xFF]
+		for j, v := range src {
+			dst[j] ^= uint16(row[v&0xFF])
 		}
 	}
 }

@@ -1,9 +1,6 @@
 package gf
 
-import (
-	"encoding/binary"
-	"math/rand"
-)
+import "math/rand"
 
 // poly65536 is the primitive polynomial x^16 + x^12 + x^3 + x + 1
 // generating GF(2^16) with alpha = 2 as a primitive element.
@@ -85,50 +82,65 @@ func (GF65536) RandNonZero(r *rand.Rand) uint16 { return uint16(1 + r.Intn(65535
 // AddSlice implements Field.
 func (GF65536) AddSlice(dst, src []byte) {
 	checkLen(dst, src, 2)
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
+	xorSlice(dst, src)
 }
 
 // MulSlice implements Field.
-func (g GF65536) MulSlice(dst, src []byte, c uint16) {
+func (GF65536) MulSlice(dst, src []byte, c uint16) {
 	checkLen(dst, src, 2)
 	switch c {
 	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 	case 1:
 		copy(dst, src)
 	default:
-		lc := log65536[c]
-		for i := 0; i+1 < len(dst); i += 2 {
-			s := binary.LittleEndian.Uint16(src[i:])
-			var p uint16
-			if s != 0 {
-				p = exp65536[lc+log65536[s]]
-			}
-			binary.LittleEndian.PutUint16(dst[i:], p)
-		}
+		mulSlice65536(dst, src, c)
 	}
 }
 
 // AddMulSlice implements Field.
-func (g GF65536) AddMulSlice(dst, src []byte, c uint16) {
+func (GF65536) AddMulSlice(dst, src []byte, c uint16) {
 	checkLen(dst, src, 2)
 	switch c {
 	case 0:
 	case 1:
-		g.AddSlice(dst, src)
+		xorSlice(dst, src)
+	default:
+		addMulSlice65536(dst, src, c)
+	}
+}
+
+// MulCoeff implements Field.
+func (g GF65536) MulCoeff(dst []uint16, c uint16) {
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
 	default:
 		lc := log65536[c]
-		for i := 0; i+1 < len(dst); i += 2 {
-			s := binary.LittleEndian.Uint16(src[i:])
-			if s == 0 {
-				continue
+		for j, v := range dst {
+			if v != 0 {
+				dst[j] = exp65536[lc+log65536[v]]
 			}
-			p := exp65536[lc+log65536[s]]
-			binary.LittleEndian.PutUint16(dst[i:], binary.LittleEndian.Uint16(dst[i:])^p)
+		}
+	}
+}
+
+// AddMulCoeff implements Field.
+func (g GF65536) AddMulCoeff(dst, src []uint16, c uint16) {
+	checkCoeffLen(dst, src)
+	switch c {
+	case 0:
+	case 1:
+		for j, v := range src {
+			dst[j] ^= v
+		}
+	default:
+		lc := log65536[c]
+		for j, v := range src {
+			if v != 0 {
+				dst[j] ^= exp65536[lc+log65536[v]]
+			}
 		}
 	}
 }

@@ -1,0 +1,156 @@
+package gf
+
+import "encoding/binary"
+
+// This file holds the data-plane kernel dispatch and every pure-Go kernel
+// implementation. The bulk slice operations on the three fields route
+// through the package-level function variables below, which are selected
+// once at package load:
+//
+//   - default ("purego" tag absent): dispatch.go upgrades the XOR and
+//     GF(2^16) kernels to the word-at-a-time implementations here, and on
+//     amd64 with AVX2 the GF(2^8) kernels to the assembly in
+//     kernels_amd64.s (32 bytes per iteration via PSHUFB nibble tables).
+//   - with -tags purego: no init runs; the variables keep their scalar
+//     reference values and every kernel is plain bounds-checked Go.
+//
+// The reference kernels are compiled unconditionally so differential
+// tests (and the perf harness's speedup baseline) can always reach them.
+
+var (
+	xorSlice         = refXORSlice
+	mulSlice256      = refMulSlice256
+	addMulSlice256   = refAddMulSlice256
+	mulSlice65536    = refMulSlice65536
+	addMulSlice65536 = refAddMulSlice65536
+	accelName        = "purego"
+)
+
+// ---- Scalar reference kernels (the seed implementations) ----
+//
+// All multiply kernels assume c >= 2: the field methods peel off the c==0
+// and c==1 cases (zero/copy/no-op) before dispatching.
+
+func refXORSlice(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func refMulSlice256(dst, src []byte, c uint16) {
+	row := &mul256[c&0xFF]
+	for i := range dst {
+		dst[i] = row[src[i]]
+	}
+}
+
+func refAddMulSlice256(dst, src []byte, c uint16) {
+	row := &mul256[c&0xFF]
+	for i := range dst {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+func refMulSlice65536(dst, src []byte, c uint16) {
+	lc := log65536[c]
+	for i := 0; i+1 < len(dst); i += 2 {
+		s := binary.LittleEndian.Uint16(src[i:])
+		var p uint16
+		if s != 0 {
+			p = exp65536[lc+log65536[s]]
+		}
+		binary.LittleEndian.PutUint16(dst[i:], p)
+	}
+}
+
+func refAddMulSlice65536(dst, src []byte, c uint16) {
+	lc := log65536[c]
+	for i := 0; i+1 < len(dst); i += 2 {
+		s := binary.LittleEndian.Uint16(src[i:])
+		if s == 0 {
+			continue
+		}
+		p := exp65536[lc+log65536[s]]
+		binary.LittleEndian.PutUint16(dst[i:], binary.LittleEndian.Uint16(dst[i:])^p)
+	}
+}
+
+// RefAddSlice, RefMulSlice, and RefAddMulSlice expose the scalar reference
+// path for the given field regardless of build tags, for differential
+// benchmarking (the perf harness reports the optimized/reference speedup).
+// They handle the c==0/1 special cases exactly like the Field methods.
+func RefAddSlice(f Field, dst, src []byte) {
+	checkLen(dst, src, f.SymbolSize())
+	refXORSlice(dst, src)
+}
+
+// RefMulSlice is the reference MulSlice; see RefAddSlice.
+func RefMulSlice(f Field, dst, src []byte, c uint16) {
+	checkLen(dst, src, f.SymbolSize())
+	c &= uint16(f.Order() - 1)
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		if f.Bits() == 8 {
+			refMulSlice256(dst, src, c)
+		} else {
+			refMulSlice65536(dst, src, c)
+		}
+	}
+}
+
+// RefAddMulSlice is the reference AddMulSlice; see RefAddSlice.
+func RefAddMulSlice(f Field, dst, src []byte, c uint16) {
+	checkLen(dst, src, f.SymbolSize())
+	c &= uint16(f.Order() - 1)
+	switch c {
+	case 0:
+	case 1:
+		refXORSlice(dst, src)
+	default:
+		if f.Bits() == 8 {
+			refAddMulSlice256(dst, src, c)
+		} else {
+			refAddMulSlice65536(dst, src, c)
+		}
+	}
+}
+
+// ---- Word-at-a-time generic kernels ----
+
+// xorWords XORs eight bytes per iteration through uint64 loads; the
+// encoding/binary calls compile to single MOVQs.
+func xorWords(dst, src []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// buildNibTab65536 fills the eight 16-entry byte-plane product tables the
+// GF(2^16) vector kernel shuffles against: a product c*s decomposes over
+// the four nibbles of s, so with fi(n) = c*(n << 4i) the low result byte
+// is loPlane(f0(n0)^f1(n1)^f2(n2)^f3(n3)) and likewise for the high byte.
+// Layout: [T0lo T0hi T1lo T1hi T2lo T2hi T3lo T3hi], 16 bytes each.
+// Building costs 60 log/exp multiplies, so callers only use it for slices
+// long enough to amortize (see the amd64 wrapper); index 0 stays zero.
+func buildNibTab65536(c uint16, tab *[128]byte) {
+	lc := log65536[c]
+	for n := uint32(1); n < 16; n++ {
+		f0 := exp65536[lc+log65536[n]]
+		f1 := exp65536[lc+log65536[n<<4]]
+		f2 := exp65536[lc+log65536[n<<8]]
+		f3 := exp65536[lc+log65536[n<<12]]
+		tab[n], tab[16+n] = byte(f0), byte(f0>>8)
+		tab[32+n], tab[48+n] = byte(f1), byte(f1>>8)
+		tab[64+n], tab[80+n] = byte(f2), byte(f2>>8)
+		tab[96+n], tab[112+n] = byte(f3), byte(f3>>8)
+	}
+}

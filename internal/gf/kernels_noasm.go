@@ -1,0 +1,7 @@
+//go:build !amd64 && !purego
+
+package gf
+
+// initPlatformKernels is a no-op on platforms without assembly kernels;
+// the generic word-at-a-time dispatch from dispatch.go stands.
+func initPlatformKernels() {}

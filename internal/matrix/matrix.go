@@ -171,25 +171,15 @@ func (m *Matrix) MulVec(v []uint16) []uint16 {
 	return out
 }
 
-// scaleRow multiplies row i by c.
+// scaleRow multiplies row i by c through the field's bulk kernel.
 func (m *Matrix) scaleRow(i int, c uint16) {
-	row := m.Row(i)
-	for j, v := range row {
-		row[j] = m.f.Mul(v, c)
-	}
+	m.f.MulCoeff(m.Row(i), c)
 }
 
-// addMulRow adds c times row src to row dst.
+// addMulRow adds c times row src to row dst through the field's bulk
+// kernel.
 func (m *Matrix) addMulRow(dst, src int, c uint16) {
-	if c == 0 {
-		return
-	}
-	d, s := m.Row(dst), m.Row(src)
-	for j, v := range s {
-		if v != 0 {
-			d[j] = m.f.Add(d[j], m.f.Mul(c, v))
-		}
-	}
+	m.f.AddMulCoeff(m.Row(dst), m.Row(src), c)
 }
 
 // swapRows exchanges rows i and j.

@@ -219,15 +219,19 @@ func DecodeControl(frame []byte) (MsgType, json.RawMessage, error) {
 	return env.Type, env.Payload, nil
 }
 
-// EncodeData marshals a data frame: one coded packet traveling on a thread.
+// AppendData appends a data frame — one coded packet traveling on a
+// thread — to buf and returns the extended slice. With a buffer from
+// rlnc.GetFrameBuf the steady-state send path encodes without
+// allocating: both transports copy the frame during Send, so the buffer
+// can go back to the pool as soon as Send returns.
+func AppendData(buf []byte, f gf.Field, thread int, p *rlnc.Packet) []byte {
+	buf = append(buf, frameData, byte(thread>>8), byte(thread))
+	return p.AppendTo(buf, f)
+}
+
+// EncodeData marshals a data frame into a fresh buffer.
 func EncodeData(f gf.Field, thread int, p *rlnc.Packet) []byte {
-	body := p.Marshal(f)
-	out := make([]byte, 0, 3+len(body))
-	out = append(out, frameData)
-	var th [2]byte
-	binary.BigEndian.PutUint16(th[:], uint16(thread))
-	out = append(out, th[:]...)
-	return append(out, body...)
+	return AppendData(make([]byte, 0, 3+p.WireSize(f)), f, thread, p)
 }
 
 // DecodeData unmarshals a data frame.

@@ -49,6 +49,13 @@ type NodeConfig struct {
 	Behavior Behavior
 	// Seed drives recoding randomness.
 	Seed int64
+	// DecodeWorkers sets the size of the worker pool that absorbs data
+	// packets into per-generation recoders. Packets are sharded to
+	// workers by generation id, so each generation's Gaussian
+	// elimination stays single-threaded while distinct generations
+	// decode in parallel. 0 or 1 absorbs packets inline on the receive
+	// loop (the prior behavior).
+	DecodeWorkers int
 	// Obs carries optional instrumentation; nil leaves the node (and its
 	// codecs) uninstrumented at zero cost.
 	Obs *obs.NodeMetrics
@@ -87,9 +94,24 @@ type Node struct {
 	// replays instead of re-mixing.
 	replay map[uint32]*rlnc.Packet
 
+	// decodeQ holds the per-worker packet queues when DecodeWorkers > 1;
+	// nil means inline decoding. Written once in Run before the receive
+	// loop and read only from it, so no lock is needed.
+	decodeQ  []chan decodeJob
+	decodeWG sync.WaitGroup
+
 	joinedCh   chan error
 	completeCh chan struct{}
 	leftCh     chan struct{}
+}
+
+// decodeJob carries one received packet to a decode worker, with the
+// session field and recoder captured under n.mu at enqueue time.
+type decodeJob struct {
+	f  gf.Field
+	th int
+	rc *rlnc.Recoder
+	p  *rlnc.Packet
 }
 
 // NewNode creates a node bound to ep.
@@ -315,6 +337,24 @@ func (n *Node) Run(ctx context.Context) error {
 		go n.heartbeatLoop(ctx)
 	}
 
+	if n.cfg.DecodeWorkers > 1 {
+		n.decodeQ = make([]chan decodeJob, n.cfg.DecodeWorkers)
+		for i := range n.decodeQ {
+			q := make(chan decodeJob, 64)
+			n.decodeQ[i] = q
+			n.decodeWG.Add(1)
+			go n.decodeWorker(ctx, q)
+		}
+		// The receive loop is the only sender, so once Run unwinds no
+		// more jobs can arrive and the queues can close.
+		defer func() {
+			for _, q := range n.decodeQ {
+				close(q)
+			}
+			n.decodeWG.Wait()
+		}()
+	}
+
 	for {
 		from, frame, err := n.ep.Recv(ctx)
 		if err != nil {
@@ -526,6 +566,7 @@ func (n *Node) applyRedirect(ctx context.Context, r Redirect) {
 		}
 		if p := n.emitPacketLocked(g, rc); p != nil {
 			bursts = append(bursts, burst{frame: EncodeData(n.field, r.Thread, p)})
+			p.Release()
 		}
 	}
 	child := r.ChildAddr
@@ -542,8 +583,13 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		return
 	}
 	th, p, err := DecodeData(n.field, frame)
-	if err != nil || !n.genSet[p.Gen] {
+	if err != nil {
 		n.mu.Unlock()
+		return
+	}
+	if !n.genSet[p.Gen] {
+		n.mu.Unlock()
+		p.Release()
 		return
 	}
 	m := n.cfg.Obs
@@ -558,6 +604,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		rc, err = rlnc.NewRecoder(n.field, p.Gen, n.params.GenSize, n.params.PacketSize)
 		if err != nil {
 			n.mu.Unlock()
+			p.Release()
 			return
 		}
 		if m != nil {
@@ -565,12 +612,44 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		}
 		n.recoders[p.Gen] = rc
 	}
+	f := n.field
+	n.mu.Unlock()
+
+	if n.decodeQ == nil {
+		n.absorb(ctx, f, th, rc, p)
+		return
+	}
+	select {
+	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, rc: rc, p: p}:
+	default:
+		// A saturated decode worker behaves like a congested link: the
+		// packet is dropped, which RLNC absorbs by design.
+		p.Release()
+	}
+}
+
+// decodeWorker drains one shard of the decode queue until Run closes it.
+func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
+	defer n.decodeWG.Done()
+	for j := range q {
+		n.absorb(ctx, j.f, j.th, j.rc, j.p)
+	}
+}
+
+// absorb performs the Gaussian elimination for one received packet —
+// outside n.mu, so independent generations can run it concurrently —
+// then re-locks for node bookkeeping and forwards one packet of the same
+// generation down the node's own thread, preserving unit flow per
+// thread. It consumes p (released back to the packet pool).
+func (n *Node) absorb(ctx context.Context, f gf.Field, th int, rc *rlnc.Recoder, p *rlnc.Packet) {
+	m := n.cfg.Obs
 	wasComplete := rc.Complete()
 	innovative, err := rc.Add(p)
 	if err != nil {
-		n.mu.Unlock()
+		p.Release()
 		return
 	}
+	n.mu.Lock()
 	if innovative {
 		n.innovative++
 		if m != nil {
@@ -598,19 +677,17 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 			n.replay[p.Gen] = p.Clone()
 		}
 	}
-	// Forward: one packet of the same generation down our own thread,
-	// preserving unit flow per thread. What the packet contains depends
-	// on the node's behavior.
-	var fwd []byte
+	// What the forwarded packet contains depends on the node's behavior.
+	var out *rlnc.Packet
 	var child string
 	if c, ok := n.childOf[th]; ok {
-		if out := n.emitPacketLocked(p.Gen, rc); out != nil {
-			fwd = EncodeData(n.field, th, out)
+		if out = n.emitPacketLocked(p.Gen, rc); out != nil {
 			child = c
 		}
 	}
 	id := n.id
 	n.mu.Unlock()
+	p.Release()
 
 	if justCompleted {
 		if msg, err := EncodeControl(MsgComplete, Complete{ID: id}); err == nil {
@@ -618,8 +695,12 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		}
 		close(n.completeCh)
 	}
-	if fwd != nil {
-		n.sendData(ctx, child, fwd)
+	if out != nil {
+		buf := rlnc.GetFrameBuf()
+		*buf = AppendData(*buf, f, th, out)
+		out.Release()
+		n.sendData(ctx, child, *buf)
+		rlnc.PutFrameBuf(buf)
 	}
 }
 
@@ -713,6 +794,7 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 				if rc, ok := n.recoders[g]; ok && rc.Rank() > 0 {
 					if p := n.emitPacketLocked(g, rc); p != nil {
 						b.frame = EncodeData(n.field, th, p)
+						p.Release()
 					}
 				}
 			}

@@ -83,13 +83,10 @@ func (b *basis) add(coeff []uint16, payload []byte) (bool, error) {
 	return true, nil
 }
 
-// eliminate subtracts factor times row from (coeff, payload).
+// eliminate subtracts factor times row from (coeff, payload), entirely
+// in place through the field's bulk kernels.
 func (b *basis) eliminate(coeff []uint16, payload []byte, row *basisRow, factor uint16) {
-	for j, v := range row.coeff {
-		if v != 0 {
-			coeff[j] = b.f.Add(coeff[j], b.f.Mul(factor, v))
-		}
-	}
+	b.f.AddMulCoeff(coeff, row.coeff, factor)
 	b.f.AddMulSlice(payload, row.payload, factor)
 }
 
@@ -98,11 +95,7 @@ func (b *basis) eliminate(coeff []uint16, payload []byte, row *basisRow, factor 
 func (b *basis) install(pivot int, coeff []uint16, payload []byte) {
 	if v := coeff[pivot]; v != 1 {
 		inv := b.f.Inv(v)
-		for j, x := range coeff {
-			if x != 0 {
-				coeff[j] = b.f.Mul(x, inv)
-			}
-		}
+		b.f.MulCoeff(coeff, inv)
 		b.f.MulSlice(payload, payload, inv)
 	}
 	newRow := basisRow{pivot: pivot, coeff: coeff, payload: payload}

@@ -3,6 +3,7 @@ package rlnc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"ncast/internal/gf"
@@ -73,45 +74,86 @@ func (e *Encoder) GenerationSize() int { return len(e.src) }
 func (e *Encoder) PayloadSize() int { return e.size }
 
 // Packet emits a fresh uniformly random linear combination of the
-// generation's source packets.
+// generation's source packets. The returned packet is pooled; Release it
+// when done to keep the emit path allocation-free.
 func (e *Encoder) Packet(r *rand.Rand) *Packet {
-	coeff := make([]uint16, len(e.src))
-	payload := make([]byte, e.size)
-	for i := range coeff {
+	p := getPacket(e.gen, len(e.src), e.size)
+	for i := range p.Coeff {
 		c := e.f.Rand(r)
-		coeff[i] = c
+		p.Coeff[i] = c
 		if c != 0 {
-			e.f.AddMulSlice(payload, e.src[i], c)
+			e.f.AddMulSlice(p.Payload, e.src[i], c)
 		}
 	}
-	return &Packet{Gen: e.gen, Coeff: coeff, Payload: payload}
+	return p
 }
 
 // Systematic emits source packet i uncoded (unit coefficient vector).
 // Useful to seed decoders cheaply before switching to random coding.
+// The returned packet is pooled; Release it when done.
 func (e *Encoder) Systematic(i int) (*Packet, error) {
 	if i < 0 || i >= len(e.src) {
 		return nil, fmt.Errorf("rlnc: systematic index %d out of range [0,%d)", i, len(e.src))
 	}
-	coeff := make([]uint16, len(e.src))
-	coeff[i] = 1
-	return &Packet{Gen: e.gen, Coeff: coeff, Payload: append([]byte(nil), e.src[i]...)}, nil
+	p := getPacket(e.gen, len(e.src), e.size)
+	p.Coeff[i] = 1
+	copy(p.Payload, e.src[i])
+	return p, nil
 }
 
+// scratch holds a codec's reusable staging buffers for Add: the incoming
+// packet is copied here, eliminated in place, and the buffers are donated
+// to the basis only when the packet turns out innovative (at most h times
+// per generation). Redundant packets — the steady state of a flooded
+// overlay — are absorbed with zero allocations.
+type scratch struct {
+	coeff   []uint16
+	payload []byte
+}
+
+// stage copies the packet into the scratch buffers, reusing their capacity.
+func (s *scratch) stage(p *Packet) ([]uint16, []byte) {
+	if cap(s.coeff) >= len(p.Coeff) {
+		s.coeff = s.coeff[:len(p.Coeff)]
+	} else {
+		s.coeff = make([]uint16, len(p.Coeff))
+	}
+	copy(s.coeff, p.Coeff)
+	if cap(s.payload) >= len(p.Payload) {
+		s.payload = s.payload[:len(p.Payload)]
+	} else {
+		s.payload = make([]byte, len(p.Payload))
+	}
+	copy(s.payload, p.Payload)
+	return s.coeff, s.payload
+}
+
+// donate relinquishes the buffers after the basis captured them.
+func (s *scratch) donate() { s.coeff, s.payload = nil, nil }
+
 // Decoder recovers one generation by progressive Gaussian elimination.
+// All methods are safe for concurrent use; the parallel file decoder
+// relies on that for cross-generation fan-out while keeping each
+// decoder's elimination single-threaded (packets for one generation are
+// always handled by one worker).
 type Decoder struct {
 	f   gf.Field
 	gen uint32
+	mu  sync.Mutex
 	b   *basis
 	obs *codecObs
+	s   scratch
 }
 
 // Instrument attaches obs metrics; a nil bundle leaves the decoder
 // uninstrumented. Not safe to call concurrently with Add.
 func (d *Decoder) Instrument(m *obs.CodecMetrics) {
-	if m != nil {
-		d.obs = &codecObs{m: m}
+	if m == nil {
+		return
 	}
+	d.mu.Lock()
+	d.obs = &codecObs{m: m}
+	d.mu.Unlock()
 }
 
 // NewDecoder creates a decoder for generation gen with h source packets of
@@ -131,20 +173,37 @@ func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Gen != d.gen {
 		return false, fmt.Errorf("rlnc: packet for generation %d, decoder expects %d", p.Gen, d.gen)
 	}
-	coeff := append([]uint16(nil), p.Coeff...)
-	payload := append([]byte(nil), p.Payload...)
-	return addObserved(d.b, d.obs, coeff, payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	coeff, payload := d.s.stage(p)
+	innovative, err = addObserved(d.b, d.obs, coeff, payload)
+	if innovative {
+		d.s.donate()
+	}
+	return innovative, err
 }
 
 // Rank returns the number of linearly independent packets received.
-func (d *Decoder) Rank() int { return d.b.rank() }
+func (d *Decoder) Rank() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.b.rank()
+}
 
 // Complete reports whether the generation can be decoded.
-func (d *Decoder) Complete() bool { return d.b.complete() }
+func (d *Decoder) Complete() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.b.complete()
+}
 
 // Source returns the decoded source packets; it errors until Complete.
 // The returned slices alias decoder state; callers must not modify them.
-func (d *Decoder) Source() ([][]byte, error) { return d.b.source() }
+func (d *Decoder) Source() ([][]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.b.source()
+}
 
 // Recoder is the buffer-and-mix element run by every overlay node: it
 // stores the innovative packets seen so far (in reduced form) and emits
@@ -155,17 +214,22 @@ func (d *Decoder) Source() ([][]byte, error) { return d.b.source() }
 type Recoder struct {
 	f   gf.Field
 	gen uint32
+	mu  sync.Mutex
 	b   *basis
 	obs *codecObs
+	s   scratch
 }
 
 // Instrument attaches obs metrics; a nil bundle leaves the recoder
 // uninstrumented. Callers must serialise with Add (the protocol layer
 // instruments a recoder at creation, before any packet arrives).
 func (rc *Recoder) Instrument(m *obs.CodecMetrics) {
-	if m != nil {
-		rc.obs = &codecObs{m: m}
+	if m == nil {
+		return
 	}
+	rc.mu.Lock()
+	rc.obs = &codecObs{m: m}
+	rc.mu.Unlock()
 }
 
 // NewRecoder creates a recoder for generation gen.
@@ -182,40 +246,56 @@ func (rc *Recoder) Add(p *Packet) (innovative bool, err error) {
 	if p.Gen != rc.gen {
 		return false, fmt.Errorf("rlnc: packet for generation %d, recoder expects %d", p.Gen, rc.gen)
 	}
-	coeff := append([]uint16(nil), p.Coeff...)
-	payload := append([]byte(nil), p.Payload...)
-	return addObserved(rc.b, rc.obs, coeff, payload)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	coeff, payload := rc.s.stage(p)
+	innovative, err = addObserved(rc.b, rc.obs, coeff, payload)
+	if innovative {
+		rc.s.donate()
+	}
+	return innovative, err
 }
 
 // Rank returns the dimension of the received subspace.
-func (rc *Recoder) Rank() int { return rc.b.rank() }
+func (rc *Recoder) Rank() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.b.rank()
+}
 
 // Complete reports whether the recoder holds the full generation.
-func (rc *Recoder) Complete() bool { return rc.b.complete() }
+func (rc *Recoder) Complete() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.b.complete()
+}
 
 // Packet emits a random combination of the buffered packets. It returns
-// false when the buffer is empty.
+// false when the buffer is empty. The returned packet is pooled; Release
+// it when done to keep the emit path allocation-free.
 func (rc *Recoder) Packet(r *rand.Rand) (*Packet, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	if rc.b.rank() == 0 {
 		return nil, false
 	}
-	coeff := make([]uint16, rc.b.h)
-	payload := make([]byte, rc.b.size)
-	for _, row := range rc.b.rows {
+	p := getPacket(rc.gen, rc.b.h, rc.b.size)
+	for i := range rc.b.rows {
+		row := &rc.b.rows[i]
 		c := rc.f.Rand(r)
 		if c == 0 {
 			continue
 		}
-		for j, v := range row.coeff {
-			if v != 0 {
-				coeff[j] = rc.f.Add(coeff[j], rc.f.Mul(c, v))
-			}
-		}
-		rc.f.AddMulSlice(payload, row.payload, c)
+		rc.f.AddMulCoeff(p.Coeff, row.coeff, c)
+		rc.f.AddMulSlice(p.Payload, row.payload, c)
 	}
-	return &Packet{Gen: rc.gen, Coeff: coeff, Payload: payload}, true
+	return p, true
 }
 
 // Decode returns the source packets once the recoder is complete; a node
 // that has gathered full rank can play out the content directly.
-func (rc *Recoder) Decode() ([][]byte, error) { return rc.b.source() }
+func (rc *Recoder) Decode() ([][]byte, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.b.source()
+}

@@ -189,15 +189,20 @@ func NewLayeredDecoder(m LayeredManifest) (*LayeredDecoder, error) {
 	return ld, nil
 }
 
-// Add absorbs a layered packet.
+// Add absorbs a layered packet. The Gen field is temporarily rewritten to
+// the within-layer index for the duration of the call (the underlying
+// decoder copies the packet, so no clone is needed); the packet must not
+// be shared with another goroutine while Add runs.
 func (ld *LayeredDecoder) Add(p *Packet) (innovative bool, err error) {
 	layer := LayerOf(p.Gen)
 	if layer >= len(ld.decs) {
 		return false, fmt.Errorf("rlnc: packet for layer %d of %d", layer, len(ld.decs))
 	}
-	q := p.Clone()
-	q.Gen = uint32(GenOf(p.Gen))
-	return ld.decs[layer].Add(q)
+	orig := p.Gen
+	p.Gen = uint32(GenOf(orig))
+	innovative, err = ld.decs[layer].Add(p)
+	p.Gen = orig
+	return innovative, err
 }
 
 // LayerComplete reports whether layer l has fully decoded.

@@ -84,11 +84,11 @@ func coeffWireLen(f gf.Field, n int) int {
 	}
 }
 
-// Marshal encodes the packet for the wire. The field is implicit: both
-// ends of a session agree on it out of band (it is part of the session
-// parameters in the protocol layer).
-func (p *Packet) Marshal(f gf.Field) []byte {
-	buf := make([]byte, 0, p.WireSize(f))
+// AppendTo appends the wire encoding of the packet to buf and returns the
+// extended slice, exactly like append: it allocates only when buf lacks
+// capacity for WireSize(f) more bytes. The send path pairs it with the
+// pooled buffers from GetFrameBuf for an allocation-free steady state.
+func (p *Packet) AppendTo(buf []byte, f gf.Field) []byte {
 	var hdr [packetHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:], p.Gen)
 	binary.BigEndian.PutUint16(hdr[4:], uint16(len(p.Coeff)))
@@ -96,28 +96,41 @@ func (p *Packet) Marshal(f gf.Field) []byte {
 	buf = append(buf, hdr[:]...)
 	switch f.Bits() {
 	case 1:
-		packed := make([]byte, (len(p.Coeff)+7)/8)
+		var acc byte
 		for i, c := range p.Coeff {
 			if c&1 != 0 {
-				packed[i/8] |= 1 << (i % 8)
+				acc |= 1 << (i % 8)
+			}
+			if i%8 == 7 {
+				buf = append(buf, acc)
+				acc = 0
 			}
 		}
-		buf = append(buf, packed...)
+		if len(p.Coeff)%8 != 0 {
+			buf = append(buf, acc)
+		}
 	case 8:
 		for _, c := range p.Coeff {
 			buf = append(buf, byte(c))
 		}
 	default:
 		for _, c := range p.Coeff {
-			var b [2]byte
-			binary.BigEndian.PutUint16(b[:], c)
-			buf = append(buf, b[:]...)
+			buf = append(buf, byte(c>>8), byte(c))
 		}
 	}
 	return append(buf, p.Payload...)
 }
 
-// Unmarshal decodes a packet produced by Marshal over the same field.
+// Marshal encodes the packet for the wire into a fresh buffer. The field
+// is implicit: both ends of a session agree on it out of band (it is part
+// of the session parameters in the protocol layer).
+func (p *Packet) Marshal(f gf.Field) []byte {
+	return p.AppendTo(make([]byte, 0, p.WireSize(f)), f)
+}
+
+// Unmarshal decodes a packet produced by Marshal/AppendTo over the same
+// field. The returned packet comes from the shared packet pool and does
+// not alias data; pass it back with Release when done.
 func Unmarshal(f gf.Field, data []byte) (*Packet, error) {
 	if len(data) < packetHeaderLen {
 		return nil, fmt.Errorf("%w: %d bytes, need header of %d", ErrPacketFormat, len(data), packetHeaderLen)
@@ -129,7 +142,8 @@ func Unmarshal(f gf.Field, data []byte) (*Packet, error) {
 	if len(data) != packetHeaderLen+clen+plen {
 		return nil, fmt.Errorf("%w: length %d, want %d", ErrPacketFormat, len(data), packetHeaderLen+clen+plen)
 	}
-	coeff := make([]uint16, n)
+	p := getPacket(gen, n, plen)
+	coeff := p.Coeff
 	cdata := data[packetHeaderLen : packetHeaderLen+clen]
 	switch f.Bits() {
 	case 1:
@@ -145,8 +159,8 @@ func Unmarshal(f gf.Field, data []byte) (*Packet, error) {
 			coeff[i] = binary.BigEndian.Uint16(cdata[2*i:])
 		}
 	}
-	payload := append([]byte(nil), data[packetHeaderLen+clen:]...)
-	return &Packet{Gen: gen, Coeff: coeff, Payload: payload}, nil
+	copy(p.Payload, data[packetHeaderLen+clen:])
+	return p, nil
 }
 
 // OverheadBytes returns the per-packet byte overhead (header plus

@@ -1,0 +1,171 @@
+package rlnc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ncast/internal/obs"
+)
+
+// ParallelFileDecoder decodes a multi-generation blob with a bounded
+// worker pool. Generations are independent linear systems, so their
+// Gaussian eliminations parallelise perfectly: packets are sharded to
+// workers by generation id (gen % workers), which keeps every
+// generation's elimination on a single worker — no decoder ever sees
+// concurrent Adds — while distinct generations decode concurrently.
+//
+// Add is asynchronous: it enqueues and returns immediately, applying
+// backpressure only when the owning worker's queue is full. Progress is
+// observed through Complete/Done (cheap atomics); Close stops the pool
+// and must be called before Bytes so worker writes are flushed.
+type ParallelFileDecoder struct {
+	params  Params
+	length  int
+	decs    []*Decoder
+	queues  []chan *Packet
+	wg      sync.WaitGroup
+	done    atomic.Int64 // completed generations
+	closed  bool
+	obs     *obs.CodecMetrics
+	rankSum atomic.Int64
+}
+
+// queueDepth bounds each worker's backlog. Deep enough to ride out a
+// burst, shallow enough that a stalled worker exerts backpressure on the
+// producer instead of buffering unbounded packets.
+const queueDepth = 64
+
+// NewParallelFileDecoder prepares decoding of a contentLen-byte blob with
+// the given worker count; workers <= 0 selects one worker per generation
+// up to 4. m optionally instruments every generation's decoder (the
+// metrics bundle is internally synchronized). Callers feed packets with
+// Add from any single goroutine, then Close before reading Bytes.
+func NewParallelFileDecoder(params Params, contentLen, workers int, m *obs.CodecMetrics) (*ParallelFileDecoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if contentLen <= 0 {
+		return nil, fmt.Errorf("rlnc: invalid content length %d", contentLen)
+	}
+	n := params.Generations(contentLen)
+	if workers <= 0 {
+		workers = min(n, 4)
+	}
+	if workers > n {
+		workers = n
+	}
+	pd := &ParallelFileDecoder{
+		params: params,
+		length: contentLen,
+		decs:   make([]*Decoder, n),
+		queues: make([]chan *Packet, workers),
+		obs:    m,
+	}
+	for g := range pd.decs {
+		dec, err := NewDecoder(params.Field, uint32(g), params.GenSize, params.PacketSize)
+		if err != nil {
+			return nil, err
+		}
+		dec.Instrument(m)
+		pd.decs[g] = dec
+	}
+	for w := range pd.queues {
+		pd.queues[w] = make(chan *Packet, queueDepth)
+		pd.wg.Add(1)
+		go pd.worker(pd.queues[w])
+	}
+	return pd, nil
+}
+
+// worker drains one shard's queue. Because sharding is by generation id,
+// this worker is the only goroutine ever adding to its generations.
+func (pd *ParallelFileDecoder) worker(queue <-chan *Packet) {
+	defer pd.wg.Done()
+	for p := range queue {
+		dec := pd.decs[p.Gen]
+		wasComplete := dec.Complete()
+		innovative, err := dec.Add(p)
+		p.Release()
+		if err != nil {
+			continue
+		}
+		if innovative {
+			pd.rankSum.Add(1)
+		}
+		if !wasComplete && dec.Complete() {
+			pd.done.Add(1)
+		}
+	}
+}
+
+// Add enqueues a coded packet for decoding, taking ownership: the packet
+// is released back to the packet pool once absorbed. It blocks only when
+// the target generation's worker queue is full and errors only on
+// out-of-range generations or after Close.
+func (pd *ParallelFileDecoder) Add(p *Packet) error {
+	if int(p.Gen) >= len(pd.decs) {
+		return fmt.Errorf("rlnc: packet generation %d out of range [0,%d)", p.Gen, len(pd.decs))
+	}
+	if pd.closed {
+		return fmt.Errorf("rlnc: add after close")
+	}
+	pd.queues[int(p.Gen)%len(pd.queues)] <- p
+	return nil
+}
+
+// NumGenerations returns the generation count.
+func (pd *ParallelFileDecoder) NumGenerations() int { return len(pd.decs) }
+
+// Workers returns the pool size.
+func (pd *ParallelFileDecoder) Workers() int { return len(pd.queues) }
+
+// Done returns how many generations have fully decoded so far.
+func (pd *ParallelFileDecoder) Done() int { return int(pd.done.Load()) }
+
+// Complete reports whether every generation has been decoded. It may
+// trail an in-flight Add by the queue depth; poll it between feeds.
+func (pd *ParallelFileDecoder) Complete() bool {
+	return int(pd.done.Load()) == len(pd.decs)
+}
+
+// Progress returns the fraction of total rank gathered, in [0,1].
+func (pd *ParallelFileDecoder) Progress() float64 {
+	return float64(pd.rankSum.Load()) / float64(len(pd.decs)*pd.params.GenSize)
+}
+
+// Close stops the workers and waits for queued packets to drain. It must
+// be called (from the feeding goroutine) before Bytes; Add errors
+// afterwards. Close is idempotent.
+func (pd *ParallelFileDecoder) Close() {
+	if pd.closed {
+		return
+	}
+	pd.closed = true
+	for _, q := range pd.queues {
+		close(q)
+	}
+	pd.wg.Wait()
+}
+
+// Bytes reassembles the original content. Callers must Close first; it
+// errors with ErrIncomplete until every generation decoded.
+func (pd *ParallelFileDecoder) Bytes() ([]byte, error) {
+	if !pd.closed {
+		return nil, fmt.Errorf("rlnc: Bytes before Close")
+	}
+	if !pd.Complete() {
+		return nil, fmt.Errorf("%w: %d of %d generations decoded", ErrIncomplete, pd.Done(), len(pd.decs))
+	}
+	out := make([]byte, 0, pd.length)
+	for _, d := range pd.decs {
+		src, err := d.Source()
+		if err != nil {
+			return nil, err
+		}
+		for _, pkt := range src {
+			out = append(out, pkt...)
+		}
+	}
+	return out[:pd.length], nil
+}

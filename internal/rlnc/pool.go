@@ -1,0 +1,68 @@
+package rlnc
+
+import "sync"
+
+// The data plane recycles Packet objects through a sync.Pool so that the
+// steady-state emit paths (Encoder.Packet, Recoder.Packet) and the wire
+// decode path (Unmarshal) allocate nothing once warm. The pool stores
+// *Packet — the backing Coeff/Payload arrays travel with the struct and
+// are resliced, so a Get after a same-shaped Put reuses both.
+//
+// Ownership rule: a packet obtained from any of those constructors is
+// owned by the caller; calling Release returns it (and its buffers) to
+// the pool. Release is strictly optional — an un-released packet is
+// ordinary garbage — but a released packet must not be touched again.
+// Codec Add methods copy out of the packet, so it is safe to Release
+// immediately after Add returns.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// getPacket returns a pooled packet shaped for generation gen with h
+// coefficients and a size-byte payload. Both slices are zeroed so callers
+// can accumulate into them directly.
+func getPacket(gen uint32, h, size int) *Packet {
+	p := packetPool.Get().(*Packet)
+	p.Gen = gen
+	if cap(p.Coeff) >= h {
+		p.Coeff = p.Coeff[:h]
+		clear(p.Coeff)
+	} else {
+		p.Coeff = make([]uint16, h)
+	}
+	if cap(p.Payload) >= size {
+		p.Payload = p.Payload[:size]
+		clear(p.Payload)
+	} else {
+		p.Payload = make([]byte, size)
+	}
+	return p
+}
+
+// Release returns the packet and its buffers to the shared packet pool.
+// It is safe on nil. After Release the packet must not be used; in
+// particular, slices previously returned by aliasing accessors are dead.
+func (p *Packet) Release() {
+	if p == nil {
+		return
+	}
+	packetPool.Put(p)
+}
+
+// frameBufPool recycles wire-encoding scratch ([]byte accumulated via
+// AppendTo). Stored as *[]byte to keep Put/Get allocation-free.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// GetFrameBuf returns a zero-length byte buffer from the wire-frame pool.
+// Append to it freely; return it with PutFrameBuf when the encoded bytes
+// are no longer referenced.
+func GetFrameBuf() *[]byte {
+	b := frameBufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutFrameBuf returns a buffer obtained from GetFrameBuf to the pool.
+func PutFrameBuf(b *[]byte) {
+	if b != nil {
+		frameBufPool.Put(b)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package rlnc
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// assertions are skipped under -race because the detector instruments
+// allocations.
+const raceEnabled = false

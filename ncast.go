@@ -103,6 +103,12 @@ type Config struct {
 	// created and every layer runs uninstrumented (one nil check per hot
 	// path). Snapshot then returns an empty snapshot.
 	DisableObs bool
+	// DecodeWorkers sets each client's decode worker pool size: packets
+	// are sharded to workers by generation, so distinct generations run
+	// their Gaussian elimination concurrently while each generation
+	// stays single-threaded. 0 or 1 decodes inline on the receive loop;
+	// values above 1 help multi-generation sessions on multi-core hosts.
+	DecodeWorkers int
 }
 
 // DefaultConfig returns the baseline configuration: k=16 threads, degree
@@ -214,6 +220,12 @@ func WithLayers(weights ...float64) Option {
 // WithoutObservability disables the runtime metrics layer entirely.
 func WithoutObservability() Option {
 	return func(c *Config) { c.DisableObs = true }
+}
+
+// WithDecodeWorkers sets the per-client decode worker pool size (see
+// Config.DecodeWorkers).
+func WithDecodeWorkers(n int) Option {
+	return func(c *Config) { c.DecodeWorkers = n }
 }
 
 // newSource builds the flat or layered data source for cfg.

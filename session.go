@@ -218,6 +218,7 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 		ComplaintTimeout: s.cfg.ComplaintTimeout,
 		Behavior:         settings.behavior,
 		Seed:             settings.seed,
+		DecodeWorkers:    s.cfg.DecodeWorkers,
 		Obs:              obs.NewNodeMetrics(s.obs, addr),
 	})
 	runCtx, cancel := context.WithCancel(context.Background())

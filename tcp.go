@@ -125,6 +125,7 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 		Degree:           settings.degree,
 		ComplaintTimeout: cfg.ComplaintTimeout,
 		Seed:             settings.seed,
+		DecodeWorkers:    cfg.DecodeWorkers,
 		Obs:              obs.NewNodeMetrics(reg, ep.Addr()),
 	})
 	runCtx, cancel := context.WithCancel(context.Background())
