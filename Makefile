@@ -6,9 +6,9 @@ RACE_PKGS := ./internal/obs ./internal/protocol ./internal/rlnc ./internal/trans
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt test purego race bench
+.PHONY: check build vet fmt test purego race churn bench
 
-check: vet fmt build test purego race
+check: vet fmt build test purego race churn
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ purego:
 # and node state machines, the parallel decoder, both transports).
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Control-plane fault-tolerance suite under the race detector: lease
+# sweep of crashed leaves, outbox behavior behind stalled peers, churn
+# over the fault-injection transport, and the send-deadline regression.
+churn:
+	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash' ./internal/protocol ./internal/transport .
 
 # Data-plane fast-path trajectory: kernel throughput, emit-path allocs,
 # and serial-vs-parallel file decode, recorded in BENCH_rlnc.json.

@@ -89,6 +89,10 @@ type TrackerMetrics struct {
 	Completions   *Counter
 	Congestions   *Counter
 	Uncongestions *Counter
+	Leases        *Counter
+	LeaseExpiries *Counter
+	OutboxRetries *Counter
+	OutboxDrops   *Counter
 	Nodes         *Gauge // rows of M
 	EmptyThreads  *Gauge // threads with no clips (served directly by the rod)
 	Completed     *Gauge
@@ -110,6 +114,10 @@ func NewTrackerMetrics(r *Registry) *TrackerMetrics {
 		Completions:   r.Counter("ncast_tracker_completions_total", "First-time full-decode reports."),
 		Congestions:   r.Counter("ncast_tracker_congestions_total", "Degree reductions granted (§5 congestion relief)."),
 		Uncongestions: r.Counter("ncast_tracker_uncongestions_total", "Degree regrowths granted (§5 recovery)."),
+		Leases:        r.Counter("ncast_tracker_leases_total", "Liveness lease renewals processed."),
+		LeaseExpiries: r.Counter("ncast_tracker_lease_expiries_total", "Rows expired by the lease sweep (crash without good-bye)."),
+		OutboxRetries: r.Counter("ncast_tracker_outbox_retries_total", "Control sends retried after a deadline or transport error."),
+		OutboxDrops:   r.Counter("ncast_tracker_outbox_dropped_total", "Control messages dropped (outbox full or retries exhausted)."),
 		Nodes:         r.Gauge("ncast_overlay_nodes", "Current overlay population (rows of M)."),
 		EmptyThreads:  r.Gauge("ncast_overlay_empty_threads", "Threads with no clipped rows."),
 		Completed:     r.Gauge("ncast_overlay_completed", "Nodes that reported a full decode."),

@@ -1,0 +1,333 @@
+package protocol
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ncast/internal/gf"
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// The churn suite exercises the control plane's fault-tolerance layer:
+// liveness leases sweeping crashed bottom clips, deadline-bounded outbox
+// sends surviving stalled peers, and full broadcasts over a fault-injected
+// transport.
+
+// churnHarness is a session whose nodes have individual lifetimes and
+// optionally fault-injected endpoints, driven by a lease-enabled tracker.
+type churnHarness struct {
+	net     *transport.Network
+	tracker *Tracker
+	source  *Source
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// churnNode is one node with its own cancel (so it can crash alone) and
+// its fault injector (nil when running on the bare fabric).
+type churnNode struct {
+	node   *Node
+	addr   string
+	faulty *transport.Faulty
+	cancel context.CancelFunc
+}
+
+func startChurnHarness(t *testing.T, k, d int, content []byte, mutate func(*TrackerConfig)) *churnHarness {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	net := transport.NewNetwork()
+	trackerEP, err := net.Endpoint("tracker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := rlnc.Params{Field: gf.F256, GenSize: 8, PacketSize: 32}
+	source, err := NewSource(trackerEP, k, params, content, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrackerConfig{
+		K: k, D: d,
+		Session:      source.Session(),
+		Seed:         7,
+		LeaseTimeout: 500 * time.Millisecond,
+		SendDeadline: 500 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tracker, err := NewTracker(trackerEP, source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &churnHarness{net: net, tracker: tracker, source: source, ctx: ctx, cancel: cancel}
+	h.wg.Add(2)
+	go func() { defer h.wg.Done(); _ = tracker.Run(ctx) }()
+	go func() { defer h.wg.Done(); _ = source.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		net.Close()
+		h.wg.Wait()
+	})
+	return h
+}
+
+// join adds a node, optionally behind a Faulty wrapper with the given
+// fault plan (nil means a clean endpoint).
+func (h *churnHarness) join(t *testing.T, addr string, fault *transport.FaultConfig) *churnNode {
+	t.Helper()
+	raw, err := h.net.Endpoint(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := transport.Endpoint(raw)
+	var faulty *transport.Faulty
+	if fault != nil {
+		faulty = transport.NewFaulty(raw, *fault)
+		ep = faulty
+	}
+	node := NewNode(ep, NodeConfig{
+		TrackerAddr:      "tracker",
+		ComplaintTimeout: 200 * time.Millisecond,
+		Seed:             int64(len(addr)) * 31,
+	})
+	ctx, cancel := context.WithCancel(h.ctx)
+	cn := &churnNode{node: node, addr: addr, faulty: faulty, cancel: cancel}
+	h.wg.Add(1)
+	go func() { defer h.wg.Done(); _ = node.Run(ctx) }()
+	select {
+	case err := <-node.Joined():
+		if err != nil {
+			t.Fatalf("join %s: %v", addr, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("join %s timed out", addr)
+	}
+	return cn
+}
+
+// crash kills the node without a good-bye: its goroutines stop and its
+// address vanishes from the fabric, exactly like a power failure.
+func (h *churnHarness) crash(n *churnNode) {
+	n.cancel()
+	h.net.CloseEndpoint(n.addr)
+}
+
+// waitNodes polls until the tracker population reaches want.
+func (h *churnHarness) waitNodes(t *testing.T, want int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if n := h.tracker.NumNodes(); n == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("NumNodes = %d, want %d after %v", h.tracker.NumNodes(), want, within)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLeafCrashLeaseSweepRemovesRow: a crashed bottom clip has no
+// children, so the complaint protocol can never detect it — only the
+// lease sweep removes its dangling row. Survivors must still decode and
+// Health must converge to the live population with no failure tags left.
+func TestLeafCrashLeaseSweepRemovesRow(t *testing.T) {
+	t.Parallel()
+	content := randContent(600)
+	h := startChurnHarness(t, 8, 2, content, nil)
+	nodes := make([]*churnNode, 0, 5)
+	for _, addr := range []string{"n1", "n2", "n3", "n4", "n5"} {
+		nodes = append(nodes, h.join(t, addr, nil))
+	}
+	// With append insertion the last-joined node holds the bottom row: it
+	// is the bottom clip of each of its threads and has no children.
+	leaf := nodes[len(nodes)-1]
+	h.crash(leaf)
+
+	h.waitNodes(t, 4, 10*time.Second)
+	health := h.tracker.Health()
+	if health.Nodes != 4 {
+		t.Fatalf("Health().Nodes = %d, want 4", health.Nodes)
+	}
+	if health.Failed != 0 {
+		t.Fatalf("Health().Failed = %d, want 0 after repair", health.Failed)
+	}
+	for _, n := range nodes[:4] {
+		waitComplete(t, n.node, 30*time.Second)
+	}
+}
+
+// TestChurnFaultyTransportAllDecode is the acceptance scenario: every
+// node runs behind a 5%-loss fault injector, three leaf nodes crash
+// without a good-bye, and still every survivor fully decodes while the
+// tracker converges to exactly the live population (zero dangling rows).
+func TestChurnFaultyTransportAllDecode(t *testing.T) {
+	t.Parallel()
+	content := randContent(600)
+	h := startChurnHarness(t, 8, 2, content, nil)
+	fault := &transport.FaultConfig{SendLoss: 0.05, RecvLoss: 0.05, Seed: 17}
+	addrs := []string{"m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8"}
+	nodes := make([]*churnNode, 0, len(addrs))
+	for i, addr := range addrs {
+		f := *fault
+		f.Seed = int64(17 + i)
+		nodes = append(nodes, h.join(t, addr, &f))
+	}
+	// Crash the three bottom-most rows (the latest joiners): no children,
+	// no complaints — only the lease sweep can reclaim them.
+	for _, n := range nodes[5:] {
+		h.crash(n)
+	}
+
+	survivors := nodes[:5]
+	for _, n := range survivors {
+		waitComplete(t, n.node, 60*time.Second)
+		got, err := n.node.Content()
+		if err != nil {
+			t.Fatalf("%s content: %v", n.addr, err)
+		}
+		if string(got) != string(content) {
+			t.Fatalf("%s content mismatch", n.addr)
+		}
+	}
+	h.waitNodes(t, 5, 15*time.Second)
+	if health := h.tracker.Health(); health.Nodes != 5 || health.Failed != 0 {
+		t.Fatalf("health = %+v, want 5 live rows and no failures", health)
+	}
+	// The fault plan must actually have fired, or this test proves nothing.
+	injected := uint64(0)
+	for _, n := range survivors {
+		s := n.faulty.Stats()
+		injected += s.SendDropped + s.RecvDropped
+	}
+	if injected == 0 {
+		t.Fatal("fault injector never dropped a frame at 5% loss")
+	}
+}
+
+// TestStalledPeerDoesNotStallDispatch: a peer that stops reading entirely
+// (its inbox full, never calling Recv) may delay its own outbox worker by
+// at most the configured send deadline per attempt — and must not delay
+// the tracker's dispatch loop at all. Before the outbox existed, each
+// send to the stalled peer froze Run for the full timeout.
+func TestStalledPeerDoesNotStallDispatch(t *testing.T) {
+	t.Parallel()
+	content := randContent(300)
+	h := startChurnHarness(t, 8, 2, content, func(cfg *TrackerConfig) {
+		cfg.SendDeadline = 100 * time.Millisecond
+	})
+	// A peer that never reads: its 256-frame buffer fills, then every
+	// further send blocks until the sender's deadline.
+	if _, err := h.net.Endpoint("stalled"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		h.tracker.sendControl(h.ctx, "stalled", MsgError, ErrorMsg{Reason: "clog"})
+	}
+
+	// With the stalled peer's outbox saturated and its worker wedged in
+	// deadline-bounded retries, a fresh join must still complete quickly:
+	// dispatch never waits on the stalled peer.
+	start := time.Now()
+	h.join(t, "healthy", nil)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("join took %v behind a stalled peer; dispatch is being blocked", elapsed)
+	}
+}
+
+// TestCompletedCountDropsOnLeaveAndSweep: the tracker must forget a
+// node's completion record when the node leaves gracefully AND when it is
+// repaired away, or CompletedCount grows without bound under churn.
+func TestCompletedCountDropsOnLeaveAndSweep(t *testing.T) {
+	t.Parallel()
+	content := randContent(300)
+	h := startChurnHarness(t, 8, 2, content, nil)
+	a := h.join(t, "a", nil)
+	b := h.join(t, "b", nil)
+	waitComplete(t, a.node, 30*time.Second)
+	waitComplete(t, b.node, 30*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for h.tracker.CompletedCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("CompletedCount = %d, want 2", h.tracker.CompletedCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Graceful leave must drop b's completion record.
+	if err := b.node.Leave(h.ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.node.Left():
+	case <-time.After(5 * time.Second):
+		t.Fatal("leave never acknowledged")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for h.tracker.CompletedCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("CompletedCount = %d after leave, want 1", h.tracker.CompletedCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A crash (lease sweep -> Fail+Repair) must drop a's record too.
+	h.crash(a)
+	deadline = time.Now().Add(10 * time.Second)
+	for h.tracker.CompletedCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("CompletedCount = %d after sweep, want 0", h.tracker.CompletedCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSpuriousGoodbyeAckIgnored: an unsolicited MsgGoodbyeAck must not
+// tear down a node that never called Leave, and a duplicate ack must not
+// panic on a double close of the Left channel.
+func TestSpuriousGoodbyeAckIgnored(t *testing.T) {
+	t.Parallel()
+	content := randContent(300)
+	s := startSession(t, 1, content)
+	node := s.nodes[0]
+
+	ack, err := EncodeControl(MsgGoodbyeAck, GoodbyeAck{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := s.net.Endpoint("prober")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prober.Close()
+	// Two spurious acks: the first would previously have torn down Run,
+	// the second would have panicked closing leftCh twice.
+	for i := 0; i < 2; i++ {
+		if err := prober.Send(context.Background(), nodeAddr(0), ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-node.Left():
+		t.Fatal("spurious ack closed Left()")
+	default:
+	}
+	// The node is still running: it must finish its download.
+	waitComplete(t, node, 30*time.Second)
+
+	// A genuine leave still works after spurious acks were ignored.
+	if err := node.Leave(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-node.Left():
+	case <-time.After(5 * time.Second):
+		t.Fatal("genuine leave never acknowledged")
+	}
+}

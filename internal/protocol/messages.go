@@ -53,6 +53,11 @@ const (
 	// MsgThreadAdded is tracker -> node: you gained this thread; expect
 	// data from a new parent and forward to ChildAddr when non-empty.
 	MsgThreadAdded
+	// MsgLease is node -> tracker: periodic liveness renewal. A crashed
+	// bottom clip (a node with no children) is never complained about, so
+	// the tracker expires rows whose leases go silent instead of waiting
+	// for a complaint that can never come.
+	MsgLease
 )
 
 // frame kind bytes: a data frame, a JSON control envelope, or a per-thread
@@ -125,6 +130,9 @@ type Welcome struct {
 	Session SessionParams `json:"session"`
 	// Threads lists the thread indices assigned to the node.
 	Threads []int `json:"threads"`
+	// LeaseMillis, when positive, asks the node to renew its liveness
+	// lease at this interval; 0 means the tracker runs no lease sweep.
+	LeaseMillis int64 `json:"lease_ms,omitempty"`
 }
 
 // Goodbye announces a graceful leave.
@@ -173,6 +181,11 @@ type Congested struct {
 
 // Uncongested asks to regrow a previously reduced degree.
 type Uncongested struct {
+	ID uint64 `json:"id"`
+}
+
+// Lease renews a node's liveness lease with the tracker.
+type Lease struct {
 	ID uint64 `json:"id"`
 }
 

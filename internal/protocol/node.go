@@ -90,6 +90,14 @@ type Node struct {
 	innovative int
 	received   int
 	hbGen      int
+	// leaseEvery is the tracker-announced lease renewal interval (zero
+	// when the tracker runs no lease sweep).
+	leaseEvery time.Duration
+	// leaving is set by Leave; left once leftCh is closed. Together they
+	// make MsgGoodbyeAck handling idempotent: an unsolicited or duplicate
+	// ack must neither tear down Run nor double-close leftCh.
+	leaving bool
+	left    bool
 	// replay holds, per generation, the fixed packet an EntropyAttacker
 	// replays instead of re-mixing.
 	replay map[uint32]*rlnc.Packet
@@ -336,6 +344,8 @@ func (n *Node) Run(ctx context.Context) error {
 		go n.complaintLoop(ctx)
 		go n.heartbeatLoop(ctx)
 	}
+	// The lease loop idles until a welcome announces a renewal interval.
+	go n.leaseLoop(ctx)
 
 	if n.cfg.DecodeWorkers > 1 {
 		n.decodeQ = make([]chan decodeJob, n.cfg.DecodeWorkers)
@@ -407,6 +417,19 @@ func (n *Node) handleControl(ctx context.Context, typ MsgType, payload json.RawM
 		}
 		n.applyRedirect(ctx, r)
 	case MsgGoodbyeAck:
+		// Only a node that actually said good-bye may act on the ack: a
+		// stale or forged ack to a node that never called Leave would
+		// otherwise tear down Run, and a duplicate ack would panic on the
+		// second close of leftCh.
+		n.mu.Lock()
+		acked := n.leaving && !n.left
+		if acked {
+			n.left = true
+		}
+		n.mu.Unlock()
+		if !acked {
+			return false, nil
+		}
 		close(n.leftCh)
 		return true, nil
 	case MsgExpelled:
@@ -508,6 +531,7 @@ func (n *Node) applyWelcome(w Welcome) error {
 		n.genSet[g] = true
 	}
 	n.totalGens = len(genIDs)
+	n.leaseEvery = time.Duration(w.LeaseMillis) * time.Millisecond
 	n.threads = append([]int(nil), w.Threads...)
 	now := time.Now()
 	for _, th := range w.Threads {
@@ -811,6 +835,43 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 	}
 }
 
+// leaseLoop renews this node's liveness lease with the tracker at the
+// interval the welcome announced. The complaint protocol only detects
+// failed nodes that have children; the lease is how a bottom clip (and
+// every other node) proves it is still alive, so a crash without a
+// good-bye is eventually swept from M. Attackers keep renewing — the §5/§7
+// adversaries keep their control plane alive by design, and leases must
+// not mask them from complaint-based repair (they don't: leases only
+// gate the tracker's own sweep).
+func (n *Node) leaseLoop(ctx context.Context) {
+	// Poll until joined (the interval arrives with the welcome), then
+	// tick at the announced rate.
+	const poll = 250 * time.Millisecond
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		n.mu.Lock()
+		joined, id, every := n.joined, n.id, n.leaseEvery
+		n.mu.Unlock()
+		wait := every
+		if !joined || wait <= 0 {
+			wait = poll
+		}
+		timer.Reset(wait)
+		if !joined || every <= 0 {
+			continue
+		}
+		if msg, err := EncodeControl(MsgLease, Lease{ID: id}); err == nil {
+			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // renewed next tick
+		}
+	}
+}
+
 // complaintLoop watches per-thread silence and reports dead parents.
 func (n *Node) complaintLoop(ctx context.Context) {
 	ticker := time.NewTicker(n.cfg.ComplaintTimeout / 2)
@@ -904,6 +965,9 @@ func (n *Node) Leave(ctx context.Context) error {
 	n.mu.Lock()
 	id := n.id
 	joined := n.joined
+	if joined {
+		n.leaving = true
+	}
 	n.mu.Unlock()
 	if !joined {
 		return errors.New("protocol: leave before join")

@@ -24,6 +24,19 @@ type TrackerConfig struct {
 	InsertMode core.InsertMode
 	// Seed drives the curtain's randomness.
 	Seed int64
+	// LeaseTimeout, when positive, enables tracker-side liveness leases:
+	// a node silent for longer than this is presumed crashed and spliced
+	// out via the §3 Fail+Repair path. This closes the failure-detection
+	// gap the complaint protocol leaves open — a crashed bottom clip has
+	// no children, so nobody ever complains about it and its row would
+	// dangle in M forever. Nodes are told (via Welcome.LeaseMillis) to
+	// renew at a quarter of this timeout, and any control message also
+	// renews, so only a truly silent node expires. Zero disables the sweep.
+	LeaseTimeout time.Duration
+	// SendDeadline bounds each control-plane send attempt to one peer
+	// (write deadline on stream transports, queue wait on the in-memory
+	// fabric). Zero means the 2-second default.
+	SendDeadline time.Duration
 	// Obs, when non-nil, instruments the tracker: control-plane counters,
 	// the overlay gauges, and the trace ring.
 	Obs *obs.TrackerMetrics
@@ -43,7 +56,12 @@ type Tracker struct {
 	addrOf    map[core.NodeID]string
 	idOf      map[string]core.NodeID
 	completed map[core.NodeID]bool
+	lastSeen  map[core.NodeID]time.Time
 	events    chan TrackerEvent
+
+	// outMu guards the per-peer control outboxes (see sendControl).
+	outMu    sync.Mutex
+	outboxes map[string]chan []byte
 }
 
 // TrackerEvent reports membership and completion changes for observers.
@@ -75,6 +93,8 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 		addrOf:    make(map[core.NodeID]string),
 		idOf:      make(map[string]core.NodeID),
 		completed: make(map[core.NodeID]bool),
+		lastSeen:  make(map[core.NodeID]time.Time),
+		outboxes:  make(map[string]chan []byte),
 		events:    make(chan TrackerEvent, 1024),
 	}, nil
 }
@@ -106,6 +126,9 @@ func (t *Tracker) CompletedCount() int {
 // Run processes control messages until the context is cancelled or the
 // endpoint closes. It always returns a non-nil error explaining why.
 func (t *Tracker) Run(ctx context.Context) error {
+	if t.cfg.LeaseTimeout > 0 {
+		go t.sweepLoop(ctx)
+	}
 	for {
 		from, frame, err := t.ep.Recv(ctx)
 		if err != nil {
@@ -123,6 +146,9 @@ func (t *Tracker) Run(ctx context.Context) error {
 }
 
 func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payload json.RawMessage) {
+	// Any control message proves the sender is alive; the dedicated
+	// MsgLease below only matters for nodes with nothing else to say.
+	t.touchLease(from)
 	switch typ {
 	case MsgHello:
 		var h Hello
@@ -160,6 +186,12 @@ func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payloa
 			return
 		}
 		t.handleUncongested(ctx, u)
+	case MsgLease:
+		var l Lease
+		if err := json.Unmarshal(payload, &l); err != nil {
+			return
+		}
+		t.handleLease(ctx, from, l)
 	default:
 		// Unknown control types are ignored for forward compatibility.
 	}
@@ -214,17 +246,221 @@ func (t *Tracker) Health() obs.OverlayHealth {
 	return h
 }
 
-// sendControl marshals and sends with a bounded wait: a peer whose queue
-// is clogged with data must not stall the whole control plane (children
-// re-complain and leavers re-send their good-bye, so drops are safe).
+// Outbox policy. Each peer gets a serial worker goroutine so per-peer
+// message order is preserved while one stalled peer can never delay
+// another (or the dispatch loop). The queue is bounded and enqueueing
+// never blocks: when a peer's outbox is full the newest message is
+// dropped, which every control flow tolerates — children re-complain,
+// leavers re-send good-byes, joiners re-hello, leases renew.
+const (
+	outboxDepth    = 64
+	outboxAttempts = 3
+	outboxBackoff  = 25 * time.Millisecond
+	// outboxIdle is how long a worker with an empty queue lingers before
+	// retiring, so churned-away peers do not leak goroutines forever.
+	outboxIdle = 30 * time.Second
+)
+
+// sendDeadline bounds one send attempt to one peer.
+func (t *Tracker) sendDeadline() time.Duration {
+	if t.cfg.SendDeadline > 0 {
+		return t.cfg.SendDeadline
+	}
+	return 2 * time.Second
+}
+
+// sendControl marshals and enqueues a control message on the peer's
+// outbox. It never blocks: a peer with a clogged TCP buffer stalls only
+// its own worker, for at most outboxAttempts * (sendDeadline + backoff).
 func (t *Tracker) sendControl(ctx context.Context, to string, typ MsgType, payload interface{}) {
 	frame, err := EncodeControl(typ, payload)
 	if err != nil {
 		return
 	}
-	sendCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
-	defer cancel()
-	_ = t.ep.Send(sendCtx, to, frame) //nolint:errcheck // best-effort control plane
+	t.outMu.Lock()
+	defer t.outMu.Unlock()
+	ch, ok := t.outboxes[to]
+	if !ok {
+		ch = make(chan []byte, outboxDepth)
+		t.outboxes[to] = ch
+		go t.outboxLoop(ctx, to, ch)
+	}
+	select {
+	case ch <- frame:
+	default:
+		// Full outbox: drop the newest rather than block dispatch.
+		if m := t.cfg.Obs; m != nil {
+			m.OutboxDrops.Inc()
+		}
+	}
+}
+
+// outboxLoop drains one peer's control queue, bounding each attempt with
+// the send deadline and retrying transient errors with exponential
+// backoff. It retires after outboxIdle with an empty queue; the
+// empty-check and map delete happen under outMu, where enqueues also
+// happen, so a frame can never be stranded in a retired worker's queue.
+func (t *Tracker) outboxLoop(ctx context.Context, to string, ch chan []byte) {
+	idle := time.NewTimer(outboxIdle)
+	defer idle.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame := <-ch:
+			t.deliver(ctx, to, frame)
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(outboxIdle)
+		case <-idle.C:
+			t.outMu.Lock()
+			if len(ch) == 0 && t.outboxes[to] == ch {
+				delete(t.outboxes, to)
+				t.outMu.Unlock()
+				return
+			}
+			t.outMu.Unlock()
+			idle.Reset(outboxIdle)
+		}
+	}
+}
+
+// deliver performs the bounded-retry send of one frame to one peer.
+func (t *Tracker) deliver(ctx context.Context, to string, frame []byte) {
+	m := t.cfg.Obs
+	backoff := outboxBackoff
+	for attempt := 0; attempt < outboxAttempts; attempt++ {
+		sendCtx, cancel := context.WithTimeout(ctx, t.sendDeadline())
+		err := t.ep.Send(sendCtx, to, frame)
+		cancel()
+		if err == nil {
+			return
+		}
+		// A vanished peer or closed endpoint will not heal on retry.
+		if errors.Is(err, transport.ErrUnknownPeer) || errors.Is(err, transport.ErrClosed) {
+			break
+		}
+		if attempt == outboxAttempts-1 {
+			break
+		}
+		if m != nil {
+			m.OutboxRetries.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	if m != nil {
+		m.OutboxDrops.Inc()
+	}
+}
+
+// touchLease refreshes the sender's liveness lease, if it is a known node.
+func (t *Tracker) touchLease(from string) {
+	t.mu.Lock()
+	if id, ok := t.idOf[from]; ok {
+		t.lastSeen[id] = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// leaseMillis is the renewal interval announced in Welcome.
+func (t *Tracker) leaseMillis() int64 {
+	if t.cfg.LeaseTimeout <= 0 {
+		return 0
+	}
+	ms := (t.cfg.LeaseTimeout / 4).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// handleLease renews a node's lease. A lease from an unknown id means the
+// node was already swept (it was partitioned past the timeout): tell it,
+// so it re-joins immediately instead of waiting to starve.
+func (t *Tracker) handleLease(ctx context.Context, from string, l Lease) {
+	if m := t.cfg.Obs; m != nil {
+		m.Leases.Inc()
+	}
+	id := core.NodeID(l.ID)
+	t.mu.Lock()
+	_, known := t.addrOf[id]
+	if known {
+		t.lastSeen[id] = time.Now()
+	}
+	t.mu.Unlock()
+	if !known {
+		t.sendControl(ctx, from, MsgExpelled, Expelled{ID: l.ID})
+	}
+}
+
+// sweepLoop periodically expires nodes whose leases went silent, splicing
+// them out exactly as a complaint-triggered repair would. This is the
+// only failure detector that catches a crashed bottom clip — a node with
+// no children has nobody to complain about it.
+func (t *Tracker) sweepLoop(ctx context.Context) {
+	interval := t.cfg.LeaseTimeout / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		t.mu.Lock()
+		var expired []core.NodeID
+		for id, seen := range t.lastSeen {
+			if now.Sub(seen) > t.cfg.LeaseTimeout {
+				expired = append(expired, id)
+			}
+		}
+		t.mu.Unlock()
+		for _, id := range expired {
+			t.expire(ctx, id)
+		}
+		if len(expired) > 0 {
+			t.refreshGauges()
+		}
+	}
+}
+
+// expire splices out one lease-expired node via Fail+Repair and notifies
+// it (it may be alive but partitioned; MsgExpelled makes it re-join).
+func (t *Tracker) expire(ctx context.Context, id core.NodeID) {
+	t.mu.Lock()
+	addr, ok := t.addrOf[id]
+	t.mu.Unlock()
+	if !ok {
+		return // already removed by a racing complaint or good-bye
+	}
+	err := t.spliceOut(ctx, id, func() error {
+		if err := t.curtain.Fail(id); err != nil {
+			return err
+		}
+		return t.curtain.Repair(id)
+	})
+	if err != nil {
+		return
+	}
+	if m := t.cfg.Obs; m != nil {
+		m.LeaseExpiries.Inc()
+		m.Repairs.Inc()
+	}
+	t.sendControl(ctx, addr, MsgExpelled, Expelled{ID: uint64(id)})
+	t.emit(TrackerEvent{Kind: "expire", ID: id, Addr: addr})
 }
 
 func (t *Tracker) emit(ev TrackerEvent) {
@@ -262,11 +498,12 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 			return
 		}
 		t.sendControl(ctx, from, MsgWelcome, Welcome{
-			ID:      uint64(id),
-			K:       t.cfg.K,
-			Degree:  len(threads),
-			Session: t.cfg.Session,
-			Threads: threads,
+			ID:          uint64(id),
+			K:           t.cfg.K,
+			Degree:      len(threads),
+			Session:     t.cfg.Session,
+			Threads:     threads,
+			LeaseMillis: t.leaseMillis(),
 		})
 		return
 	}
@@ -278,6 +515,7 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 	}
 	t.addrOf[id] = addr
 	t.idOf[addr] = id
+	t.lastSeen[id] = time.Now()
 	threads, terr := t.curtain.Threads(id)
 	parents, perr := t.curtain.Parents(id)
 	t.mu.Unlock()
@@ -286,11 +524,12 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 	}
 
 	t.sendControl(ctx, from, MsgWelcome, Welcome{
-		ID:      uint64(id),
-		K:       t.cfg.K,
-		Degree:  deg,
-		Session: t.cfg.Session,
-		Threads: threads,
+		ID:          uint64(id),
+		K:           t.cfg.K,
+		Degree:      deg,
+		Session:     t.cfg.Session,
+		Threads:     threads,
+		LeaseMillis: t.leaseMillis(),
 	})
 	// Redirect each parent's stream on the shared thread to the new node.
 	for i, th := range threads {
@@ -354,6 +593,12 @@ func (t *Tracker) spliceOut(ctx context.Context, id core.NodeID, remove func() e
 	addr := t.addrOf[id]
 	delete(t.addrOf, id)
 	delete(t.idOf, addr)
+	// The row is gone, so every per-node record must go with it: a stale
+	// completed entry would inflate CompletedCount (and the Completed
+	// gauge) forever under churn, and a stale lease would make the sweep
+	// re-expire an id the curtain no longer knows.
+	delete(t.completed, id)
+	delete(t.lastSeen, id)
 	t.mu.Unlock()
 
 	for i, th := range threads {
@@ -595,9 +840,15 @@ func (t *Tracker) handleUncongested(ctx context.Context, u Uncongested) {
 func (t *Tracker) handleComplete(c Complete) {
 	id := core.NodeID(c.ID)
 	t.mu.Lock()
+	addr, known := t.addrOf[id]
+	if !known {
+		// A straggling Complete from a node that already left must not
+		// re-create its completed entry (it would leak forever).
+		t.mu.Unlock()
+		return
+	}
 	already := t.completed[id]
 	t.completed[id] = true
-	addr := t.addrOf[id]
 	t.mu.Unlock()
 	if !already {
 		if m := t.cfg.Obs; m != nil {

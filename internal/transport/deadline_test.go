@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSendDeadlineNonReadingPeer: a TCP peer that accepts the connection
+// but never reads must not be able to block Send past the caller's
+// context deadline. Before Conn.Send honored the context, the write
+// blocked indefinitely once the kernel socket buffers filled, freezing
+// whatever goroutine was sending (notably the tracker's dispatch loop).
+func TestSendDeadlineNonReadingPeer(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept and hold connections open without ever reading from them.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-stop
+				conn.Close()
+			}()
+		}
+	}()
+
+	ep, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Pump large frames until the socket buffers fill and the write
+	// deadline fires. 64 MiB total is far beyond any kernel default.
+	msg := make([]byte, 1<<20)
+	const deadline = 300 * time.Millisecond
+	sawTimeout := false
+	for i := 0; i < 64; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		err := ep.Send(ctx, ln.Addr().String(), msg)
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > deadline+2*time.Second {
+			t.Fatalf("send %d took %v, far beyond the %v deadline", i, elapsed, deadline)
+		}
+		if err != nil {
+			sawTimeout = true
+			break
+		}
+	}
+	if !sawTimeout {
+		t.Fatal("64 MiB to a non-reading peer never hit the write deadline")
+	}
+}

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// faultyPair builds two in-memory endpoints with a Faulty wrapper on a.
+func faultyPair(t *testing.T, cfg FaultConfig) (*Faulty, Endpoint, *Network) {
+	t.Helper()
+	net := NewNetwork()
+	rawA, err := net.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { net.Close() })
+	return NewFaulty(rawA, cfg), b, net
+}
+
+func TestFaultyPassThrough(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{})
+	ctx := context.Background()
+	if err := a.Send(ctx, "b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	from, msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "a" || string(msg) != "hi" {
+		t.Fatalf("got %q from %q", msg, from)
+	}
+	if a.Addr() != "a" {
+		t.Fatalf("Addr = %q", a.Addr())
+	}
+}
+
+func TestFaultySendLossIsSeededAndCounted(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{SendLoss: 0.5, Seed: 42})
+	ctx := context.Background()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(ctx, "b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := a.Stats().SendDropped
+	if dropped == 0 || dropped == n {
+		t.Fatalf("dropped = %d of %d, want strictly between", dropped, n)
+	}
+	// Every surviving frame must be receivable.
+	got := 0
+	for i := uint64(0); i < n-dropped; i++ {
+		rctx, cancel := context.WithTimeout(ctx, time.Second)
+		_, _, err := b.Recv(rctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got++
+	}
+	if uint64(got) != n-dropped {
+		t.Fatalf("received %d, want %d", got, n-dropped)
+	}
+}
+
+func TestFaultyDuplicate(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{DupProb: 1, Seed: 1})
+	ctx := context.Background()
+	if err := a.Send(ctx, "b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rctx, cancel := context.WithTimeout(ctx, time.Second)
+		_, msg, err := b.Recv(rctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if string(msg) != "x" {
+			t.Fatalf("copy %d = %q", i, msg)
+		}
+	}
+	if a.Stats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d", a.Stats().Duplicated)
+	}
+}
+
+func TestFaultyRecvLossDropsInbound(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{RecvLoss: 1, Seed: 3})
+	ctx := context.Background()
+	if err := b.Send(ctx, "a", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.Recv(rctx); err == nil {
+		t.Fatal("frame survived RecvLoss = 1")
+	}
+	if a.Stats().RecvDropped != 1 {
+		t.Fatalf("RecvDropped = %d", a.Stats().RecvDropped)
+	}
+}
+
+func TestFaultyPartitionPerDirectionAndHeal(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{})
+	ctx := context.Background()
+
+	// Outbound partition: a -> b vanishes, b -> a still flows.
+	a.PartitionOutbound("b")
+	if err := a.Send(ctx, "b", []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	if _, _, err := b.Recv(rctx); err == nil {
+		t.Fatal("outbound-partitioned frame delivered")
+	}
+	cancel()
+	if err := b.Send(ctx, "a", []byte("inflow")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel = context.WithTimeout(ctx, time.Second)
+	if _, _, err := a.Recv(rctx); err != nil {
+		t.Fatalf("inbound direction should still flow: %v", err)
+	}
+	cancel()
+
+	// Inbound partition: frames from b are consumed silently.
+	a.Heal()
+	a.PartitionInbound("b")
+	if err := b.Send(ctx, "a", []byte("muted")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel = context.WithTimeout(ctx, 100*time.Millisecond)
+	if _, _, err := a.Recv(rctx); err == nil {
+		t.Fatal("inbound-partitioned frame delivered")
+	}
+	cancel()
+
+	// Heal restores both directions.
+	a.Heal()
+	if err := a.Send(ctx, "b", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel = context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if _, msg, err := b.Recv(rctx); err != nil || string(msg) != "healed" {
+		t.Fatalf("after heal: %q, %v", msg, err)
+	}
+	if a.Stats().Partitioned == 0 {
+		t.Fatal("partition counter never fired")
+	}
+}

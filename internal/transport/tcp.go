@@ -138,7 +138,7 @@ func (e *TCPEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 		return err
 	}
 	start := m.Start()
-	if err := conn.Send(prependSender(e.addr, msg)); err != nil {
+	if err := conn.Send(ctx, prependSender(e.addr, msg)); err != nil {
 		e.dropConn(to, conn)
 		m.Dropped()
 		return fmt.Errorf("transport: send to %s: %w", to, err)

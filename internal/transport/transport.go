@@ -311,10 +311,25 @@ type Conn struct {
 // NewConn wraps a net.Conn with frame semantics.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 
-// Send writes one frame. Safe for concurrent use.
-func (c *Conn) Send(msg []byte) error {
+// Send writes one frame, honoring the context's deadline as a write
+// deadline on the underlying connection. Safe for concurrent use. Without
+// it a peer that stops reading leaves the writer blocked forever once the
+// kernel buffers fill; with it the write fails at the deadline and the
+// caller can drop the connection. A deadline error can leave a partial
+// frame on the wire, so callers must discard the connection after any
+// error (TCPEndpoint does).
+func (c *Conn) Send(ctx context.Context, msg []byte) error {
 	c.wm.Lock()
 	defer c.wm.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.c.SetWriteDeadline(deadline); err != nil {
+			return fmt.Errorf("transport: set write deadline: %w", err)
+		}
+		defer c.c.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
 	return WriteFrame(c.c, msg)
 }
 

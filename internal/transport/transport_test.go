@@ -210,7 +210,7 @@ func TestConnOverPipe(t *testing.T) {
 	defer c2.Close()
 	done := make(chan error, 1)
 	go func() {
-		done <- c1.Send([]byte("ping"))
+		done <- c1.Send(context.Background(), []byte("ping"))
 	}()
 	msg, err := c2.Recv()
 	if err != nil {
@@ -249,7 +249,7 @@ func TestConnOverTCP(t *testing.T) {
 			res <- result{err: err}
 			return
 		}
-		if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+		if err := c.Send(context.Background(), append([]byte("echo:"), msg...)); err != nil {
 			res <- result{err: err}
 			return
 		}
@@ -261,7 +261,7 @@ func TestConnOverTCP(t *testing.T) {
 	}
 	c := NewConn(conn)
 	defer c.Close()
-	if err := c.Send([]byte("payload")); err != nil {
+	if err := c.Send(context.Background(), []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 	reply, err := c.Recv()

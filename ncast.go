@@ -90,6 +90,18 @@ type Config struct {
 	// ComplaintTimeout is how long a client waits on a silent thread
 	// before reporting the parent to the tracker.
 	ComplaintTimeout time.Duration
+	// LeaseTimeout enables server-side liveness leases: a node silent for
+	// longer than this is presumed crashed and spliced out of the overlay
+	// via the repair procedure. Complaints only detect failed nodes that
+	// have children; the lease sweep is what reclaims a crashed bottom
+	// clip (a node with no children) whose row would otherwise dangle
+	// forever. Clients renew at a quarter of this timeout (announced in
+	// the welcome), and any control message also renews. Zero disables.
+	LeaseTimeout time.Duration
+	// SendDeadline bounds each of the server's control-plane send
+	// attempts so one stalled peer cannot clog overlay maintenance for
+	// the rest. Zero means the 2-second default.
+	SendDeadline time.Duration
 	// Seed drives the server's randomness (thread assignment).
 	Seed int64
 	// SourceInterval throttles the source pump (0 = backpressure only).
@@ -122,6 +134,8 @@ func DefaultConfig() Config {
 		PacketSize:       1024,
 		Insert:           InsertAppend,
 		ComplaintTimeout: 500 * time.Millisecond,
+		LeaseTimeout:     2 * time.Second,
+		SendDeadline:     2 * time.Second,
 		Seed:             1,
 		SourceInterval:   200 * time.Microsecond,
 	}
@@ -164,11 +178,13 @@ func (c Config) params() (rlnc.Params, error) {
 
 func (c Config) trackerConfig(session protocol.SessionParams) protocol.TrackerConfig {
 	return protocol.TrackerConfig{
-		K:          c.K,
-		D:          c.D,
-		Session:    session,
-		InsertMode: core.InsertMode(c.Insert),
-		Seed:       c.Seed,
+		K:            c.K,
+		D:            c.D,
+		Session:      session,
+		InsertMode:   core.InsertMode(c.Insert),
+		Seed:         c.Seed,
+		LeaseTimeout: c.LeaseTimeout,
+		SendDeadline: c.SendDeadline,
 	}
 }
 
@@ -199,6 +215,18 @@ func WithInsertMode(m InsertMode) Option {
 // WithComplaintTimeout tunes failure detection latency.
 func WithComplaintTimeout(d time.Duration) Option {
 	return func(c *Config) { c.ComplaintTimeout = d }
+}
+
+// WithLeaseTimeout tunes (or, with 0, disables) the server's liveness
+// lease sweep — the detector for nodes that crash without a good-bye and
+// have no children to complain about them.
+func WithLeaseTimeout(d time.Duration) Option {
+	return func(c *Config) { c.LeaseTimeout = d }
+}
+
+// WithSendDeadline bounds each server control-plane send attempt.
+func WithSendDeadline(d time.Duration) Option {
+	return func(c *Config) { c.SendDeadline = d }
 }
 
 // WithSeed makes the session deterministic.

@@ -311,3 +311,48 @@ func TestServerAndDialOverTCP(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestSessionLeafCrashSwept exercises the public-API liveness path: a
+// crashed client with no children is invisible to the complaint protocol,
+// so only the tracker's lease sweep (DefaultConfig enables it) can
+// reclaim its row.
+func TestSessionLeafCrashSwept(t *testing.T) {
+	t.Parallel()
+	content := testContent(800)
+	cfg := testConfig()
+	cfg.LeaseTimeout = 500 * time.Millisecond
+	s, err := NewSession(content, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	defer cancel()
+
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c, err := s.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	// The latest joiner holds the bottom row: a leaf with no children.
+	clients[3].Crash()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.NumNodes() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("NumNodes = %d, want 3: lease sweep never reclaimed the leaf", s.NumNodes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, c := range clients[:3] {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("client %d: %v (progress %.2f)", i, err, c.Progress())
+		}
+	}
+	if h := s.Snapshot().Overlay; h.Nodes != 3 || h.Failed != 0 {
+		t.Fatalf("overlay health = %+v, want 3 live rows and no failures", h)
+	}
+}
