@@ -6,9 +6,9 @@ RACE_PKGS := ./internal/obs ./internal/protocol ./internal/rlnc ./internal/trans
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt test purego race churn bench
+.PHONY: check build vet fmt lint test purego race churn bench
 
-check: vet fmt build test purego race churn
+check: vet fmt lint build test purego race churn
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Metric naming contract: every exported series matches ^ncast_[a-z0-9_]+$.
+lint:
+	$(GO) test -run 'TestMetricNameLint|TestSessionMetricNames' .
 
 test:
 	$(GO) test ./...
@@ -37,7 +41,7 @@ race:
 # sweep of crashed leaves, outbox behavior behind stalled peers, churn
 # over the fault-injection transport, and the send-deadline regression.
 churn:
-	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash' ./internal/protocol ./internal/transport .
+	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot' ./internal/protocol ./internal/transport .
 
 # Data-plane fast-path trajectory: kernel throughput, emit-path allocs,
 # and serial-vs-parallel file decode, recorded in BENCH_rlnc.json.

@@ -22,6 +22,8 @@ import (
 func main() {
 	server := flag.String("server", "", "server address (required)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics and /debug/overlay (empty = off)")
+	obsPprof := flag.Bool("obs-pprof", false, "also mount net/http/pprof under /debug/pprof/ on the observability address")
+	traceCap := flag.Int("obs-trace", 0, "trace-event ring capacity (0 = default 256)")
 	listen := flag.String("listen", "127.0.0.1:0", "local listen address")
 	out := flag.String("out", "", "output file (required)")
 	degree := flag.Int("degree", 0, "requested degree (0 = session default)")
@@ -38,6 +40,7 @@ func main() {
 	cfg := ncast.DefaultConfig()
 	cfg.ComplaintTimeout = time.Second
 	cfg.Seed = *seed
+	cfg.TraceCap = *traceCap
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -54,13 +57,17 @@ func main() {
 	fmt.Printf("joined as node %d\n", client.ID())
 
 	if *obsAddr != "" {
-		hs, err := obs.Serve(*obsAddr, client.Observability(), client.Snapshot)
+		hs, err := obs.Serve(*obsAddr, client.Observability(), client.Snapshot,
+			obs.WithProfiling(*obsPprof))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer hs.Close()
 		fmt.Printf("observability on http://%s/metrics and http://%s/debug/overlay\n", hs.Addr(), hs.Addr())
+		if *obsPprof {
+			fmt.Printf("profiling on http://%s/debug/pprof/\n", hs.Addr())
+		}
 	}
 
 	ticker := time.NewTicker(time.Second)

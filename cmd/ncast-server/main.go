@@ -22,7 +22,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
-	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics and /debug/overlay (empty = off)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address serving /metrics, /debug/overlay, and /debug/cluster (empty = off)")
+	obsPprof := flag.Bool("obs-pprof", false, "also mount net/http/pprof under /debug/pprof/ on the observability address")
+	traceCap := flag.Int("obs-trace", 0, "trace-event ring capacity (0 = default 256)")
+	statsEvery := flag.Duration("stats-interval", time.Second, "per-node telemetry reporting interval behind /debug/cluster (0 = off)")
 	file := flag.String("file", "", "content file to broadcast (required)")
 	k := flag.Int("k", 16, "server threads (unit streams)")
 	d := flag.Int("d", 4, "default node degree")
@@ -49,6 +52,8 @@ func main() {
 	cfg.GenSize, cfg.PacketSize = *genSize, *pktSize
 	cfg.Seed = *seed
 	cfg.SourceInterval = *interval
+	cfg.TraceCap = *traceCap
+	cfg.StatsInterval = *statsEvery
 	if *insert == "random" {
 		cfg.Insert = ncast.InsertRandom
 	}
@@ -73,13 +78,18 @@ func main() {
 		len(content), srv.Addr(), *k, *d, *genSize, *pktSize)
 
 	if *obsAddr != "" {
-		hs, err := obs.Serve(*obsAddr, srv.Observability(), srv.Snapshot)
+		hs, err := obs.Serve(*obsAddr, srv.Observability(), srv.Snapshot,
+			obs.WithClusterSnapshot(srv.ClusterSnapshot),
+			obs.WithProfiling(*obsPprof))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer hs.Close()
-		fmt.Printf("observability on http://%s/metrics and http://%s/debug/overlay\n", hs.Addr(), hs.Addr())
+		fmt.Printf("observability on http://%s/metrics, /debug/overlay, /debug/cluster\n", hs.Addr())
+		if *obsPprof {
+			fmt.Printf("profiling on http://%s/debug/pprof/\n", hs.Addr())
+		}
 	}
 
 	sigCh := make(chan os.Signal, 1)

@@ -1,21 +1,28 @@
 // Command ncast-sim drives a curtain overlay through the §4 churn process
 // and reports overlay health over time: population, failures in flight,
-// normalized defect b = B/A, and working-node connectivity.
+// normalized defect b = B/A, and working-node connectivity. In broadcast
+// mode it instead runs a real in-process coded broadcast and can record
+// every generation-lifecycle transition as JSONL.
 //
 // Usage:
 //
 //	ncast-sim -k 24 -d 2 -p 0.02 -steps 5000 -report 500
 //	ncast-sim -k 16 -d 4 -p 0.05 -repair 200 -max 1000 -insert random
 //	ncast-sim -mode gossip -k 16 -d 2 -p 0.03 -steps 2000
+//	ncast-sim -mode broadcast -nodes 6 -bytes 65536 -loss 0.05 -timeline out.jsonl
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
+	"time"
 
+	"ncast"
 	"ncast/internal/core"
 	"ncast/internal/defect"
 	"ncast/internal/gossip"
@@ -33,7 +40,12 @@ func main() {
 	repair := flag.Int("repair", 0, "repair delay in steps (0 = no repairs)")
 	maxNodes := flag.Int("max", 0, "population cap via graceful leaves (0 = unbounded)")
 	insert := flag.String("insert", "append", "row insertion: append or random")
-	mode := flag.String("mode", "curtain", "overlay: curtain (central) or gossip (tracker-free)")
+	mode := flag.String("mode", "curtain", "overlay: curtain (central), gossip (tracker-free), or broadcast (real coded data plane)")
+	nodes := flag.Int("nodes", 6, "broadcast mode: receiver count")
+	bytesFlag := flag.Int("bytes", 65536, "broadcast mode: content size")
+	loss := flag.Float64("loss", 0, "broadcast mode: per-frame loss probability")
+	timeline := flag.String("timeline", "", "broadcast mode: write generation-lifecycle events as JSONL to this file (\"-\" = stdout)")
+	waitFor := flag.Duration("wait", 2*time.Minute, "broadcast mode: completion deadline")
 	samples := flag.Int("samples", 200, "defect tuples sampled per report (0 = exact)")
 	snapshots := flag.Bool("snapshots", false, "also print an overlay-health JSON snapshot at each report step (curtain mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -51,6 +63,10 @@ func main() {
 
 	if *mode == "gossip" {
 		runGossip(*k, *d, *p, *steps, *report, *seed)
+		return
+	}
+	if *mode == "broadcast" {
+		runBroadcast(*k, *d, *nodes, *bytesFlag, *loss, *timeline, *waitFor, *seed)
 		return
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -137,6 +153,99 @@ func printHealth(curtain *core.Curtain, k, d, step int) {
 		return
 	}
 	fmt.Printf("snapshot %s\n", out)
+}
+
+// runBroadcast runs a real in-process coded broadcast (source + tracker +
+// receivers over the in-memory fabric) and optionally records every
+// generation-lifecycle transition — first packet, rank quartiles, decode
+// with end-to-end delay — as one JSON line per event.
+func runBroadcast(k, d, nodes, size int, loss float64, timeline string, wait time.Duration, seed int64) {
+	content := make([]byte, size)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(content)
+
+	cfg := ncast.DefaultConfig()
+	cfg.K, cfg.D = k, d
+	cfg.Seed = seed
+	cfg.ComplaintTimeout = 300 * time.Millisecond
+	cfg.StatsInterval = 250 * time.Millisecond
+
+	var sessionOpts []ncast.SessionOption
+	if loss > 0 {
+		sessionOpts = append(sessionOpts, ncast.WithLoss(loss), ncast.WithNetworkSeed(seed))
+	}
+	var (
+		out    *os.File
+		outMu  sync.Mutex
+		events int
+	)
+	if timeline != "" {
+		if timeline == "-" {
+			out = os.Stdout
+		} else {
+			f, err := os.Create(timeline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		sessionOpts = append(sessionOpts, ncast.WithGenEvents(func(ev ncast.GenEvent) {
+			outMu.Lock()
+			defer outMu.Unlock()
+			events++
+			_ = enc.Encode(ev) //nolint:errcheck // diagnostics stream
+		}))
+	}
+
+	sess, err := ncast.NewSession(content, cfg, sessionOpts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	clients := make([]*ncast.Client, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		clients = append(clients, c)
+	}
+	start := time.Now()
+	for i, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "node %d incomplete at %.1f%%: %v\n", i, 100*c.Progress(), err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Fast runs can finish before the first telemetry tick; wait until
+	// every node's report has landed (or the deadline passes) so the fleet
+	// summary below is populated.
+	snap := sess.ClusterSnapshot()
+	for len(snap.Nodes) < nodes && ctx.Err() == nil {
+		time.Sleep(50 * time.Millisecond)
+		snap = sess.ClusterSnapshot()
+	}
+	fmt.Printf("broadcast: %d nodes decoded %d bytes in %v (loss=%v)\n", nodes, size, elapsed.Round(time.Millisecond), loss)
+	fmt.Printf("fleet decode delay p50=%v p90=%v p99=%v\n",
+		time.Duration(snap.FleetDelayP50Nanos).Round(time.Microsecond),
+		time.Duration(snap.FleetDelayP90Nanos).Round(time.Microsecond),
+		time.Duration(snap.FleetDelayP99Nanos).Round(time.Microsecond))
+	if timeline != "" {
+		outMu.Lock()
+		n := events
+		outMu.Unlock()
+		fmt.Printf("timeline: %d lifecycle events\n", n)
+	}
 }
 
 // runGossip drives the tracker-free overlay (§7): joins with view-guided

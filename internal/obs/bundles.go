@@ -93,6 +93,7 @@ type TrackerMetrics struct {
 	LeaseExpiries *Counter
 	OutboxRetries *Counter
 	OutboxDrops   *Counter
+	StatsReports  *Counter
 	Nodes         *Gauge // rows of M
 	EmptyThreads  *Gauge // threads with no clips (served directly by the rod)
 	Completed     *Gauge
@@ -118,6 +119,7 @@ func NewTrackerMetrics(r *Registry) *TrackerMetrics {
 		LeaseExpiries: r.Counter("ncast_tracker_lease_expiries_total", "Rows expired by the lease sweep (crash without good-bye)."),
 		OutboxRetries: r.Counter("ncast_tracker_outbox_retries_total", "Control sends retried after a deadline or transport error."),
 		OutboxDrops:   r.Counter("ncast_tracker_outbox_dropped_total", "Control messages dropped (outbox full or retries exhausted)."),
+		StatsReports:  r.Counter("ncast_tracker_stats_reports_total", "Node telemetry reports aggregated into the cluster view."),
 		Nodes:         r.Gauge("ncast_overlay_nodes", "Current overlay population (rows of M)."),
 		EmptyThreads:  r.Gauge("ncast_overlay_empty_threads", "Threads with no clipped rows."),
 		Completed:     r.Gauge("ncast_overlay_completed", "Nodes that reported a full decode."),
@@ -126,7 +128,7 @@ func NewTrackerMetrics(r *Registry) *TrackerMetrics {
 }
 
 // NodeMetrics instruments one overlay client: packet flow, rank progress,
-// and the codec underneath it.
+// generation-lifecycle outcomes, and the codec underneath it.
 type NodeMetrics struct {
 	Received   *Counter
 	Innovative *Counter
@@ -135,7 +137,13 @@ type NodeMetrics struct {
 	Complaints *Counter
 	Rank       *Gauge
 	GensDone   *Gauge
-	Codec      *CodecMetrics
+	// DecodeDelay is the true end-to-end latency per generation: source
+	// emission stamp to full rank at this node, in nanoseconds. Overhead
+	// is packets-received / packets-needed per decoded generation (1.0 is
+	// the information-theoretic floor).
+	DecodeDelay *Histogram
+	Overhead    *Histogram
+	Codec       *CodecMetrics
 }
 
 // NewNodeMetrics registers the node family labeled with the node's
@@ -146,15 +154,23 @@ func NewNodeMetrics(r *Registry, node string) *NodeMetrics {
 	}
 	l := Label{Key: "node", Value: node}
 	return &NodeMetrics{
-		Received:   r.Counter("ncast_node_received_total", "Data packets received.", l),
-		Innovative: r.Counter("ncast_node_innovative_total", "Received packets that increased rank.", l),
-		Redundant:  r.Counter("ncast_node_redundant_total", "Received packets that did not increase rank.", l),
-		Emitted:    r.Counter("ncast_node_emitted_total", "Re-coded data frames forwarded downstream.", l),
-		Complaints: r.Counter("ncast_node_complaints_total", "Complaints sent about silent parents.", l),
-		Rank:       r.Gauge("ncast_node_rank", "Total decoded rank across generations.", l),
-		GensDone:   r.Gauge("ncast_node_generations_done", "Fully decoded generations.", l),
-		Codec:      NewCodecMetrics(r, l),
+		Received:    r.Counter("ncast_node_received_total", "Data packets received.", l),
+		Innovative:  r.Counter("ncast_node_innovative_total", "Received packets that increased rank.", l),
+		Redundant:   r.Counter("ncast_node_redundant_total", "Received packets that did not increase rank.", l),
+		Emitted:     r.Counter("ncast_node_emitted_total", "Re-coded data frames forwarded downstream.", l),
+		Complaints:  r.Counter("ncast_node_complaints_total", "Complaints sent about silent parents.", l),
+		Rank:        r.Gauge("ncast_node_rank", "Total decoded rank across generations.", l),
+		GensDone:    r.Gauge("ncast_node_generations_done", "Fully decoded generations.", l),
+		DecodeDelay: r.Histogram("ncast_node_decode_delay_nanos", "End-to-end decode delay per generation: source emission to full rank, nanoseconds.", LatencyBuckets(), l),
+		Overhead:    r.Histogram("ncast_node_coding_overhead_ratio", "Packets received over packets needed per decoded generation.", OverheadBuckets(), l),
+		Codec:       NewCodecMetrics(r, l),
 	}
+}
+
+// OverheadBuckets returns the bounds used by the coding-overhead
+// histogram: 1.0 (no waste) up to 4x.
+func OverheadBuckets() []float64 {
+	return []float64{1.0, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2, 2.5, 3, 4}
 }
 
 // CodecMetrics instruments the RLNC layer: Gaussian-elimination time per

@@ -1,17 +1,46 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
+
+// HandlerOption extends the observability endpoint with optional routes.
+type HandlerOption func(*handlerSettings)
+
+type handlerSettings struct {
+	cluster   func() ClusterSnapshot
+	profiling bool
+}
+
+// WithClusterSnapshot mounts /debug/cluster, serving the tracker's
+// aggregated fleet view as JSON. Only processes that run a tracker have
+// one; client nodes leave this unset.
+func WithClusterSnapshot(fn func() ClusterSnapshot) HandlerOption {
+	return func(s *handlerSettings) { s.cluster = fn }
+}
+
+// WithProfiling(true) mounts the net/http/pprof handlers under
+// /debug/pprof/, so CPU and heap profiles are reachable on production
+// runs without a separate port. Off by default: profiles expose memory
+// contents and cost CPU while running, so operators opt in explicitly.
+func WithProfiling(enabled bool) HandlerOption {
+	return func(s *handlerSettings) { s.profiling = enabled }
+}
 
 // Handler serves the registry at /metrics (Prometheus text format) and
 // /debug/overlay (an OverlaySnapshot as JSON). snapshot may be nil, in
 // which case /debug/overlay serves the metrics and recent trace events
-// without overlay health.
-func Handler(r *Registry, snapshot func() OverlaySnapshot) http.Handler {
+// without overlay health. Options add /debug/cluster and /debug/pprof/.
+func Handler(r *Registry, snapshot func() OverlaySnapshot, opts ...HandlerOption) http.Handler {
+	var settings handlerSettings
+	for _, o := range opts {
+		o(&settings)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -24,12 +53,29 @@ func Handler(r *Registry, snapshot func() OverlaySnapshot) http.Handler {
 		} else {
 			snap = OverlaySnapshot{At: time.Now(), Metrics: r.Snapshot(), Recent: r.Trace().Events()}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap) //nolint:errcheck // client gone
+		writeJSON(w, snap)
 	})
+	if settings.cluster != nil {
+		cluster := settings.cluster
+		mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, cluster())
+		})
+	}
+	if settings.profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) //nolint:errcheck // client gone
 }
 
 // HTTPServer is a running observability endpoint.
@@ -38,20 +84,34 @@ type HTTPServer struct {
 	ln  net.Listener
 }
 
-// Serve starts an HTTP server on addr exposing Handler(r, snapshot). Use
-// Addr to learn the bound address (addr may end in ":0").
-func Serve(addr string, r *Registry, snapshot func() OverlaySnapshot) (*HTTPServer, error) {
+// ShutdownTimeout bounds how long Close waits for in-flight scrapes to
+// finish before cutting connections.
+const ShutdownTimeout = 2 * time.Second
+
+// Serve starts an HTTP server on addr exposing Handler(r, snapshot,
+// opts...). Use Addr to learn the bound address (addr may end in ":0").
+func Serve(addr string, r *Registry, snapshot func() OverlaySnapshot, opts ...HandlerOption) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r, snapshot)}
-	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	srv := &http.Server{Handler: Handler(r, snapshot, opts...)}
+	go srv.Serve(ln) //nolint:errcheck // returns on Shutdown/Close
 	return &HTTPServer{srv: srv, ln: ln}, nil
 }
 
 // Addr returns the bound listening address.
 func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *HTTPServer) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down gracefully: it stops accepting new
+// connections and gives in-flight scrapes ShutdownTimeout to finish, so a
+// snapshot poll is never cut mid-body. Connections still open after the
+// timeout are closed abruptly.
+func (s *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

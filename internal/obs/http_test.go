@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clusterFixture is a deterministic ClusterSnapshot used by the endpoint
+// and golden tests.
+func clusterFixture() ClusterSnapshot {
+	return ClusterSnapshot{
+		At:               time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Overlay:          &OverlayHealth{K: 4, DefaultDegree: 2, Nodes: 2, DegreeDist: map[int]int{2: 2}},
+		StaleAfterMillis: 3000,
+		Nodes: []ClusterNode{
+			{ID: 1, Addr: "n1", AgeMillis: 120, Fresh: true, Rank: 16, MaxRank: 16, Progress: 1,
+				GensDone: 2, TotalGens: 2, Complete: true, GenRanks: []int{8, 8},
+				Received: 20, Innovative: 16, Redundant: 4, LeaseRenewals: 3,
+				DelayP50Nanos: 1_000_000, DelayP90Nanos: 2_000_000, DelayP99Nanos: 2_000_000,
+				OverheadPermille: 1250},
+			{ID: 2, Addr: "n2", AgeMillis: 9000, Fresh: false, Rank: 8, MaxRank: 16, Progress: 0.5,
+				GensDone: 1, TotalGens: 2, GenRanks: []int{8, 0}, Received: 9, Innovative: 8,
+				Redundant: 1, DelayP50Nanos: 5_000_000, DelayP90Nanos: 5_000_000,
+				DelayP99Nanos: 5_000_000, OverheadPermille: 1125},
+		},
+		Generations: []GenerationHealth{
+			{Index: 0, Gen: 0, Decoded: 2, Reporting: 2},
+			{Index: 1, Gen: 1, Decoded: 1, Reporting: 2, StragglerIDs: []uint64{2}},
+		},
+		SlowestID:          1,
+		FleetDelayP50Nanos: 1_000_000,
+		FleetDelayP90Nanos: 1_000_000,
+		FleetDelayP99Nanos: 1_000_000,
+	}
+}
+
+// TestHTTPConcurrentScrapes hammers every endpoint from concurrent
+// goroutines while metrics keep changing — the scrape path must be
+// race-free (this test earns its keep under -race).
+func TestHTTPConcurrentScrapes(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("scrape_hits_total", "hits")
+	srv, err := Serve("127.0.0.1:0", r, nil, WithClusterSnapshot(clusterFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				r.Histogram("scrape_rt_nanos", "rt", LatencyBuckets()).Observe(100)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, path := range []string{"/metrics", "/debug/overlay", "/debug/cluster"} {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					resp, err := http.Get("http://" + srv.Addr() + path)
+					if err != nil {
+						t.Errorf("%s: %v", path, err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+func TestHTTPContentTypes(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r, nil, WithClusterSnapshot(clusterFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":       "text/plain; version=0.0.4; charset=utf-8",
+		"/debug/overlay": "application/json",
+		"/debug/cluster": "application/json",
+	} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != want {
+			t.Errorf("%s content-type = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestHTTPProfilingToggle pins the pprof opt-in: absent by default (404),
+// mounted with WithProfiling(true).
+func TestHTTPProfilingToggle(t *testing.T) {
+	t.Parallel()
+	off, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	resp, err := http.Get("http://" + off.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d, want 404", resp.StatusCode)
+	}
+
+	on, err := Serve("127.0.0.1:0", NewRegistry(), nil, WithProfiling(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	resp, err = http.Get("http://" + on.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPGracefulClose pins the shutdown semantics: Close returns without
+// error while the listener stops accepting, and a scrape completed just
+// before Close is never truncated.
+func TestHTTPGracefulClose(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("close_hits_total", "hits").Add(5)
+	srv, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "close_hits_total 5") {
+		t.Fatalf("scrape before close: err=%v body=%s", err, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("scrape after close succeeded")
+	}
+}
+
+// TestClusterSnapshotGolden pins the /debug/cluster JSON schema: field
+// names are API, consumed by dashboards and the acceptance tests.
+func TestClusterSnapshotGolden(t *testing.T) {
+	t.Parallel()
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil, WithClusterSnapshot(clusterFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	var snap ClusterSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	want := clusterFixture()
+	if snap.StaleAfterMillis != want.StaleAfterMillis || snap.SlowestID != want.SlowestID ||
+		len(snap.Nodes) != 2 || len(snap.Generations) != 2 {
+		t.Fatalf("round trip = %+v", snap)
+	}
+	if n := snap.Node(2); n == nil || n.Fresh || n.GenRanks[1] != 0 {
+		t.Fatalf("node 2 = %+v", n)
+	}
+	if g := snap.Generations[1]; len(g.StragglerIDs) != 1 || g.StragglerIDs[0] != 2 {
+		t.Fatalf("generation 1 = %+v", g)
+	}
+	for _, key := range []string{
+		`"stale_after_ms"`, `"slowest_id"`, `"fleet_delay_p50_ns"`, `"delay_p99_ns"`,
+		`"overhead_permille"`, `"straggler_ids"`, `"gen_ranks"`, `"age_ms"`, `"fresh"`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("cluster JSON missing %s:\n%s", key, raw)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	s := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(s, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(s, 0.5); q != 3 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := Quantile(s, 1); q != 5 {
+		t.Fatalf("q100 = %v", q)
+	}
+	// The input must not be reordered.
+	if s[0] != 5 || s[4] != 4 {
+		t.Fatalf("input mutated: %v", s)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// phaseOrder maps lifecycle phases to their mandatory ordering.
+var phaseOrder = map[string]int{
+	PhaseFirstPacket: 0,
+	PhaseRank25:      1,
+	PhaseRank50:      2,
+	PhaseRank75:      3,
+	PhaseDecoded:     4,
+}
+
+func TestGenTrackerLifecycle(t *testing.T) {
+	t.Parallel()
+	var events []GenEvent
+	gt := NewGenTracker("n1", 8, nil, func(ev GenEvent) { events = append(events, ev) })
+
+	emit := time.Now().Add(-10 * time.Millisecond).UnixNano()
+	// 8 innovative packets plus 2 redundant ones (rank stalls at 5).
+	ranks := []int{1, 2, 3, 4, 5, 5, 5, 6, 7, 8}
+	for _, rk := range ranks {
+		gt.Observe(7, emit, rk)
+	}
+
+	wantPhases := []string{PhaseFirstPacket, PhaseRank25, PhaseRank50, PhaseRank75, PhaseDecoded}
+	if len(events) != len(wantPhases) {
+		t.Fatalf("events = %d, want %d: %+v", len(events), len(wantPhases), events)
+	}
+	for i, ev := range events {
+		if ev.Phase != wantPhases[i] {
+			t.Fatalf("event %d phase = %s, want %s", i, ev.Phase, wantPhases[i])
+		}
+		if i > 0 && phaseOrder[ev.Phase] <= phaseOrder[events[i-1].Phase] {
+			t.Fatalf("phases not monotone: %s after %s", ev.Phase, events[i-1].Phase)
+		}
+		if ev.Node != "n1" || ev.Gen != 7 || ev.Need != 8 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	done := events[len(events)-1]
+	if done.Received != 10 || done.OverheadPermille != 10*1000/8 {
+		t.Fatalf("decoded event = %+v", done)
+	}
+	if done.DelayNanos < (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("delay = %v, want >= 10ms", time.Duration(done.DelayNanos))
+	}
+
+	if got := gt.EmitStamp(7); got != emit {
+		t.Fatalf("emit stamp = %d, want %d", got, emit)
+	}
+	if got := gt.EmitStamp(99); got != 0 {
+		t.Fatalf("unknown gen stamp = %d", got)
+	}
+	if d := gt.Delays(); len(d) != 1 || d[0] != float64(done.DelayNanos) {
+		t.Fatalf("delays = %v", d)
+	}
+	if ov := gt.Overheads(); len(ov) != 1 || ov[0] != 1250 {
+		t.Fatalf("overheads = %v", ov)
+	}
+
+	// Further packets of a decoded generation must not re-emit phases.
+	gt.Observe(7, emit, 8)
+	if len(events) != len(wantPhases) {
+		t.Fatalf("decoded generation re-emitted: %+v", events[len(wantPhases):])
+	}
+}
+
+// TestGenTrackerEarliestStampWins pins the cross-hop delay semantics: when
+// frames of one generation carry different stamps (paths of different
+// length), the earliest — the true source emission — is kept.
+func TestGenTrackerEarliestStampWins(t *testing.T) {
+	t.Parallel()
+	gt := NewGenTracker("n1", 4, nil, nil)
+	base := time.Now().UnixNano()
+	gt.Observe(0, base, 1)       // stamped
+	gt.Observe(0, 0, 2)          // unstamped frame must not clear it
+	gt.Observe(0, base-5_000, 3) // an earlier stamp wins
+	gt.Observe(0, base+9_000, 4) // a later one does not
+	if got := gt.EmitStamp(0); got != base-5_000 {
+		t.Fatalf("stamp = %d, want %d", got, base-5_000)
+	}
+}
+
+// TestGenTrackerUnstampedDecode: a generation decoded purely from legacy
+// unstamped frames reports overhead but no delay.
+func TestGenTrackerUnstampedDecode(t *testing.T) {
+	t.Parallel()
+	gt := NewGenTracker("n1", 2, nil, nil)
+	gt.Observe(3, 0, 1)
+	gt.Observe(3, 0, 2)
+	if d := gt.Delays(); len(d) != 0 {
+		t.Fatalf("delays from unstamped frames = %v", d)
+	}
+	if ov := gt.Overheads(); len(ov) != 1 || ov[0] != 1000 {
+		t.Fatalf("overheads = %v", ov)
+	}
+}
+
+// TestGenTrackerHistograms checks the NodeMetrics feed: decode fills the
+// decode-delay and overhead histograms.
+func TestGenTrackerHistograms(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	m := NewNodeMetrics(r, "n1")
+	gt := NewGenTracker("n1", 2, m, nil)
+	emit := time.Now().Add(-time.Millisecond).UnixNano()
+	gt.Observe(0, emit, 1)
+	gt.Observe(0, emit, 2)
+	snap := OverlaySnapshot{Metrics: r.Snapshot()}
+	for _, name := range []string{"ncast_node_decode_delay_nanos", "ncast_node_coding_overhead_ratio"} {
+		p := snap.Metric(name)
+		if p == nil || p.Count != 1 {
+			t.Fatalf("%s = %+v", name, p)
+		}
+	}
+}
+
+func TestGenTrackerNil(t *testing.T) {
+	t.Parallel()
+	var gt *GenTracker
+	gt.Observe(0, 1, 1) // must not panic
+	if gt.EmitStamp(0) != 0 || gt.Delays() != nil || gt.Overheads() != nil {
+		t.Fatal("nil tracker not a no-op")
+	}
+}
+
+func TestRegistryTraceCapacity(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry(WithTraceCapacity(4))
+	for i := 0; i < 10; i++ {
+		r.Trace().Record(Event{Kind: "e", Node: uint64(i)})
+	}
+	evs := r.Trace().Events()
+	if len(evs) != 4 || evs[0].Node != 6 || evs[3].Node != 9 {
+		t.Fatalf("trace ring = %+v", evs)
+	}
+	// Values below 1 fall back to the default capacity.
+	if def := NewRegistry(WithTraceCapacity(0)); def.Trace().Cap() != DefaultTraceCap {
+		t.Fatalf("cap = %d, want %d", def.Trace().Cap(), DefaultTraceCap)
+	}
+}

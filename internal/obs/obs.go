@@ -29,8 +29,24 @@ type Label struct {
 	Value string
 }
 
-// DefaultTraceCap is the capacity of a Registry's trace ring.
+// DefaultTraceCap is the capacity of a Registry's trace ring when no
+// WithTraceCapacity option overrides it.
 const DefaultTraceCap = 256
+
+// RegistryOption configures a Registry at construction.
+type RegistryOption func(*registrySettings)
+
+type registrySettings struct {
+	traceCap int
+}
+
+// WithTraceCapacity sizes the registry's trace-event ring. Values below 1
+// fall back to DefaultTraceCap. Larger rings keep a longer diagnostic
+// replay window at the cost of memory; smaller ones suit fleets of many
+// short-lived nodes.
+func WithTraceCapacity(n int) RegistryOption {
+	return func(s *registrySettings) { s.traceCap = n }
+}
 
 // Registry collects metric series grouped into families (one family per
 // metric name; series within a family differ by labels). It also owns the
@@ -52,11 +68,18 @@ type family struct {
 }
 
 // NewRegistry creates an empty registry with a trace ring of
-// DefaultTraceCap events.
-func NewRegistry() *Registry {
+// DefaultTraceCap events unless an option overrides the capacity.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	settings := registrySettings{traceCap: DefaultTraceCap}
+	for _, o := range opts {
+		o(&settings)
+	}
+	if settings.traceCap < 1 {
+		settings.traceCap = DefaultTraceCap
+	}
 	return &Registry{
 		families: make(map[string]*family),
-		trace:    NewRing(DefaultTraceCap),
+		trace:    NewRing(settings.traceCap),
 	}
 }
 

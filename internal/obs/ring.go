@@ -51,6 +51,14 @@ func (r *Ring) Record(ev Event) {
 	r.mu.Unlock()
 }
 
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
 // Len returns the number of buffered events.
 func (r *Ring) Len() int {
 	if r == nil {

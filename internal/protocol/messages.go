@@ -58,14 +58,22 @@ const (
 	// the tracker expires rows whose leases go silent instead of waiting
 	// for a complaint that can never come.
 	MsgLease
+	// MsgStatsReport is node -> tracker: a compact periodic telemetry
+	// report (rank vector, decode-delay quantiles, flow counters) the
+	// tracker aggregates into the fleet-wide cluster view. At most one is
+	// sent per node per reporting interval.
+	MsgStatsReport
 )
 
-// frame kind bytes: a data frame, a JSON control envelope, or a per-thread
-// keepalive.
+// frame kind bytes: a data frame, a JSON control envelope, a per-thread
+// keepalive, or a data frame stamped with the source's first-emission
+// time for its generation (what makes end-to-end decode delay measurable
+// at every receiver).
 const (
 	frameData      byte = 0
 	frameControl   byte = 1
 	frameKeepalive byte = 2
+	frameDataTS    byte = 3
 )
 
 // Hello asks to join the session.
@@ -133,6 +141,9 @@ type Welcome struct {
 	// LeaseMillis, when positive, asks the node to renew its liveness
 	// lease at this interval; 0 means the tracker runs no lease sweep.
 	LeaseMillis int64 `json:"lease_ms,omitempty"`
+	// StatsMillis, when positive, asks the node to send a MsgStatsReport
+	// at this interval; 0 disables telemetry reporting.
+	StatsMillis int64 `json:"stats_ms,omitempty"`
 }
 
 // Goodbye announces a graceful leave.
@@ -189,6 +200,40 @@ type Lease struct {
 	ID uint64 `json:"id"`
 }
 
+// StatsReport is one node's periodic telemetry: decode progress, the
+// per-generation rank vector, flow counters, and decode-delay quantiles.
+// It rides the existing control connection (one message per interval) and
+// doubles as a lease renewal, since any control message refreshes the
+// sender's liveness.
+type StatsReport struct {
+	ID      uint64 `json:"id"`
+	Rank    int    `json:"rank"`
+	MaxRank int    `json:"max_rank"`
+	// GenRanks is the per-generation decoded rank, aligned with the
+	// session's canonical generation order (sessionGenIDs).
+	GenRanks  []int `json:"gen_ranks,omitempty"`
+	GensDone  int   `json:"gens_done"`
+	TotalGens int   `json:"total_gens"`
+	Complete  bool  `json:"complete"`
+
+	Received   uint64 `json:"received"`
+	Innovative uint64 `json:"innovative"`
+	Redundant  uint64 `json:"redundant"`
+	Complaints uint64 `json:"complaints"`
+	// LeaseRenewals counts lease messages sent; QueueDepth is the pending
+	// decode-queue depth at report time.
+	LeaseRenewals uint64 `json:"lease_renewals"`
+	QueueDepth    int    `json:"queue_depth"`
+
+	// End-to-end decode-delay quantiles over decoded generations, in
+	// nanoseconds (0 until the first stamped generation decodes), and mean
+	// coding overhead in permille (received/needed × 1000).
+	DelayP50Nanos    int64 `json:"delay_p50_ns,omitempty"`
+	DelayP90Nanos    int64 `json:"delay_p90_ns,omitempty"`
+	DelayP99Nanos    int64 `json:"delay_p99_ns,omitempty"`
+	OverheadPermille int   `json:"overhead_permille,omitempty"`
+}
+
 // ThreadDropped confirms a degree reduction.
 type ThreadDropped struct {
 	Thread int `json:"thread"`
@@ -233,36 +278,54 @@ func DecodeControl(frame []byte) (MsgType, json.RawMessage, error) {
 }
 
 // AppendData appends a data frame — one coded packet traveling on a
-// thread — to buf and returns the extended slice. With a buffer from
-// rlnc.GetFrameBuf the steady-state send path encodes without
+// thread — to buf and returns the extended slice. emitNanos, when
+// positive, is the source's first-emission time for the packet's
+// generation (unix nanoseconds); it travels in a stamped frame variant so
+// every receiver, however many overlay hops away, can measure true
+// end-to-end decode delay. Zero emits the compact unstamped frame. With a
+// buffer from rlnc.GetFrameBuf the steady-state send path encodes without
 // allocating: both transports copy the frame during Send, so the buffer
 // can go back to the pool as soon as Send returns.
-func AppendData(buf []byte, f gf.Field, thread int, p *rlnc.Packet) []byte {
-	buf = append(buf, frameData, byte(thread>>8), byte(thread))
+func AppendData(buf []byte, f gf.Field, thread int, emitNanos int64, p *rlnc.Packet) []byte {
+	if emitNanos > 0 {
+		buf = append(buf, frameDataTS, byte(thread>>8), byte(thread))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(emitNanos))
+	} else {
+		buf = append(buf, frameData, byte(thread>>8), byte(thread))
+	}
 	return p.AppendTo(buf, f)
 }
 
 // EncodeData marshals a data frame into a fresh buffer.
-func EncodeData(f gf.Field, thread int, p *rlnc.Packet) []byte {
-	return AppendData(make([]byte, 0, 3+p.WireSize(f)), f, thread, p)
+func EncodeData(f gf.Field, thread int, emitNanos int64, p *rlnc.Packet) []byte {
+	return AppendData(make([]byte, 0, 11+p.WireSize(f)), f, thread, emitNanos, p)
 }
 
-// DecodeData unmarshals a data frame.
-func DecodeData(f gf.Field, frame []byte) (thread int, p *rlnc.Packet, err error) {
-	if len(frame) < 3 || frame[0] != frameData {
-		return 0, nil, fmt.Errorf("protocol: not a data frame")
+// DecodeData unmarshals a data frame of either variant; emitNanos is 0
+// for unstamped frames.
+func DecodeData(f gf.Field, frame []byte) (thread int, emitNanos int64, p *rlnc.Packet, err error) {
+	if len(frame) < 3 || (frame[0] != frameData && frame[0] != frameDataTS) {
+		return 0, 0, nil, fmt.Errorf("protocol: not a data frame")
 	}
 	thread = int(binary.BigEndian.Uint16(frame[1:3]))
-	p, err = rlnc.Unmarshal(f, frame[3:])
-	if err != nil {
-		return 0, nil, err
+	body := frame[3:]
+	if frame[0] == frameDataTS {
+		if len(body) < 8 {
+			return 0, 0, nil, fmt.Errorf("protocol: stamped data frame truncated")
+		}
+		emitNanos = int64(binary.BigEndian.Uint64(body[:8]))
+		body = body[8:]
 	}
-	return thread, p, nil
+	p, err = rlnc.Unmarshal(f, body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return thread, emitNanos, p, nil
 }
 
-// IsData reports whether the frame is a data frame.
+// IsData reports whether the frame is a data frame (either variant).
 func IsData(frame []byte) bool {
-	return len(frame) > 0 && frame[0] == frameData
+	return len(frame) > 0 && (frame[0] == frameData || frame[0] == frameDataTS)
 }
 
 // EncodeKeepalive marshals a per-thread keepalive. A parent that has

@@ -59,6 +59,11 @@ type NodeConfig struct {
 	// Obs carries optional instrumentation; nil leaves the node (and its
 	// codecs) uninstrumented at zero cost.
 	Obs *obs.NodeMetrics
+	// GenSink, when non-nil, receives every generation-lifecycle
+	// transition (first packet, rank quartiles, decode) — the feed behind
+	// ncast-sim's -timeline and any live observer. Called from decode
+	// workers; must be safe for concurrent use.
+	GenSink obs.GenSink
 }
 
 // Node is an overlay client: it joins via the hello protocol, receives
@@ -90,9 +95,20 @@ type Node struct {
 	innovative int
 	received   int
 	hbGen      int
+	// lifecycle records per-generation spans (first packet, rank
+	// quartiles, decode completion, end-to-end delay); created on the
+	// first welcome, and kept across re-joins since decoded state
+	// survives expulsion.
+	lifecycle *obs.GenTracker
+	// complaintsSent and leaseSent count control messages this node has
+	// issued, for the periodic stats report.
+	complaintsSent uint64
+	leaseSent      uint64
 	// leaseEvery is the tracker-announced lease renewal interval (zero
-	// when the tracker runs no lease sweep).
+	// when the tracker runs no lease sweep); statsEvery is the announced
+	// telemetry reporting interval (zero disables reporting).
 	leaseEvery time.Duration
+	statsEvery time.Duration
 	// leaving is set by Leave; left once leftCh is closed. Together they
 	// make MsgGoodbyeAck handling idempotent: an unsolicited or duplicate
 	// ack must neither tear down Run nor double-close leftCh.
@@ -114,12 +130,14 @@ type Node struct {
 }
 
 // decodeJob carries one received packet to a decode worker, with the
-// session field and recoder captured under n.mu at enqueue time.
+// session field, recoder, and source-emission stamp captured under n.mu
+// at enqueue time.
 type decodeJob struct {
-	f  gf.Field
-	th int
-	rc *rlnc.Recoder
-	p  *rlnc.Packet
+	f    gf.Field
+	th   int
+	emit int64
+	rc   *rlnc.Recoder
+	p    *rlnc.Packet
 }
 
 // NewNode creates a node bound to ep.
@@ -344,8 +362,9 @@ func (n *Node) Run(ctx context.Context) error {
 		go n.complaintLoop(ctx)
 		go n.heartbeatLoop(ctx)
 	}
-	// The lease loop idles until a welcome announces a renewal interval.
+	// The lease and stats loops idle until a welcome announces intervals.
 	go n.leaseLoop(ctx)
+	go n.statsLoop(ctx)
 
 	if n.cfg.DecodeWorkers > 1 {
 		n.decodeQ = make([]chan decodeJob, n.cfg.DecodeWorkers)
@@ -532,6 +551,10 @@ func (n *Node) applyWelcome(w Welcome) error {
 	}
 	n.totalGens = len(genIDs)
 	n.leaseEvery = time.Duration(w.LeaseMillis) * time.Millisecond
+	n.statsEvery = time.Duration(w.StatsMillis) * time.Millisecond
+	if n.lifecycle == nil {
+		n.lifecycle = obs.NewGenTracker(n.ep.Addr(), params.GenSize, n.cfg.Obs, n.cfg.GenSink)
+	}
 	n.threads = append([]int(nil), w.Threads...)
 	now := time.Now()
 	for _, th := range w.Threads {
@@ -589,7 +612,7 @@ func (n *Node) applyRedirect(ctx context.Context, r Redirect) {
 			continue
 		}
 		if p := n.emitPacketLocked(g, rc); p != nil {
-			bursts = append(bursts, burst{frame: EncodeData(n.field, r.Thread, p)})
+			bursts = append(bursts, burst{frame: EncodeData(n.field, r.Thread, n.lifecycle.EmitStamp(g), p)})
 			p.Release()
 		}
 	}
@@ -606,7 +629,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		n.mu.Unlock()
 		return
 	}
-	th, p, err := DecodeData(n.field, frame)
+	th, emit, p, err := DecodeData(n.field, frame)
 	if err != nil {
 		n.mu.Unlock()
 		return
@@ -640,11 +663,11 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 	n.mu.Unlock()
 
 	if n.decodeQ == nil {
-		n.absorb(ctx, f, th, rc, p)
+		n.absorb(ctx, f, th, emit, rc, p)
 		return
 	}
 	select {
-	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, rc: rc, p: p}:
+	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, emit: emit, rc: rc, p: p}:
 	default:
 		// A saturated decode worker behaves like a congested link: the
 		// packet is dropped, which RLNC absorbs by design.
@@ -656,7 +679,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 	defer n.decodeWG.Done()
 	for j := range q {
-		n.absorb(ctx, j.f, j.th, j.rc, j.p)
+		n.absorb(ctx, j.f, j.th, j.emit, j.rc, j.p)
 	}
 }
 
@@ -665,7 +688,7 @@ func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 // then re-locks for node bookkeeping and forwards one packet of the same
 // generation down the node's own thread, preserving unit flow per
 // thread. It consumes p (released back to the packet pool).
-func (n *Node) absorb(ctx context.Context, f gf.Field, th int, rc *rlnc.Recoder, p *rlnc.Packet) {
+func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, rc *rlnc.Recoder, p *rlnc.Packet) {
 	m := n.cfg.Obs
 	wasComplete := rc.Complete()
 	innovative, err := rc.Add(p)
@@ -673,6 +696,15 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, rc *rlnc.Recoder,
 		p.Release()
 		return
 	}
+	// Record the lifecycle transition(s) this packet caused: first-seen,
+	// rank quartiles, decode completion with end-to-end delay against the
+	// frame's source-emission stamp. The tracker is created with the
+	// welcome, so a pre-join packet (impossible: handleData gates on
+	// joined) never races the nil check.
+	n.mu.Lock()
+	lc := n.lifecycle
+	n.mu.Unlock()
+	lc.Observe(p.Gen, emit, rc.Rank())
 	n.mu.Lock()
 	if innovative {
 		n.innovative++
@@ -720,8 +752,15 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, rc *rlnc.Recoder,
 		close(n.completeCh)
 	}
 	if out != nil {
+		// Propagate the generation's source-emission stamp downstream
+		// (earliest seen wins inside the tracker), so decode delay stays
+		// end-to-end however many overlay hops the data crosses.
+		stamp := emit
+		if s := lc.EmitStamp(out.Gen); s > 0 {
+			stamp = s
+		}
 		buf := rlnc.GetFrameBuf()
-		*buf = AppendData(*buf, f, th, out)
+		*buf = AppendData(*buf, f, th, stamp, out)
 		out.Release()
 		n.sendData(ctx, child, *buf)
 		rlnc.PutFrameBuf(buf)
@@ -817,7 +856,7 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 				g := n.genIDs[(n.hbGen+th)%len(n.genIDs)]
 				if rc, ok := n.recoders[g]; ok && rc.Rank() > 0 {
 					if p := n.emitPacketLocked(g, rc); p != nil {
-						b.frame = EncodeData(n.field, th, p)
+						b.frame = EncodeData(n.field, th, n.lifecycle.EmitStamp(g), p)
 						p.Release()
 					}
 				}
@@ -868,8 +907,90 @@ func (n *Node) leaseLoop(ctx context.Context) {
 		}
 		if msg, err := EncodeControl(MsgLease, Lease{ID: id}); err == nil {
 			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // renewed next tick
+			n.mu.Lock()
+			n.leaseSent++
+			n.mu.Unlock()
 		}
 	}
+}
+
+// statsLoop sends one MsgStatsReport per tracker-announced interval — the
+// node's half of the fleet-telemetry protocol. Like the lease loop it
+// idles on a short poll until a welcome announces the cadence, then ticks
+// at exactly that rate, so the acceptance bound of at most one control
+// message per node per reporting interval holds by construction.
+func (n *Node) statsLoop(ctx context.Context) {
+	const poll = 250 * time.Millisecond
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		n.mu.Lock()
+		joined, every := n.joined, n.statsEvery
+		n.mu.Unlock()
+		wait := every
+		if !joined || wait <= 0 {
+			wait = poll
+		}
+		timer.Reset(wait)
+		if !joined || every <= 0 {
+			continue
+		}
+		report := n.buildStatsReport()
+		if msg, err := EncodeControl(MsgStatsReport, report); err == nil {
+			_ = n.ep.Send(ctx, n.cfg.TrackerAddr, msg) //nolint:errcheck // resent next tick
+		}
+	}
+}
+
+// buildStatsReport snapshots the node's telemetry under n.mu. Delay
+// quantiles and overheads come from the lifecycle tracker (its own lock;
+// n.mu → tracker.mu is the only order used anywhere, so no inversion).
+func (n *Node) buildStatsReport() StatsReport {
+	n.mu.Lock()
+	r := StatsReport{
+		ID:            n.id,
+		MaxRank:       n.totalGens * n.params.GenSize,
+		GensDone:      n.gensDone,
+		TotalGens:     n.totalGens,
+		Complete:      n.complete,
+		Received:      uint64(n.received),
+		Innovative:    uint64(n.innovative),
+		Complaints:    n.complaintsSent,
+		LeaseRenewals: n.leaseSent,
+	}
+	r.Redundant = r.Received - r.Innovative
+	r.GenRanks = make([]int, len(n.genIDs))
+	for i, g := range n.genIDs {
+		if rc, ok := n.recoders[g]; ok {
+			r.GenRanks[i] = rc.Rank()
+			r.Rank += rc.Rank()
+		}
+	}
+	for _, q := range n.decodeQ {
+		r.QueueDepth += len(q)
+	}
+	lc := n.lifecycle
+	n.mu.Unlock()
+	if lc != nil {
+		if d := lc.Delays(); len(d) > 0 {
+			r.DelayP50Nanos = int64(obs.Quantile(d, 0.50))
+			r.DelayP90Nanos = int64(obs.Quantile(d, 0.90))
+			r.DelayP99Nanos = int64(obs.Quantile(d, 0.99))
+		}
+		if ov := lc.Overheads(); len(ov) > 0 {
+			sum := 0
+			for _, o := range ov {
+				sum += o
+			}
+			r.OverheadPermille = sum / len(ov)
+		}
+	}
+	return r
 }
 
 // complaintLoop watches per-thread silence and reports dead parents.
@@ -902,6 +1023,7 @@ func (n *Node) complaintLoop(ctx context.Context) {
 			}
 		}
 		id := n.id
+		n.complaintsSent += uint64(len(complaints))
 		n.mu.Unlock()
 		for _, c := range complaints {
 			msg, err := EncodeControl(MsgComplaint, Complaint{ID: id, Thread: c.th, ParentAddr: c.parent})

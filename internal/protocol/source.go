@@ -26,6 +26,11 @@ type Source struct {
 	rng     *rand.Rand
 	mu      sync.Mutex
 	childOf []string // thread -> child addr ("" = hanging)
+	// emitAt records, per generation, the unix-nano time of the source's
+	// first emission — the fixed epoch every receiver measures its
+	// end-to-end decode delay against. Stamped into every data frame of
+	// that generation and propagated by forwarding nodes.
+	emitAt map[uint32]int64
 	// RoundInterval throttles pump rounds; zero relies on transport
 	// backpressure alone.
 	RoundInterval time.Duration
@@ -49,6 +54,7 @@ func NewSource(ep transport.Endpoint, k int, params rlnc.Params, content []byte,
 		length:  len(content),
 		rng:     rand.New(rand.NewSource(seed)),
 		childOf: make([]string, k),
+		emitAt:  make(map[uint32]int64),
 	}, nil
 }
 
@@ -70,6 +76,7 @@ func NewLayeredSource(ep transport.Endpoint, k int, params rlnc.LayeredParams, c
 		length:  len(content),
 		rng:     rand.New(rand.NewSource(seed)),
 		childOf: make([]string, k),
+		emitAt:  make(map[uint32]int64),
 	}, nil
 }
 
@@ -87,6 +94,19 @@ func (s *Source) Session() SessionParams {
 		}
 	}
 	return sp
+}
+
+// emitStamp returns the generation's first-emission stamp, recording the
+// current time on the first call for that generation.
+func (s *Source) emitStamp(gen uint32) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at, ok := s.emitAt[gen]
+	if !ok {
+		at = time.Now().UnixNano()
+		s.emitAt[gen] = at
+	}
+	return at
 }
 
 // SetChild routes thread th to addr (empty = hang the thread).
@@ -138,7 +158,7 @@ func (s *Source) Run(ctx context.Context) error {
 			if err != nil {
 				return err
 			}
-			frame := EncodeData(s.params.Field, th, p)
+			frame := EncodeData(s.params.Field, th, s.emitStamp(p.Gen), p)
 			sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 			err = s.ep.Send(sendCtx, child, frame)
 			cancel()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,12 @@ type TrackerConfig struct {
 	// (write deadline on stream transports, queue wait on the in-memory
 	// fabric). Zero means the 2-second default.
 	SendDeadline time.Duration
+	// StatsInterval, when positive, asks every node (via Welcome.StatsMillis)
+	// to send one MsgStatsReport per interval; the tracker aggregates the
+	// reports into the ClusterSnapshot fleet view. Zero disables telemetry
+	// reporting entirely — no node sends reports, ClusterSnapshot stays
+	// membership-only.
+	StatsInterval time.Duration
 	// Obs, when non-nil, instruments the tracker: control-plane counters,
 	// the overlay gauges, and the trace ring.
 	Obs *obs.TrackerMetrics
@@ -57,11 +64,19 @@ type Tracker struct {
 	idOf      map[string]core.NodeID
 	completed map[core.NodeID]bool
 	lastSeen  map[core.NodeID]time.Time
+	reports   map[core.NodeID]nodeReport
+	genIDs    []uint32 // canonical generation order (sessionGenIDs)
 	events    chan TrackerEvent
 
 	// outMu guards the per-peer control outboxes (see sendControl).
 	outMu    sync.Mutex
 	outboxes map[string]chan []byte
+}
+
+// nodeReport is one node's latest telemetry report and when it arrived.
+type nodeReport struct {
+	report StatsReport
+	at     time.Time
 }
 
 // TrackerEvent reports membership and completion changes for observers.
@@ -82,7 +97,12 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 	if err != nil {
 		return nil, err
 	}
-	if _, err := cfg.Session.Params(); err != nil {
+	params, err := cfg.Session.Params()
+	if err != nil {
+		return nil, err
+	}
+	genIDs, err := sessionGenIDs(cfg.Session, params)
+	if err != nil {
 		return nil, err
 	}
 	return &Tracker{
@@ -94,6 +114,8 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 		idOf:      make(map[string]core.NodeID),
 		completed: make(map[core.NodeID]bool),
 		lastSeen:  make(map[core.NodeID]time.Time),
+		reports:   make(map[core.NodeID]nodeReport),
+		genIDs:    genIDs,
 		outboxes:  make(map[string]chan []byte),
 		events:    make(chan TrackerEvent, 1024),
 	}, nil
@@ -192,6 +214,12 @@ func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payloa
 			return
 		}
 		t.handleLease(ctx, from, l)
+	case MsgStatsReport:
+		var r StatsReport
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return
+		}
+		t.handleStatsReport(r)
 	default:
 		// Unknown control types are ignored for forward compatibility.
 	}
@@ -244,6 +272,111 @@ func (t *Tracker) Health() obs.OverlayHealth {
 		}
 	}
 	return h
+}
+
+// ClusterSnapshot aggregates every node's latest telemetry report into the
+// fleet-wide view served at /debug/cluster: per-node freshness, the
+// per-generation decode census with straggler detection, the slowest
+// decoder, and fleet-wide decode-delay quantiles.
+func (t *Tracker) ClusterSnapshot() obs.ClusterSnapshot {
+	overlay := t.Health()
+	now := time.Now()
+	snap := obs.ClusterSnapshot{At: now, Overlay: &overlay}
+	// Staleness horizon: a healthy node reports every interval, so three
+	// missed intervals means its report can no longer be trusted to
+	// describe the present (the node may be gone, wedged, or partitioned).
+	staleAfter := 3 * t.cfg.StatsInterval
+	snap.StaleAfterMillis = staleAfter.Milliseconds()
+
+	t.mu.Lock()
+	ids := make([]core.NodeID, 0, len(t.reports))
+	for id := range t.reports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	type row struct {
+		nr   nodeReport
+		addr string
+	}
+	rows := make([]row, 0, len(ids))
+	for _, id := range ids {
+		rows = append(rows, row{nr: t.reports[id], addr: t.addrOf[id]})
+	}
+	genIDs := t.genIDs
+	t.mu.Unlock()
+
+	var medians []float64
+	for _, r := range rows {
+		rep := r.nr.report
+		age := now.Sub(r.nr.at)
+		n := obs.ClusterNode{
+			ID:               rep.ID,
+			Addr:             r.addr,
+			AgeMillis:        age.Milliseconds(),
+			Fresh:            staleAfter <= 0 || age <= staleAfter,
+			Rank:             rep.Rank,
+			MaxRank:          rep.MaxRank,
+			GensDone:         rep.GensDone,
+			TotalGens:        rep.TotalGens,
+			Complete:         rep.Complete,
+			GenRanks:         rep.GenRanks,
+			Received:         rep.Received,
+			Innovative:       rep.Innovative,
+			Redundant:        rep.Redundant,
+			Complaints:       rep.Complaints,
+			LeaseRenewals:    rep.LeaseRenewals,
+			QueueDepth:       rep.QueueDepth,
+			DelayP50Nanos:    rep.DelayP50Nanos,
+			DelayP90Nanos:    rep.DelayP90Nanos,
+			DelayP99Nanos:    rep.DelayP99Nanos,
+			OverheadPermille: rep.OverheadPermille,
+		}
+		if n.MaxRank > 0 {
+			n.Progress = float64(n.Rank) / float64(n.MaxRank)
+		}
+		snap.Nodes = append(snap.Nodes, n)
+		if n.Fresh && n.DelayP50Nanos > 0 {
+			medians = append(medians, float64(n.DelayP50Nanos))
+			if snap.SlowestID == 0 || n.DelayP50Nanos > snap.Node(snap.SlowestID).DelayP50Nanos {
+				snap.SlowestID = n.ID
+			}
+		}
+	}
+	// Fleet quantiles over per-node medians: the raw per-generation samples
+	// stay node-local, so this is a quantile-of-medians approximation.
+	if len(medians) > 0 {
+		snap.FleetDelayP50Nanos = int64(obs.Quantile(medians, 0.50))
+		snap.FleetDelayP90Nanos = int64(obs.Quantile(medians, 0.90))
+		snap.FleetDelayP99Nanos = int64(obs.Quantile(medians, 0.99))
+	}
+	// Per-generation census over fresh reporters whose rank vector covers
+	// the session's generation list. Stragglers are named only once a
+	// majority of reporters decoded the generation — before that the
+	// generation is simply still in flight for everyone.
+	need := t.cfg.Session.GenSize
+	for gi, gen := range genIDs {
+		gh := obs.GenerationHealth{Index: gi, Gen: gen}
+		var behind []uint64
+		for i := range snap.Nodes {
+			n := &snap.Nodes[i]
+			if !n.Fresh || gi >= len(n.GenRanks) {
+				continue
+			}
+			gh.Reporting++
+			if n.GenRanks[gi] >= need {
+				gh.Decoded++
+			} else {
+				behind = append(behind, n.ID)
+			}
+		}
+		if gh.Reporting > 0 && gh.Decoded*2 > gh.Reporting {
+			gh.StragglerIDs = behind
+		}
+		if gh.Reporting > 0 {
+			snap.Generations = append(snap.Generations, gh)
+		}
+	}
+	return snap
 }
 
 // Outbox policy. Each peer gets a serial worker goroutine so per-peer
@@ -383,6 +516,33 @@ func (t *Tracker) leaseMillis() int64 {
 	return ms
 }
 
+// statsMillis is the telemetry reporting interval announced in Welcome.
+func (t *Tracker) statsMillis() int64 {
+	if t.cfg.StatsInterval <= 0 {
+		return 0
+	}
+	ms := t.cfg.StatsInterval.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// handleStatsReport stores a node's latest telemetry report. Reports from
+// unknown ids (already swept, or never joined) are dropped — keeping them
+// would leak entries and resurrect departed nodes in the cluster view.
+func (t *Tracker) handleStatsReport(r StatsReport) {
+	if m := t.cfg.Obs; m != nil {
+		m.StatsReports.Inc()
+	}
+	id := core.NodeID(r.ID)
+	t.mu.Lock()
+	if _, known := t.addrOf[id]; known {
+		t.reports[id] = nodeReport{report: r, at: time.Now()}
+	}
+	t.mu.Unlock()
+}
+
 // handleLease renews a node's lease. A lease from an unknown id means the
 // node was already swept (it was partitioned past the timeout): tell it,
 // so it re-joins immediately instead of waiting to starve.
@@ -504,6 +664,7 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 			Session:     t.cfg.Session,
 			Threads:     threads,
 			LeaseMillis: t.leaseMillis(),
+			StatsMillis: t.statsMillis(),
 		})
 		return
 	}
@@ -530,6 +691,7 @@ func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
 		Session:     t.cfg.Session,
 		Threads:     threads,
 		LeaseMillis: t.leaseMillis(),
+		StatsMillis: t.statsMillis(),
 	})
 	// Redirect each parent's stream on the shared thread to the new node.
 	for i, th := range threads {
@@ -599,6 +761,7 @@ func (t *Tracker) spliceOut(ctx context.Context, id core.NodeID, remove func() e
 	// re-expire an id the curtain no longer knows.
 	delete(t.completed, id)
 	delete(t.lastSeen, id)
+	delete(t.reports, id)
 	t.mu.Unlock()
 
 	for i, th := range threads {

@@ -115,6 +115,15 @@ type Config struct {
 	// created and every layer runs uninstrumented (one nil check per hot
 	// path). Snapshot then returns an empty snapshot.
 	DisableObs bool
+	// TraceCap sizes the observability trace-event ring (the diagnostic
+	// replay window served at /debug/overlay). 0 means the obs default
+	// (256 events); larger rings trade memory for a longer history.
+	TraceCap int
+	// StatsInterval, when positive, makes every node send the server one
+	// compact telemetry report per interval (rank vector, decode-delay
+	// quantiles, flow counters), which the server aggregates into the
+	// ClusterSnapshot fleet view. Zero disables fleet telemetry.
+	StatsInterval time.Duration
 	// DecodeWorkers sets each client's decode worker pool size: packets
 	// are sharded to workers by generation, so distinct generations run
 	// their Gaussian elimination concurrently while each generation
@@ -138,6 +147,7 @@ func DefaultConfig() Config {
 		SendDeadline:     2 * time.Second,
 		Seed:             1,
 		SourceInterval:   200 * time.Microsecond,
+		StatsInterval:    time.Second,
 	}
 }
 
@@ -178,13 +188,14 @@ func (c Config) params() (rlnc.Params, error) {
 
 func (c Config) trackerConfig(session protocol.SessionParams) protocol.TrackerConfig {
 	return protocol.TrackerConfig{
-		K:            c.K,
-		D:            c.D,
-		Session:      session,
-		InsertMode:   core.InsertMode(c.Insert),
-		Seed:         c.Seed,
-		LeaseTimeout: c.LeaseTimeout,
-		SendDeadline: c.SendDeadline,
+		K:             c.K,
+		D:             c.D,
+		Session:       session,
+		InsertMode:    core.InsertMode(c.Insert),
+		Seed:          c.Seed,
+		LeaseTimeout:  c.LeaseTimeout,
+		SendDeadline:  c.SendDeadline,
+		StatsInterval: c.StatsInterval,
 	}
 }
 
@@ -248,6 +259,17 @@ func WithLayers(weights ...float64) Option {
 // WithoutObservability disables the runtime metrics layer entirely.
 func WithoutObservability() Option {
 	return func(c *Config) { c.DisableObs = true }
+}
+
+// WithTraceCap sizes the trace-event ring (see Config.TraceCap).
+func WithTraceCap(n int) Option {
+	return func(c *Config) { c.TraceCap = n }
+}
+
+// WithStatsInterval sets (or, with 0, disables) the per-node telemetry
+// reporting cadence behind the fleet ClusterSnapshot view.
+func WithStatsInterval(d time.Duration) Option {
+	return func(c *Config) { c.StatsInterval = d }
 }
 
 // WithDecodeWorkers sets the per-client decode worker pool size (see

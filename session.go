@@ -21,6 +21,7 @@ type Session struct {
 	tracker      *protocol.Tracker
 	source       *protocol.Source
 	obs          *obs.Registry
+	genSink      GenSink
 	cancel       context.CancelFunc
 	sourceCancel context.CancelFunc
 	wg           sync.WaitGroup
@@ -31,6 +32,16 @@ type Session struct {
 	closed  bool
 }
 
+// GenEvent is one generation-lifecycle transition at one node: first
+// packet seen, a rank quartile crossed, or decode completion (with
+// end-to-end delay and coding overhead). Re-exported from the obs layer
+// for timeline observers.
+type GenEvent = obs.GenEvent
+
+// GenSink consumes lifecycle transitions; it must be safe for concurrent
+// calls (distinct generations decode on independent workers).
+type GenSink = obs.GenSink
+
 // SessionOption configures the in-memory fabric.
 type SessionOption func(*sessionSettings)
 
@@ -38,6 +49,13 @@ type sessionSettings struct {
 	loss    float64
 	latency time.Duration
 	netSeed int64
+	genSink GenSink
+}
+
+// WithGenEvents subscribes sink to every client's generation-lifecycle
+// transitions — the feed behind ncast-sim's -timeline flag.
+func WithGenEvents(sink GenSink) SessionOption {
+	return func(s *sessionSettings) { s.genSink = sink }
 }
 
 // WithLoss drops each in-memory frame with probability p (§2's ergodic
@@ -82,7 +100,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	}
 	var reg *obs.Registry
 	if !cfg.DisableObs {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
 	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
 	source, err := cfg.newSource(ep, content)
@@ -108,6 +126,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 		tracker:      tracker,
 		source:       source,
 		obs:          reg,
+		genSink:      settings.genSink,
 		cancel:       cancel,
 		sourceCancel: sourceCancel,
 		clients:      make(map[string]*Client),
@@ -156,6 +175,14 @@ func (s *Session) Snapshot() obs.OverlaySnapshot {
 	return snap
 }
 
+// ClusterSnapshot returns the server-aggregated fleet telemetry view:
+// every node's latest stats report with freshness, per-generation decode
+// status with straggler detection, and fleet-wide decode-delay quantiles.
+// Nodes report only when Config.StatsInterval is positive.
+func (s *Session) ClusterSnapshot() obs.ClusterSnapshot {
+	return s.tracker.ClusterSnapshot()
+}
+
 // ClientOption configures one client.
 type ClientOption func(*clientSettings)
 
@@ -163,6 +190,14 @@ type clientSettings struct {
 	degree   int
 	seed     int64
 	behavior protocol.Behavior
+	genSink  GenSink
+}
+
+// WithClientGenEvents subscribes sink to this client's generation-
+// lifecycle transitions (Dial clients have no session-level
+// WithGenEvents to inherit from).
+func WithClientGenEvents(sink GenSink) ClientOption {
+	return func(c *clientSettings) { c.genSink = sink }
 }
 
 // WithDegree requests a non-default degree (heterogeneous bandwidth, §5).
@@ -211,6 +246,10 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 	if err != nil {
 		return nil, err
 	}
+	sink := settings.genSink
+	if sink == nil {
+		sink = s.genSink
+	}
 	transport.Instrument(ep, obs.NewTransportMetrics(s.obs, addr))
 	node := protocol.NewNode(ep, protocol.NodeConfig{
 		TrackerAddr:      "server",
@@ -220,6 +259,7 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 		Seed:             settings.seed,
 		DecodeWorkers:    s.cfg.DecodeWorkers,
 		Obs:              obs.NewNodeMetrics(s.obs, addr),
+		GenSink:          sink,
 	})
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &Client{node: node, addr: addr, session: s, cancel: cancel}

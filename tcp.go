@@ -33,7 +33,7 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	}
 	var reg *obs.Registry
 	if !cfg.DisableObs {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
 	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
 	source, err := cfg.newSource(ep, content)
@@ -86,6 +86,13 @@ func (s *Server) Snapshot() obs.OverlaySnapshot {
 	return snap
 }
 
+// ClusterSnapshot returns the server-aggregated fleet telemetry view (see
+// Session.ClusterSnapshot). Pass it to obs.WithClusterSnapshot to serve it
+// at /debug/cluster.
+func (s *Server) ClusterSnapshot() obs.ClusterSnapshot {
+	return s.tracker.ClusterSnapshot()
+}
+
 // Close stops the server.
 func (s *Server) Close() error {
 	s.cancel()
@@ -117,7 +124,7 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 	}
 	var reg *obs.Registry
 	if !cfg.DisableObs {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
 	transport.Instrument(ep, obs.NewTransportMetrics(reg, ep.Addr()))
 	node := protocol.NewNode(ep, protocol.NodeConfig{
@@ -127,6 +134,7 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 		Seed:             settings.seed,
 		DecodeWorkers:    cfg.DecodeWorkers,
 		Obs:              obs.NewNodeMetrics(reg, ep.Addr()),
+		GenSink:          settings.genSink,
 	})
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &RemoteClient{node: node, ep: ep, obs: reg, cancel: cancel}

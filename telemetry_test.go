@@ -1,0 +1,220 @@
+package ncast
+
+import (
+	"context"
+	"encoding/json"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"ncast/internal/obs"
+)
+
+// metricNameRE is the repository's metric naming contract: every exported
+// series is ncast_-prefixed lowercase snake case, so dashboards can select
+// the whole fleet with one prefix match.
+var metricNameRE = regexp.MustCompile(`^ncast_[a-z0-9_]+$`)
+
+// TestMetricNameLint instantiates every metrics bundle the codebase
+// defines and lints each registered family name against the naming
+// contract. New bundles automatically fall under the lint because they
+// register into the same registry.
+func TestMetricNameLint(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	obs.NewTrackerMetrics(reg)
+	obs.NewSourceMetrics(reg)
+	nm := obs.NewNodeMetrics(reg, "lint-node")
+	obs.NewTransportMetrics(reg, "lint-ep")
+	// The lifecycle tracker registers the decode-delay and overhead
+	// histograms lazily on the first decode; force both.
+	gt := obs.NewGenTracker("lint-node", 1, nm, nil)
+	gt.Observe(0, time.Now().Add(-time.Millisecond).UnixNano(), 1)
+
+	points := reg.Snapshot()
+	if len(points) == 0 {
+		t.Fatal("no metrics registered")
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		if !metricNameRE.MatchString(p.Name) {
+			t.Errorf("metric %q violates %s", p.Name, metricNameRE)
+		}
+	}
+	// Spot-check that the new telemetry series are among them.
+	for _, want := range []string{
+		"ncast_node_decode_delay_nanos",
+		"ncast_node_coding_overhead_ratio",
+		"ncast_tracker_stats_reports_total",
+	} {
+		if !seen[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+}
+
+// TestSessionMetricNames runs a real session and lints every live series —
+// catches names built at runtime that the static bundle sweep can't see.
+func TestSessionMetricNames(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	sess, err := NewSession(testContent(4*8*64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := sess.AddClient(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sess.Snapshot().Metrics {
+		if !metricNameRE.MatchString(p.Name) {
+			t.Errorf("metric %q violates %s", p.Name, metricNameRE)
+		}
+	}
+}
+
+// TestTimelineEvents drives a session with a generation-event sink — the
+// feed behind ncast-sim -timeline — and checks the stream is valid JSONL
+// with monotone per-generation phase transitions at every node.
+func TestTimelineEvents(t *testing.T) {
+	t.Parallel()
+	var (
+		mu     sync.Mutex
+		events []GenEvent
+	)
+	cfg := testConfig()
+	cfg.StatsInterval = 100 * time.Millisecond
+	sess, err := NewSession(testContent(4*8*64), cfg, WithGenEvents(func(ev GenEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no lifecycle events")
+	}
+	order := map[string]int{"first_packet": 0, "rank25": 1, "rank50": 2, "rank75": 3, "decoded": 4}
+	type key struct {
+		node string
+		gen  uint32
+	}
+	last := map[key]int{}
+	sawDecoded := map[key]bool{}
+	for _, ev := range events {
+		// Each event must survive a JSON round trip (the JSONL contract).
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", ev, err)
+		}
+		var back GenEvent
+		if err := json.Unmarshal(raw, &back); err != nil || back.Phase != ev.Phase {
+			t.Fatalf("round trip %s: %v", raw, err)
+		}
+		rank, ok := order[ev.Phase]
+		if !ok {
+			t.Fatalf("unknown phase %q", ev.Phase)
+		}
+		k := key{node: ev.Node, gen: ev.Gen}
+		if prev, seen := last[k]; seen && rank <= prev {
+			t.Fatalf("node %s generation %d: phase %s after rank %d", ev.Node, ev.Gen, ev.Phase, prev)
+		}
+		last[k] = rank
+		if ev.Phase == "decoded" {
+			sawDecoded[k] = true
+			if ev.DelayNanos <= 0 {
+				t.Errorf("node %s generation %d decoded without delay", ev.Node, ev.Gen)
+			}
+			if ev.OverheadPermille < 1000 {
+				t.Errorf("node %s generation %d overhead %d", ev.Node, ev.Gen, ev.OverheadPermille)
+			}
+		}
+	}
+	// Every client decoded every generation, so every (node, generation)
+	// stream must terminate in a decoded event.
+	gens := 4
+	if want := len(clients) * gens; len(sawDecoded) != want {
+		t.Fatalf("decoded streams = %d, want %d", len(sawDecoded), want)
+	}
+}
+
+// TestClusterSnapshotLive checks the session-level aggregation end to end:
+// after a full decode, every client appears complete in the cluster view.
+func TestClusterSnapshotLive(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.StatsInterval = 80 * time.Millisecond
+	sess, err := NewSession(testContent(2*8*64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := sess.ClusterSnapshot()
+		done := len(snap.Nodes) == len(clients)
+		for _, n := range snap.Nodes {
+			if !n.Complete {
+				done = false
+			}
+		}
+		if done {
+			for _, c := range clients {
+				if snap.Node(c.ID()) == nil {
+					t.Fatalf("client %d missing from cluster view", c.ID())
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster view never converged: %+v", snap.Nodes)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+}
