@@ -1,14 +1,14 @@
 # Developer checks. `make check` is the gate every change should pass.
 
 GO ?= go
-RACE_PKGS := ./internal/obs ./internal/protocol ./internal/rlnc ./internal/transport
+RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc ./internal/transport
 # Packages with build-tag-gated accelerated kernels; purego forces the
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt lint test purego race churn bench
+.PHONY: check build vet fmt lint test purego race churn fuzz scale bench
 
-check: vet fmt lint build test purego race churn
+check: vet fmt lint build test purego race churn fuzz
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,19 @@ race:
 # over the fault-injection transport, and the send-deadline regression.
 churn:
 	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot' ./internal/protocol ./internal/transport .
+
+# Short deterministic fuzz budgets over the wire decoders; go's fuzzer
+# accepts one -fuzz pattern per invocation, so each target runs alone.
+fuzz:
+	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeControl -fuzztime 10s
+	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeData -fuzztime 10s
+	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeKeepalive -fuzztime 5s
+
+# Control-plane capacity trajectory (quick shape: small populations).
+# The committed BENCH_control.json comes from the full run:
+#   $(GO) run ./cmd/ncast-scale -o BENCH_control.json
+scale:
+	$(GO) run ./cmd/ncast-scale -quick -o /dev/null
 
 # Data-plane fast-path trajectory: kernel throughput, emit-path allocs,
 # and serial-vs-parallel file decode, recorded in BENCH_rlnc.json.

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSteadyStateChurnZeroAlloc pins the row/treap-node recycling: once
+// the pools are warm, a churn mix where joins balance removals must not
+// allocate — the control plane at million-row scale cannot afford to
+// feed the collector on every hello.
+func TestSteadyStateChurnZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := New(32, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pop = 4096
+	alive := make([]NodeID, 0, pop+2)
+	for i := 0; i < pop; i++ {
+		alive = append(alive, c.Join())
+	}
+	wl := rand.New(rand.NewSource(2))
+	// One cycle: a graceful leave, a failure repair, and two joins — net
+	// zero population, exercising every pooled path.
+	cycle := func() {
+		i := wl.Intn(len(alive))
+		id := alive[i]
+		alive[i] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		if err := c.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+		i = wl.Intn(len(alive))
+		id = alive[i]
+		alive[i] = alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		if err := c.Fail(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Repair(id); err != nil {
+			t.Fatal(err)
+		}
+		alive = append(alive, c.Join(), c.Join())
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // warm the pools
+	}
+	// The index map may still rarely rehash in place; allow that noise
+	// but nothing per-op.
+	if allocs := testing.AllocsPerRun(512, cycle); allocs > 0.05 {
+		t.Fatalf("steady-state churn allocates %.3f objects/cycle, want 0", allocs)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

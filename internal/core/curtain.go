@@ -18,6 +18,14 @@
 // topological. The data plane (network-coded streams flowing along the
 // threads) lives in internal/rlnc and the protocol layer; the analysis
 // plane (connectivity, defects) consumes Snapshot().
+//
+// Internally the matrix is fully indexed (see index.go): the row order is
+// an order-statistic treap and each thread's occupancy is a treap ordered
+// by row labels, so hello/good-bye/repair and the §5 degree changes cost
+// O(d·log N) instead of the naive O(N·d) slice surgery. The paper's
+// randomness contract is untouched: the caller's rng is consumed in
+// exactly the same sequence as the original linear implementation (the
+// differential tests in curtain_diff_test.go pin this).
 package core
 
 import (
@@ -63,9 +71,11 @@ var (
 
 type row struct {
 	id      NodeID
-	threads []int // sorted, distinct thread indices; len == degree
+	threads []int    // sorted, distinct thread indices; len == degree
+	slots   []*tnode // slots[i] is this row's clip in thread threads[i]'s treap
 	failed  bool
-	pos     int // index in Curtain.rows, kept current
+	on      *onode // handle into the global row-order treap
+	pos     int    // scratch row index, valid only during Snapshot/walks
 }
 
 // Curtain is the server-side overlay state (the matrix M plus failure
@@ -76,10 +86,16 @@ type Curtain struct {
 	d      int
 	mode   InsertMode
 	rng    *rand.Rand
-	rows   []*row
-	occ    [][]*row // per-thread occupancy, in row order
+	list   olist   // global row order
+	occ    []tlist // per-thread occupancy, in row order
 	index  map[NodeID]*row
+	failed int // count of failure-tagged rows
 	nextID NodeID
+	// freeRows recycles removed rows (and their thread/slot storage) so
+	// steady-state churn — hello balancing good-bye/repair — allocates
+	// nothing and never pressures the collector at million-row scale.
+	// The treaps pool their nodes the same way (olist.free, tlist.free).
+	freeRows []*row
 }
 
 // Option configures a Curtain.
@@ -111,7 +127,7 @@ func New(k, d int, rng *rand.Rand, opts ...Option) (*Curtain, error) {
 		d:      d,
 		mode:   InsertAppend,
 		rng:    rng,
-		occ:    make([][]*row, k),
+		occ:    make([]tlist, k),
 		index:  make(map[NodeID]*row),
 		nextID: 1,
 	}
@@ -134,18 +150,10 @@ func (c *Curtain) D() int { return c.d }
 func (c *Curtain) Mode() InsertMode { return c.mode }
 
 // NumNodes returns the number of rows in M (working + failed).
-func (c *Curtain) NumNodes() int { return len(c.rows) }
+func (c *Curtain) NumNodes() int { return c.list.len() }
 
 // NumFailed returns the number of failure-tagged rows.
-func (c *Curtain) NumFailed() int {
-	n := 0
-	for _, r := range c.rows {
-		if r.failed {
-			n++
-		}
-	}
-	return n
-}
+func (c *Curtain) NumFailed() int { return c.failed }
 
 // Contains reports whether id currently has a row in M.
 func (c *Curtain) Contains(id NodeID) bool {
@@ -179,10 +187,10 @@ func (c *Curtain) Threads(id NodeID) ([]int, error) {
 
 // Nodes returns all node ids in row order (top of the curtain first).
 func (c *Curtain) Nodes() []NodeID {
-	out := make([]NodeID, len(c.rows))
-	for i, r := range c.rows {
-		out[i] = r.id
-	}
+	out := make([]NodeID, 0, c.list.len())
+	c.list.inorder(func(x *onode) {
+		out = append(out, x.r.id)
+	})
 	return out
 }
 
@@ -218,18 +226,27 @@ func (c *Curtain) join(d int, failed bool) (NodeID, error) {
 	if d < 1 || d > c.k {
 		return 0, fmt.Errorf("%w: join degree %d, want in [1, k=%d]", ErrDegree, d, c.k)
 	}
-	r := &row{
-		id:      c.nextID,
-		threads: sampleDistinct(c.rng, c.k, d),
-		failed:  failed,
+	var r *row
+	if n := len(c.freeRows); n > 0 {
+		r = c.freeRows[n-1]
+		c.freeRows[n-1] = nil
+		c.freeRows = c.freeRows[:n-1]
+	} else {
+		r = &row{}
 	}
+	r.id = c.nextID
+	r.threads = sampleDistinctInto(c.rng, c.k, d, r.threads)
+	r.failed = failed
 	c.nextID++
-	pos := len(c.rows)
+	pos := c.list.len()
 	if c.mode == InsertRandom {
-		pos = c.rng.Intn(len(c.rows) + 1)
+		pos = c.rng.Intn(c.list.len() + 1)
 	}
 	c.insertRow(r, pos)
 	c.index[r.id] = r
+	if failed {
+		c.failed++
+	}
 	return r.id, nil
 }
 
@@ -260,6 +277,7 @@ func (c *Curtain) Fail(id NodeID) error {
 		return fmt.Errorf("%w: %d", ErrNodeFailed, id)
 	}
 	r.failed = true
+	c.failed++
 	return nil
 }
 
@@ -274,6 +292,7 @@ func (c *Curtain) Recover(id NodeID) error {
 		return fmt.Errorf("%w: %d", ErrNodeWorking, id)
 	}
 	r.failed = false
+	c.failed--
 	return nil
 }
 
@@ -306,8 +325,9 @@ func (c *Curtain) ReduceDegree(id NodeID) (int, error) {
 	}
 	i := c.rng.Intn(len(r.threads))
 	t := r.threads[i]
+	c.occ[t].remove(r.slots[i])
 	r.threads = append(r.threads[:i], r.threads[i+1:]...)
-	c.occRemove(t, r)
+	r.slots = append(r.slots[:i], r.slots[i+1:]...)
 	return t, nil
 }
 
@@ -333,9 +353,14 @@ func (c *Curtain) IncreaseDegree(id NodeID) (int, error) {
 			continue
 		}
 		if pick == 0 {
-			r.threads = append(r.threads, t)
-			sort.Ints(r.threads)
-			c.occInsert(t, r)
+			i := sort.SearchInts(r.threads, t)
+			r.threads = append(r.threads, 0)
+			copy(r.threads[i+1:], r.threads[i:])
+			r.threads[i] = t
+			slot := c.occ[t].insert(r, c.list.nextPrio())
+			r.slots = append(r.slots, nil)
+			copy(r.slots[i+1:], r.slots[i:])
+			r.slots[i] = slot
 			return t, nil
 		}
 		pick--
@@ -352,8 +377,12 @@ func (c *Curtain) Parents(id NodeID) ([]NodeID, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	out := make([]NodeID, 0, len(r.threads))
-	for _, t := range r.threads {
-		out = append(out, c.predecessor(t, r))
+	for _, slot := range r.slots {
+		if p := tprev(slot); p != nil {
+			out = append(out, p.r.id)
+		} else {
+			out = append(out, ServerID)
+		}
 	}
 	return out, nil
 }
@@ -367,9 +396,28 @@ func (c *Curtain) Children(id NodeID) ([]NodeID, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	out := make([]NodeID, 0, len(r.threads))
-	for _, t := range r.threads {
-		if s := c.successor(t, r); s != 0 {
-			out = append(out, s)
+	for _, slot := range r.slots {
+		if s := tnext(slot); s != nil {
+			out = append(out, s.r.id)
+		}
+	}
+	return out, nil
+}
+
+// ThreadChildren returns, aligned with Threads(id), the id of the node
+// receiving this node's stream on each of its threads, with 0 marking
+// threads on which the node is the bottom clip. This is the O(d·log N)
+// accessor the control plane uses to hand a departing node's streams over
+// without reconstructing the neighborhood from Children+Parents.
+func (c *Curtain) ThreadChildren(id NodeID) ([]NodeID, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := make([]NodeID, len(r.threads))
+	for i, slot := range r.slots {
+		if s := tnext(slot); s != nil {
+			out[i] = s.r.id
 		}
 	}
 	return out, nil
@@ -381,8 +429,8 @@ func (c *Curtain) Children(id NodeID) ([]NodeID, error) {
 func (c *Curtain) HangingThreads() []NodeID {
 	out := make([]NodeID, c.k)
 	for t := 0; t < c.k; t++ {
-		if l := c.occ[t]; len(l) > 0 {
-			out[t] = l[len(l)-1].id
+		if b := c.occ[t].last(); b != nil {
+			out[t] = b.r.id
 		}
 	}
 	return out
@@ -411,119 +459,201 @@ func sampleDistinct(rng *rand.Rand, k, d int) []int {
 	return out
 }
 
-func (c *Curtain) insertRow(r *row, pos int) {
-	c.rows = append(c.rows, nil)
-	copy(c.rows[pos+1:], c.rows[pos:])
-	c.rows[pos] = r
-	for i := pos; i < len(c.rows); i++ {
-		c.rows[i].pos = i
+// sampleDistinctInto is sampleDistinct writing into out's storage, so the
+// hot join path can reuse a pooled row's thread slice. It consumes the
+// rng stream exactly as sampleDistinct does (same draws, same order; only
+// the duplicate check differs — a linear scan over ≤ d elements instead
+// of a map), which the differential suite pins against the reference.
+func sampleDistinctInto(rng *rand.Rand, k, d int, out []int) []int {
+	out = out[:0]
+	if d*3 >= k {
+		perm := rng.Perm(k)
+		out = append(out, perm[:d]...)
+		sort.Ints(out)
+		return out
 	}
-	for _, t := range r.threads {
-		c.occInsert(t, r)
+	for len(out) < d {
+		t := rng.Intn(k)
+		dup := false
+		for _, s := range out {
+			if s == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *Curtain) insertRow(r *row, pos int) {
+	c.list.insertAt(pos, r)
+	if cap(r.slots) >= len(r.threads) {
+		r.slots = r.slots[:len(r.threads)]
+	} else {
+		r.slots = make([]*tnode, len(r.threads))
+	}
+	for i, t := range r.threads {
+		r.slots[i] = c.occ[t].insert(r, c.list.nextPrio())
 	}
 }
 
 func (c *Curtain) removeRow(r *row) {
-	for _, t := range r.threads {
-		c.occRemove(t, r)
+	for i, t := range r.threads {
+		c.occ[t].remove(r.slots[i])
 	}
-	pos := r.pos
-	c.rows = append(c.rows[:pos], c.rows[pos+1:]...)
-	for i := pos; i < len(c.rows); i++ {
-		c.rows[i].pos = i
+	c.list.remove(r.on)
+	if r.failed {
+		c.failed--
 	}
 	delete(c.index, r.id)
-}
-
-// occInsert places r into thread t's occupancy list at the index matching
-// row order.
-func (c *Curtain) occInsert(t int, r *row) {
-	l := c.occ[t]
-	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
-	l = append(l, nil)
-	copy(l[i+1:], l[i:])
-	l[i] = r
-	c.occ[t] = l
-}
-
-func (c *Curtain) occRemove(t int, r *row) {
-	l := c.occ[t]
-	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
-	if i >= len(l) || l[i] != r {
-		panic(fmt.Sprintf("core: occupancy list for thread %d out of sync with node %d", t, r.id))
+	// Recycle the row: clear everything but keep the thread/slot storage.
+	for i := range r.slots {
+		r.slots[i] = nil
 	}
-	c.occ[t] = append(l[:i], l[i+1:]...)
-}
-
-// predecessor returns the id of the row above r on thread t (ServerID when
-// r is topmost).
-func (c *Curtain) predecessor(t int, r *row) NodeID {
-	l := c.occ[t]
-	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
-	if i == 0 {
-		return ServerID
-	}
-	return l[i-1].id
-}
-
-// successor returns the id of the row below r on thread t, or 0 when r is
-// the bottom clip. (0 doubles as ServerID; callers use it as "none" here
-// because the server is never below a node.)
-func (c *Curtain) successor(t int, r *row) NodeID {
-	l := c.occ[t]
-	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
-	if i >= len(l) {
-		return 0
-	}
-	return l[i].id
+	*r = row{threads: r.threads[:0], slots: r.slots[:0]}
+	c.freeRows = append(c.freeRows, r)
 }
 
 // Validate checks internal consistency; it is used by tests and costs
 // O(N·d + k·occ). It returns the first inconsistency found.
-func (c *Curtain) Validate() error {
-	for i, r := range c.rows {
-		if r.pos != i {
-			return fmt.Errorf("core: row %d has pos %d", i, r.pos)
+// It is an alias for CheckInvariants, kept for callers of the original
+// linear implementation.
+func (c *Curtain) Validate() error { return c.CheckInvariants() }
+
+// CheckInvariants verifies the §3 structural invariants and the internal
+// index consistency, returning the first violation found:
+//
+//   - every live row holds a sorted set of distinct threads in [0,k) — no
+//     thread is hosted twice by one node — and its degree matches;
+//   - the per-thread occupancy treaps contain exactly the rows clipped to
+//     them, in row order, so hanging-thread accounting balances (the
+//     bottom clip of each thread is the last row hosting it, and total
+//     occupancy equals the sum of degrees);
+//   - the order treap's sizes, heap priorities, parent links and order
+//     labels are mutually consistent.
+//
+// It costs O(N·d + k) and is meant for tests and debug assertions, not
+// the hot path.
+func (c *Curtain) CheckInvariants() error {
+	// Global order treap: structure, sizes, heap property, label order.
+	n := 0
+	var lastLabel uint64
+	var structErr error
+	c.list.inorder(func(x *onode) {
+		n++
+		if structErr != nil {
+			return
 		}
-		if got, ok := c.index[r.id]; !ok || got != r {
-			return fmt.Errorf("core: index out of sync for node %d", r.id)
+		if x.size != 1+osize(x.left)+osize(x.right) {
+			structErr = fmt.Errorf("core: order treap size mismatch at node %d", x.r.id)
+			return
+		}
+		if x.left != nil && x.left.parent != x || x.right != nil && x.right.parent != x {
+			structErr = fmt.Errorf("core: order treap parent link broken at node %d", x.r.id)
+			return
+		}
+		if x.parent != nil && x.prio > x.parent.prio {
+			structErr = fmt.Errorf("core: order treap heap violation at node %d", x.r.id)
+			return
+		}
+		if n > 1 && x.label <= lastLabel {
+			structErr = fmt.Errorf("core: order labels not increasing at node %d", x.r.id)
+			return
+		}
+		lastLabel = x.label
+		if x.r.on != x {
+			structErr = fmt.Errorf("core: row handle out of sync for node %d", x.r.id)
+		}
+	})
+	if structErr != nil {
+		return structErr
+	}
+	if n != c.list.len() {
+		return fmt.Errorf("core: order treap walk saw %d rows, size says %d", n, c.list.len())
+	}
+	if len(c.index) != n {
+		return fmt.Errorf("core: index size %d, rows %d", len(c.index), n)
+	}
+
+	// Per-row invariants: distinct sorted threads, aligned slots, failure
+	// accounting.
+	failed := 0
+	want := 0
+	for id, r := range c.index {
+		if r.id != id {
+			return fmt.Errorf("core: index key %d maps to row %d", id, r.id)
+		}
+		if r.failed {
+			failed++
 		}
 		if len(r.threads) == 0 {
 			return fmt.Errorf("core: node %d has no threads", r.id)
 		}
-		for j := 1; j < len(r.threads); j++ {
-			if r.threads[j] <= r.threads[j-1] {
+		if len(r.slots) != len(r.threads) {
+			return fmt.Errorf("core: node %d has %d slots for %d threads", r.id, len(r.slots), len(r.threads))
+		}
+		want += len(r.threads)
+		for j, t := range r.threads {
+			if t < 0 || t >= c.k {
+				return fmt.Errorf("core: node %d on out-of-range thread %d", r.id, t)
+			}
+			if j > 0 && t <= r.threads[j-1] {
 				return fmt.Errorf("core: node %d threads not sorted/distinct", r.id)
 			}
+			if r.slots[j] == nil || r.slots[j].r != r {
+				return fmt.Errorf("core: node %d slot %d points at the wrong row", r.id, j)
+			}
 		}
 	}
-	if len(c.index) != len(c.rows) {
-		return fmt.Errorf("core: index size %d, rows %d", len(c.index), len(c.rows))
+	if failed != c.failed {
+		return fmt.Errorf("core: failed count %d, tagged rows %d", c.failed, failed)
 	}
+
+	// Per-thread occupancy: row order, membership, slot identity, hanging
+	// accounting.
 	total := 0
-	for t, l := range c.occ {
-		last := -1
-		for _, r := range l {
-			if r.pos <= last {
-				return fmt.Errorf("core: thread %d occupancy out of order", t)
+	for t := 0; t < c.k; t++ {
+		var prev *tnode
+		var threadErr error
+		var bottom *tnode
+		c.occ[t].inorder(func(x *tnode) {
+			total++
+			bottom = x
+			if threadErr != nil {
+				return
 			}
-			last = r.pos
-			found := false
-			for _, rt := range r.threads {
-				if rt == t {
-					found = true
-					break
-				}
+			if x.left != nil && x.left.parent != x || x.right != nil && x.right.parent != x {
+				threadErr = fmt.Errorf("core: thread %d treap parent link broken at node %d", t, x.r.id)
+				return
 			}
-			if !found {
-				return fmt.Errorf("core: node %d in thread %d occupancy without membership", r.id, t)
+			if x.parent != nil && x.prio > x.parent.prio {
+				threadErr = fmt.Errorf("core: thread %d treap heap violation at node %d", t, x.r.id)
+				return
 			}
+			if prev != nil && x.r.on.label <= prev.r.on.label {
+				threadErr = fmt.Errorf("core: thread %d occupancy out of order", t)
+				return
+			}
+			prev = x
+			i := sort.SearchInts(x.r.threads, t)
+			if i >= len(x.r.threads) || x.r.threads[i] != t {
+				threadErr = fmt.Errorf("core: node %d in thread %d occupancy without membership", x.r.id, t)
+				return
+			}
+			if x.r.slots[i] != x {
+				threadErr = fmt.Errorf("core: node %d slot for thread %d is a stale clip", x.r.id, t)
+			}
+		})
+		if threadErr != nil {
+			return threadErr
 		}
-		total += len(l)
-	}
-	want := 0
-	for _, r := range c.rows {
-		want += len(r.threads)
+		if bottom != c.occ[t].last() {
+			return fmt.Errorf("core: thread %d bottom clip out of sync", t)
+		}
 	}
 	if total != want {
 		return fmt.Errorf("core: occupancy total %d, want %d", total, want)
@@ -551,7 +681,7 @@ type Topology struct {
 
 // Snapshot exports the current overlay.
 func (c *Curtain) Snapshot() *Topology {
-	n := len(c.rows)
+	n := c.list.len()
 	t := &Topology{
 		Graph:        graph.NewDigraph(n + 1),
 		IDs:          make([]NodeID, n+1),
@@ -562,20 +692,24 @@ func (c *Curtain) Snapshot() *Topology {
 	t.IDs[0] = ServerID
 	t.Index[ServerID] = 0
 	t.Working[0] = true
-	for i, r := range c.rows {
+	i := 0
+	c.list.inorder(func(x *onode) {
+		r := x.r
+		r.pos = i
 		t.IDs[i+1] = r.id
 		t.Index[r.id] = i + 1
 		t.Working[i+1] = !r.failed
-	}
+		i++
+	})
 	for th := 0; th < c.k; th++ {
 		prev := 0
-		for _, r := range c.occ[th] {
-			cur := r.pos + 1
+		c.occ[th].inorder(func(x *tnode) {
+			cur := x.r.pos + 1
 			if _, err := t.Graph.AddEdge(prev, cur); err != nil {
 				panic(err) // indices valid by construction
 			}
 			prev = cur
-		}
+		})
 		t.ThreadBottom[th] = prev
 	}
 	return t

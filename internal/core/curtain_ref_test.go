@@ -1,0 +1,301 @@
+package core
+
+// This file retains the original linear-scan Curtain implementation as a
+// test-only reference oracle. refCurtain is, operation for operation, the
+// seed implementation that curtain.go replaced with indexed state: rows in
+// a plain slice with O(N) position fixups, per-thread occupancy as sorted
+// slices with O(m) insert/remove. The differential tests in
+// curtain_diff_test.go drive both implementations with identically seeded
+// rngs and assert byte-identical matrix state after every operation —
+// which pins both the topology semantics and the rng consumption order of
+// the indexed implementation to the original.
+//
+// Deliberately NOT kept in sync with curtain.go refactors: this is the
+// frozen semantic baseline.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+type refRow struct {
+	id      NodeID
+	threads []int
+	failed  bool
+	pos     int
+}
+
+type refCurtain struct {
+	k      int
+	d      int
+	mode   InsertMode
+	rng    *rand.Rand
+	rows   []*refRow
+	occ    [][]*refRow
+	index  map[NodeID]*refRow
+	nextID NodeID
+}
+
+func newRefCurtain(k, d int, rng *rand.Rand, mode InsertMode) *refCurtain {
+	return &refCurtain{
+		k:      k,
+		d:      d,
+		mode:   mode,
+		rng:    rng,
+		occ:    make([][]*refRow, k),
+		index:  make(map[NodeID]*refRow),
+		nextID: 1,
+	}
+}
+
+func (c *refCurtain) NumNodes() int { return len(c.rows) }
+
+func (c *refCurtain) NumFailed() int {
+	n := 0
+	for _, r := range c.rows {
+		if r.failed {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *refCurtain) Nodes() []NodeID {
+	out := make([]NodeID, len(c.rows))
+	for i, r := range c.rows {
+		out[i] = r.id
+	}
+	return out
+}
+
+func (c *refCurtain) Threads(id NodeID) ([]int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return append([]int(nil), r.threads...), nil
+}
+
+func (c *refCurtain) IsFailed(id NodeID) bool {
+	r, ok := c.index[id]
+	return ok && r.failed
+}
+
+func (c *refCurtain) JoinDegree(d int) (NodeID, error) {
+	return c.join(d, false)
+}
+
+func (c *refCurtain) JoinTagged(failed bool) NodeID {
+	id, err := c.join(c.d, failed)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (c *refCurtain) join(d int, failed bool) (NodeID, error) {
+	if d < 1 || d > c.k {
+		return 0, fmt.Errorf("%w: join degree %d, want in [1, k=%d]", ErrDegree, d, c.k)
+	}
+	r := &refRow{
+		id:      c.nextID,
+		threads: sampleDistinct(c.rng, c.k, d),
+		failed:  failed,
+	}
+	c.nextID++
+	pos := len(c.rows)
+	if c.mode == InsertRandom {
+		pos = c.rng.Intn(len(c.rows) + 1)
+	}
+	c.insertRow(r, pos)
+	c.index[r.id] = r
+	return r.id, nil
+}
+
+func (c *refCurtain) Leave(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if r.failed {
+		return fmt.Errorf("%w: %d (use Repair)", ErrNodeFailed, id)
+	}
+	c.removeRow(r)
+	return nil
+}
+
+func (c *refCurtain) Fail(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if r.failed {
+		return fmt.Errorf("%w: %d", ErrNodeFailed, id)
+	}
+	r.failed = true
+	return nil
+}
+
+func (c *refCurtain) Recover(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if !r.failed {
+		return fmt.Errorf("%w: %d", ErrNodeWorking, id)
+	}
+	r.failed = false
+	return nil
+}
+
+func (c *refCurtain) Repair(id NodeID) error {
+	r, ok := c.index[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if !r.failed {
+		return fmt.Errorf("%w: %d (use Leave)", ErrNodeWorking, id)
+	}
+	c.removeRow(r)
+	return nil
+}
+
+func (c *refCurtain) ReduceDegree(id NodeID) (int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(r.threads) <= 1 {
+		return 0, fmt.Errorf("%w: node %d already at degree 1", ErrDegree, id)
+	}
+	i := c.rng.Intn(len(r.threads))
+	t := r.threads[i]
+	r.threads = append(r.threads[:i], r.threads[i+1:]...)
+	c.occRemove(t, r)
+	return t, nil
+}
+
+func (c *refCurtain) IncreaseDegree(id NodeID) (int, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(r.threads) >= c.k {
+		return 0, fmt.Errorf("%w: node %d already on all %d threads", ErrDegree, id, c.k)
+	}
+	have := make(map[int]bool, len(r.threads))
+	for _, t := range r.threads {
+		have[t] = true
+	}
+	pick := c.rng.Intn(c.k - len(r.threads))
+	for t := 0; t < c.k; t++ {
+		if have[t] {
+			continue
+		}
+		if pick == 0 {
+			r.threads = append(r.threads, t)
+			sort.Ints(r.threads)
+			c.occInsert(t, r)
+			return t, nil
+		}
+		pick--
+	}
+	panic("core: unreachable thread selection")
+}
+
+func (c *refCurtain) Parents(id NodeID) ([]NodeID, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := make([]NodeID, 0, len(r.threads))
+	for _, t := range r.threads {
+		out = append(out, c.predecessor(t, r))
+	}
+	return out, nil
+}
+
+func (c *refCurtain) Children(id NodeID) ([]NodeID, error) {
+	r, ok := c.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := make([]NodeID, 0, len(r.threads))
+	for _, t := range r.threads {
+		if s := c.successor(t, r); s != 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (c *refCurtain) HangingThreads() []NodeID {
+	out := make([]NodeID, c.k)
+	for t := 0; t < c.k; t++ {
+		if l := c.occ[t]; len(l) > 0 {
+			out[t] = l[len(l)-1].id
+		}
+	}
+	return out
+}
+
+func (c *refCurtain) insertRow(r *refRow, pos int) {
+	c.rows = append(c.rows, nil)
+	copy(c.rows[pos+1:], c.rows[pos:])
+	c.rows[pos] = r
+	for i := pos; i < len(c.rows); i++ {
+		c.rows[i].pos = i
+	}
+	for _, t := range r.threads {
+		c.occInsert(t, r)
+	}
+}
+
+func (c *refCurtain) removeRow(r *refRow) {
+	for _, t := range r.threads {
+		c.occRemove(t, r)
+	}
+	pos := r.pos
+	c.rows = append(c.rows[:pos], c.rows[pos+1:]...)
+	for i := pos; i < len(c.rows); i++ {
+		c.rows[i].pos = i
+	}
+	delete(c.index, r.id)
+}
+
+func (c *refCurtain) occInsert(t int, r *refRow) {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
+	l = append(l, nil)
+	copy(l[i+1:], l[i:])
+	l[i] = r
+	c.occ[t] = l
+}
+
+func (c *refCurtain) occRemove(t int, r *refRow) {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
+	if i >= len(l) || l[i] != r {
+		panic(fmt.Sprintf("core: ref occupancy list for thread %d out of sync with node %d", t, r.id))
+	}
+	c.occ[t] = append(l[:i], l[i+1:]...)
+}
+
+func (c *refCurtain) predecessor(t int, r *refRow) NodeID {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos >= r.pos })
+	if i == 0 {
+		return ServerID
+	}
+	return l[i-1].id
+}
+
+func (c *refCurtain) successor(t int, r *refRow) NodeID {
+	l := c.occ[t]
+	i := sort.Search(len(l), func(i int) bool { return l[i].pos > r.pos })
+	if i >= len(l) {
+		return 0
+	}
+	return l[i].id
+}

@@ -1,0 +1,474 @@
+package core
+
+// This file holds the indexed state behind Curtain: an order-statistic
+// treap over the rows of M (the "row order" the paper's matrix picture
+// implies) and one ordered occupancy treap per thread. Together they turn
+// the hello/good-bye/repair hot paths from O(N·d) slice surgery into
+// O(d·log N) pointer surgery, which is what lets one tracker honor the
+// paper's constant-message-cost claim at millions of rows.
+//
+// Row order is maintained two ways at once:
+//
+//   - The global treap (olist) is keyed implicitly by position and
+//     augmented with subtree sizes, so inserting at a uniformly random
+//     rank (§5 random-insert mode) and deleting a row are O(log N).
+//   - Every row also carries a 64-bit order label, strictly increasing in
+//     row order, so "is row a above row b?" is a single integer compare.
+//     Labels are assigned midpoint-style with a fixed stride at the ends;
+//     when a gap is exhausted the whole list is relabeled evenly (O(N),
+//     but needs ~60 consecutive splits of one gap to trigger, which
+//     append-mode and random-mode workloads never approach).
+//
+// The per-thread treaps (tlist) are ordered by those labels, so finding a
+// joining row's clip position on a thread, its parent (predecessor) and
+// its child (successor) are O(log m) for m occupants — no linear scans
+// and no O(m) slice shifts. Relabeling preserves relative order, so the
+// thread treaps never need fixing up.
+//
+// Treap priorities come from a private splitmix64 stream, NOT from the
+// Curtain's rng: tree shape is invisible to callers, and the §3/§5
+// randomness contract (which the differential tests pin byte-for-byte
+// against the seed implementation) must consume the caller's rng stream
+// exactly as the linear version did.
+
+const (
+	// labelMax is the exclusive upper bound of the label space.
+	labelMax uint64 = 1 << 62
+	// labelStep is the stride used when inserting at either end, leaving
+	// labelMax/labelStep ≈ 2^30 appends before a relabel is ever needed.
+	labelStep uint64 = 1 << 32
+)
+
+// onode is one row's handle in the global order treap.
+type onode struct {
+	left, right, parent *onode
+	size                int    // subtree size, for rank operations
+	prio                uint64 // heap priority (max-heap)
+	label               uint64 // order label; strictly increasing in row order
+	r                   *row
+}
+
+func osize(n *onode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// olist is the order-statistic treap over all rows of M.
+type olist struct {
+	root      *onode
+	free      *onode // removed nodes, recycled via their parent links
+	prioState uint64 // splitmix64 state for treap priorities
+	relabels  int    // full relabel passes performed (observability/tests)
+}
+
+// nextPrio draws the next treap priority from the private splitmix64
+// stream (independent of the Curtain's semantic rng).
+func (l *olist) nextPrio() uint64 {
+	l.prioState += 0x9E3779B97F4A7C15
+	z := l.prioState
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (l *olist) len() int { return osize(l.root) }
+
+// insertAt links r in at 0-based position pos (0 <= pos <= len) and
+// assigns its order label.
+func (l *olist) insertAt(pos int, r *row) *onode {
+	x := l.free
+	if x != nil {
+		l.free = x.parent
+		x.parent = nil
+	} else {
+		x = &onode{}
+	}
+	x.size, x.prio, x.r = 1, l.nextPrio(), r
+	r.on = x
+	if l.root == nil {
+		x.label = labelMax / 2
+		l.root = x
+		return x
+	}
+	n := l.root
+	for {
+		if pos <= osize(n.left) {
+			if n.left == nil {
+				n.left = x
+				x.parent = n
+				break
+			}
+			n = n.left
+		} else {
+			pos -= osize(n.left) + 1
+			if n.right == nil {
+				n.right = x
+				x.parent = n
+				break
+			}
+			n = n.right
+		}
+	}
+	for p := x.parent; p != nil; p = p.parent {
+		p.size++
+	}
+	for x.parent != nil && x.prio > x.parent.prio {
+		l.rotateUp(x)
+	}
+	l.assignLabel(x)
+	return x
+}
+
+// remove unlinks x from the treap and recycles it — x must not be
+// touched by the caller afterwards.
+func (l *olist) remove(x *onode) {
+	// Rotate x down to at most one child, keeping the heap property among
+	// the others, then splice it out and fix sizes above.
+	for x.left != nil && x.right != nil {
+		if x.left.prio > x.right.prio {
+			l.rotateUp(x.left)
+		} else {
+			l.rotateUp(x.right)
+		}
+	}
+	child := x.left
+	if child == nil {
+		child = x.right
+	}
+	if child != nil {
+		child.parent = x.parent
+	}
+	p := x.parent
+	switch {
+	case p == nil:
+		l.root = child
+	case p.left == x:
+		p.left = child
+	default:
+		p.right = child
+	}
+	for ; p != nil; p = p.parent {
+		p.size--
+	}
+	x.left, x.right, x.size, x.label, x.prio, x.r = nil, nil, 0, 0, 0, nil
+	x.parent = l.free
+	l.free = x
+}
+
+// rotateUp moves x above its parent, preserving in-order sequence and
+// subtree sizes.
+func (l *olist) rotateUp(x *onode) {
+	p := x.parent
+	g := p.parent
+	if x == p.left {
+		p.left = x.right
+		if p.left != nil {
+			p.left.parent = p
+		}
+		x.right = p
+	} else {
+		p.right = x.left
+		if p.right != nil {
+			p.right.parent = p
+		}
+		x.left = p
+	}
+	p.parent = x
+	x.parent = g
+	switch {
+	case g == nil:
+		l.root = x
+	case g.left == p:
+		g.left = x
+	default:
+		g.right = x
+	}
+	p.size = 1 + osize(p.left) + osize(p.right)
+	x.size = 1 + osize(x.left) + osize(x.right)
+}
+
+// assignLabel gives the freshly linked x a label strictly between its
+// neighbors', relabeling the whole list when the gap is exhausted.
+func (l *olist) assignLabel(x *onode) {
+	lo, hi := uint64(0), labelMax
+	if p := oprev(x); p != nil {
+		lo = p.label
+	}
+	if n := onext(x); n != nil {
+		hi = n.label
+	}
+	if hi-lo < 2 {
+		l.relabel()
+		return
+	}
+	switch {
+	case hi == labelMax:
+		// Appending at the bottom: fixed stride, not midpoint, so the tail
+		// gap does not halve on every append.
+		if d := hi - lo; d > labelStep {
+			x.label = lo + labelStep
+		} else {
+			x.label = lo + d/2
+		}
+	case lo == 0:
+		// Inserting at the top.
+		if hi > labelStep {
+			x.label = hi - labelStep
+		} else {
+			x.label = hi / 2
+		}
+	default:
+		x.label = lo + (hi-lo)/2
+	}
+}
+
+// relabel rewrites every label evenly spaced, preserving order. O(N).
+func (l *olist) relabel() {
+	n := uint64(osize(l.root))
+	step := labelMax / (n + 1)
+	i := uint64(1)
+	l.inorder(func(x *onode) {
+		x.label = i * step
+		i++
+	})
+	l.relabels++
+}
+
+// rankOf returns x's 0-based position, walking parent pointers: O(depth).
+func rankOf(x *onode) int {
+	r := osize(x.left)
+	for n := x; n.parent != nil; n = n.parent {
+		if n == n.parent.right {
+			r += osize(n.parent.left) + 1
+		}
+	}
+	return r
+}
+
+// oprev returns the in-order predecessor of x, or nil.
+func oprev(x *onode) *onode {
+	if x.left != nil {
+		n := x.left
+		for n.right != nil {
+			n = n.right
+		}
+		return n
+	}
+	n := x
+	for n.parent != nil && n == n.parent.left {
+		n = n.parent
+	}
+	return n.parent
+}
+
+// onext returns the in-order successor of x, or nil.
+func onext(x *onode) *onode {
+	if x.right != nil {
+		n := x.right
+		for n.left != nil {
+			n = n.left
+		}
+		return n
+	}
+	n := x
+	for n.parent != nil && n == n.parent.right {
+		n = n.parent
+	}
+	return n.parent
+}
+
+// inorder visits every node top-of-curtain first. Iterative, so a
+// million-row walk never risks the stack.
+func (l *olist) inorder(fn func(*onode)) {
+	stack := make([]*onode, 0, 64)
+	n := l.root
+	for n != nil || len(stack) > 0 {
+		for n != nil {
+			stack = append(stack, n)
+			n = n.left
+		}
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(n)
+		n = n.right
+	}
+}
+
+// tnode is one row's clip in one thread's occupancy treap.
+type tnode struct {
+	left, right, parent *tnode
+	prio                uint64
+	r                   *row
+}
+
+// tlist is one thread's occupancy, ordered by the rows' order labels
+// (i.e. by row order). The zero value is an empty thread.
+type tlist struct {
+	root *tnode
+	free *tnode // removed clips, recycled via their parent links
+}
+
+// insert links r into the thread in row order and returns its clip handle.
+// prio must come from the olist's priority stream.
+func (t *tlist) insert(r *row, prio uint64) *tnode {
+	x := t.free
+	if x != nil {
+		t.free = x.parent
+		x.parent = nil
+	} else {
+		x = &tnode{}
+	}
+	x.prio, x.r = prio, r
+	if t.root == nil {
+		t.root = x
+		return x
+	}
+	n := t.root
+	for {
+		if r.on.label < n.r.on.label {
+			if n.left == nil {
+				n.left = x
+				x.parent = n
+				break
+			}
+			n = n.left
+		} else {
+			if n.right == nil {
+				n.right = x
+				x.parent = n
+				break
+			}
+			n = n.right
+		}
+	}
+	for x.parent != nil && x.prio > x.parent.prio {
+		t.rotateUp(x)
+	}
+	return x
+}
+
+// remove unlinks clip x from the thread and recycles it — x must not be
+// touched by the caller afterwards.
+func (t *tlist) remove(x *tnode) {
+	for x.left != nil && x.right != nil {
+		if x.left.prio > x.right.prio {
+			t.rotateUp(x.left)
+		} else {
+			t.rotateUp(x.right)
+		}
+	}
+	child := x.left
+	if child == nil {
+		child = x.right
+	}
+	if child != nil {
+		child.parent = x.parent
+	}
+	p := x.parent
+	switch {
+	case p == nil:
+		t.root = child
+	case p.left == x:
+		p.left = child
+	default:
+		p.right = child
+	}
+	x.left, x.right, x.prio, x.r = nil, nil, 0, nil
+	x.parent = t.free
+	t.free = x
+}
+
+func (t *tlist) rotateUp(x *tnode) {
+	p := x.parent
+	g := p.parent
+	if x == p.left {
+		p.left = x.right
+		if p.left != nil {
+			p.left.parent = p
+		}
+		x.right = p
+	} else {
+		p.right = x.left
+		if p.right != nil {
+			p.right.parent = p
+		}
+		x.left = p
+	}
+	p.parent = x
+	x.parent = g
+	switch {
+	case g == nil:
+		t.root = x
+	case g.left == p:
+		g.left = x
+	default:
+		g.right = x
+	}
+}
+
+// tprev returns the clip directly above x on the thread, or nil when x is
+// the topmost clip (its stream comes from the server).
+func tprev(x *tnode) *tnode {
+	if x.left != nil {
+		n := x.left
+		for n.right != nil {
+			n = n.right
+		}
+		return n
+	}
+	n := x
+	for n.parent != nil && n == n.parent.left {
+		n = n.parent
+	}
+	return n.parent
+}
+
+// tnext returns the clip directly below x on the thread, or nil when x is
+// the bottom clip.
+func tnext(x *tnode) *tnode {
+	if x.right != nil {
+		n := x.right
+		for n.left != nil {
+			n = n.left
+		}
+		return n
+	}
+	n := x
+	for n.parent != nil && n == n.parent.right {
+		n = n.parent
+	}
+	return n.parent
+}
+
+// last returns the bottom clip of the thread, or nil when it hangs from
+// the server. O(log m) — this is the indexed hanging-thread lookup.
+func (t *tlist) last() *tnode {
+	if t.root == nil {
+		return nil
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// inorder visits the thread's clips top first.
+func (t *tlist) inorder(fn func(*tnode)) {
+	stack := make([]*tnode, 0, 32)
+	n := t.root
+	for n != nil || len(stack) > 0 {
+		for n != nil {
+			stack = append(stack, n)
+			n = n.left
+		}
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(n)
+		n = n.right
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+// White-box tests for the order treap: rank arithmetic, label assignment,
+// and the relabel path (which only fires after ~60 consecutive splits of
+// one gap, so the differential tests never reach it organically).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkOlist verifies structure, sizes, heap property, label order and
+// rank agreement for a bare olist.
+func checkOlist(t *testing.T, l *olist) {
+	t.Helper()
+	i := 0
+	var last uint64
+	l.inorder(func(x *onode) {
+		if x.size != 1+osize(x.left)+osize(x.right) {
+			t.Fatalf("size mismatch at rank %d", i)
+		}
+		if x.parent != nil && x.prio > x.parent.prio {
+			t.Fatalf("heap violation at rank %d", i)
+		}
+		if i > 0 && x.label <= last {
+			t.Fatalf("labels not increasing at rank %d: %d after %d", i, x.label, last)
+		}
+		last = x.label
+		if got := rankOf(x); got != i {
+			t.Fatalf("rankOf = %d at rank %d", got, i)
+		}
+		i++
+	})
+	if i != l.len() {
+		t.Fatalf("walk saw %d nodes, len says %d", i, l.len())
+	}
+}
+
+// TestOlistRelabel splits the same gap until the label space between two
+// neighbors is exhausted, forcing the even-relabel pass, and checks order
+// survives it.
+func TestOlistRelabel(t *testing.T) {
+	t.Parallel()
+	var l olist
+	rows := []*row{{id: 1}, {id: 2}}
+	l.insertAt(0, rows[0])
+	l.insertAt(1, rows[1])
+	// Repeatedly insert directly below the first row: every insert halves
+	// the same gap, so ~62 iterations must trigger at least one relabel.
+	for i := 0; i < 200; i++ {
+		r := &row{id: NodeID(10 + i)}
+		rows = append(rows, r)
+		l.insertAt(1, r)
+		checkOlist(t, &l)
+	}
+	if l.relabels == 0 {
+		t.Fatal("gap exhaustion never triggered a relabel")
+	}
+	if l.len() != 202 {
+		t.Fatalf("len = %d", l.len())
+	}
+}
+
+// TestOlistFrontInserts exercises the insert-at-top label branch.
+func TestOlistFrontInserts(t *testing.T) {
+	t.Parallel()
+	var l olist
+	for i := 0; i < 300; i++ {
+		l.insertAt(0, &row{id: NodeID(i + 1)})
+	}
+	checkOlist(t, &l)
+	// Top of the curtain must be the most recent insert.
+	first := l.root
+	for first.left != nil {
+		first = first.left
+	}
+	if first.r.id != 300 {
+		t.Fatalf("top row id = %d", first.r.id)
+	}
+}
+
+// TestOlistRandomChurn interleaves rank-random inserts and removals and
+// checks the treap against a plain slice model.
+func TestOlistRandomChurn(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	var l olist
+	var model []*row
+	for step := 0; step < 5000; step++ {
+		if len(model) == 0 || rng.Intn(3) != 0 {
+			pos := rng.Intn(len(model) + 1)
+			r := &row{id: NodeID(step + 1)}
+			l.insertAt(pos, r)
+			model = append(model, nil)
+			copy(model[pos+1:], model[pos:])
+			model[pos] = r
+		} else {
+			pos := rng.Intn(len(model))
+			l.remove(model[pos].on)
+			model = append(model[:pos], model[pos+1:]...)
+		}
+		if step%97 == 0 {
+			checkOlist(t, &l)
+			i := 0
+			l.inorder(func(x *onode) {
+				if x.r != model[i] {
+					t.Fatalf("step %d: rank %d holds row %d, want %d", step, i, x.r.id, model[i].id)
+				}
+				i++
+			})
+		}
+	}
+}
+
+// TestTlistOrderAndNeighbors drives a thread treap through churn and
+// checks last/tprev/tnext against the in-order walk.
+func TestTlistOrderAndNeighbors(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	var l olist
+	var occ tlist
+	type member struct {
+		r    *row
+		slot *tnode
+	}
+	var members []member
+	for step := 0; step < 3000; step++ {
+		if len(members) == 0 || rng.Intn(3) != 0 {
+			r := &row{id: NodeID(step + 1)}
+			l.insertAt(rng.Intn(l.len()+1), r)
+			members = append(members, member{r: r, slot: occ.insert(r, l.nextPrio())})
+		} else {
+			i := rng.Intn(len(members))
+			occ.remove(members[i].slot)
+			l.remove(members[i].r.on)
+			members = append(members[:i], members[i+1:]...)
+		}
+		if step%53 != 0 {
+			continue
+		}
+		var walk []*tnode
+		occ.inorder(func(x *tnode) { walk = append(walk, x) })
+		if len(walk) != len(members) {
+			t.Fatalf("step %d: walk %d members, want %d", step, len(walk), len(members))
+		}
+		for i, x := range walk {
+			if i > 0 && x.r.on.label <= walk[i-1].r.on.label {
+				t.Fatalf("step %d: thread order broken at %d", step, i)
+			}
+			var wantPrev, wantNext *tnode
+			if i > 0 {
+				wantPrev = walk[i-1]
+			}
+			if i+1 < len(walk) {
+				wantNext = walk[i+1]
+			}
+			if tprev(x) != wantPrev || tnext(x) != wantNext {
+				t.Fatalf("step %d: neighbor links broken at %d", step, i)
+			}
+		}
+		if len(walk) == 0 {
+			if occ.last() != nil {
+				t.Fatalf("step %d: empty thread has a bottom clip", step)
+			}
+		} else if occ.last() != walk[len(walk)-1] {
+			t.Fatalf("step %d: bottom clip mismatch", step)
+		}
+	}
+}

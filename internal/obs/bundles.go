@@ -98,6 +98,15 @@ type TrackerMetrics struct {
 	EmptyThreads  *Gauge // threads with no clips (served directly by the rod)
 	Completed     *Gauge
 	Trace         *Ring
+	// Control-plane op latencies: time spent inside the matrix transaction
+	// per hello admission, good-bye splice-out, and repair splice-out —
+	// the §3 per-op costs the indexed curtain keeps flat as M grows.
+	HelloNanos   *Histogram
+	GoodbyeNanos *Histogram
+	RepairNanos  *Histogram
+	// AdmitBatch is the number of hellos coalesced per matrix transaction
+	// by batched admission.
+	AdmitBatch *Histogram
 }
 
 // NewTrackerMetrics registers the tracker family on r, sharing r's trace
@@ -124,7 +133,17 @@ func NewTrackerMetrics(r *Registry) *TrackerMetrics {
 		EmptyThreads:  r.Gauge("ncast_overlay_empty_threads", "Threads with no clipped rows."),
 		Completed:     r.Gauge("ncast_overlay_completed", "Nodes that reported a full decode."),
 		Trace:         r.Trace(),
+		HelloNanos:    r.Histogram("ncast_tracker_hello_nanos", "Matrix-transaction time per hello admission, nanoseconds.", LatencyBuckets()),
+		GoodbyeNanos:  r.Histogram("ncast_tracker_goodbye_nanos", "Matrix-transaction time per good-bye splice-out, nanoseconds.", LatencyBuckets()),
+		RepairNanos:   r.Histogram("ncast_tracker_repair_nanos", "Matrix-transaction time per repair splice-out, nanoseconds.", LatencyBuckets()),
+		AdmitBatch:    r.Histogram("ncast_tracker_admit_batch_size", "Hellos coalesced per batched-admission matrix transaction.", BatchBuckets()),
 	}
+}
+
+// BatchBuckets returns the bounds for the admission batch-size histogram:
+// 1 (no coalescing) up to the batch cap.
+func BatchBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 }
 
 // NodeMetrics instruments one overlay client: packet flow, rank progress,

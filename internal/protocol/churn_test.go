@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -68,6 +69,9 @@ func startChurnHarness(t *testing.T, k, d int, content []byte, mutate func(*Trac
 	go func() { defer h.wg.Done(); _ = tracker.Run(ctx) }()
 	go func() { defer h.wg.Done(); _ = source.Run(ctx) }()
 	t.Cleanup(func() {
+		if err := tracker.CheckInvariants(); err != nil {
+			t.Errorf("tracker invariants at teardown: %v", err)
+		}
 		cancel()
 		net.Close()
 		h.wg.Wait()
@@ -116,19 +120,12 @@ func (h *churnHarness) crash(n *churnNode) {
 	h.net.CloseEndpoint(n.addr)
 }
 
-// waitNodes polls until the tracker population reaches want.
+// waitNodes waits until the tracker population reaches want.
 func (h *churnHarness) waitNodes(t *testing.T, want int, within time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(within)
-	for {
-		if n := h.tracker.NumNodes(); n == want {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("NumNodes = %d, want %d after %v", h.tracker.NumNodes(), want, within)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitFor(t, within, fmt.Sprintf("population to reach %d (at %d)", want, h.tracker.NumNodes()), func() bool {
+		return h.tracker.NumNodes() == want
+	})
 }
 
 // TestLeafCrashLeaseSweepRemovesRow: a crashed bottom clip has no
@@ -251,13 +248,9 @@ func TestCompletedCountDropsOnLeaveAndSweep(t *testing.T) {
 	waitComplete(t, a.node, 30*time.Second)
 	waitComplete(t, b.node, 30*time.Second)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for h.tracker.CompletedCount() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("CompletedCount = %d, want 2", h.tracker.CompletedCount())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "both completion records", func() bool {
+		return h.tracker.CompletedCount() == 2
+	})
 
 	// Graceful leave must drop b's completion record.
 	if err := b.node.Leave(h.ctx); err != nil {
@@ -268,23 +261,15 @@ func TestCompletedCountDropsOnLeaveAndSweep(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("leave never acknowledged")
 	}
-	deadline = time.Now().Add(5 * time.Second)
-	for h.tracker.CompletedCount() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("CompletedCount = %d after leave, want 1", h.tracker.CompletedCount())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "completion record dropped on leave", func() bool {
+		return h.tracker.CompletedCount() == 1
+	})
 
 	// A crash (lease sweep -> Fail+Repair) must drop a's record too.
 	h.crash(a)
-	deadline = time.Now().Add(10 * time.Second)
-	for h.tracker.CompletedCount() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("CompletedCount = %d after sweep, want 0", h.tracker.CompletedCount())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, "completion record dropped on sweep", func() bool {
+		return h.tracker.CompletedCount() == 0
+	})
 }
 
 // TestSpuriousGoodbyeAckIgnored: an unsolicited MsgGoodbyeAck must not
@@ -312,14 +297,16 @@ func TestSpuriousGoodbyeAckIgnored(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(100 * time.Millisecond)
+	// The node must still be running despite the spurious acks: a torn-down
+	// Run could never finish the download, so completion is the
+	// deterministic proof both acks were processed and ignored (a double
+	// close of Left() would additionally panic the run loop).
+	waitComplete(t, node, 30*time.Second)
 	select {
 	case <-node.Left():
 		t.Fatal("spurious ack closed Left()")
 	default:
 	}
-	// The node is still running: it must finish its download.
-	waitComplete(t, node, 30*time.Second)
 
 	// A genuine leave still works after spurious acks were ignored.
 	if err := node.Leave(context.Background()); err != nil {

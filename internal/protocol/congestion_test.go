@@ -5,6 +5,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"ncast/internal/core"
 )
 
 // TestCongestionEpisodeLive walks the §5 congestion protocol end to end:
@@ -22,13 +24,9 @@ func TestCongestionEpisodeLive(t *testing.T) {
 	if err := victim.Congest(ctx); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for victim.Degree() != 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("degree = %d after congest, want 1", victim.Degree())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "degree to drop to 1", func() bool {
+		return victim.Degree() == 1
+	})
 
 	// Everyone — including the reduced node, at its lower rate — still
 	// completes the download.
@@ -47,13 +45,9 @@ func TestCongestionEpisodeLive(t *testing.T) {
 	if err := victim.Uncongest(ctx); err != nil {
 		t.Fatal(err)
 	}
-	deadline = time.Now().Add(5 * time.Second)
-	for victim.Degree() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("degree = %d after uncongest, want 2", victim.Degree())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "degree to regrow to 2", func() bool {
+		return victim.Degree() == 2
+	})
 
 	// The overlay stays structurally sound: a brand-new joiner completes
 	// through the post-episode topology.
@@ -78,8 +72,11 @@ func TestCongestAtFloorRejected(t *testing.T) {
 	if err := victim.Congest(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	// The degree must remain 1 (give the tracker time to have acted).
-	time.Sleep(300 * time.Millisecond)
+	// The tracker announces the rejection on its event stream, so the test
+	// waits for the decision itself instead of guessing how long it takes.
+	waitEvent(t, s.tracker.Events(), 10*time.Second, "congest-rejected", func(ev TrackerEvent) bool {
+		return ev.Kind == "congest-rejected" && ev.ID == core.NodeID(victim.ID())
+	})
 	if victim.Degree() != 1 {
 		t.Fatalf("degree = %d, want 1", victim.Degree())
 	}

@@ -144,6 +144,11 @@ func startSessionKD(t *testing.T, n, k, d int, content []byte, opts ...transport
 		s.nodes = append(s.nodes, s.addNode(t, ctx, i))
 	}
 	t.Cleanup(func() {
+		// Whatever the test did to the overlay, the matrix and the
+		// tracker's bookkeeping must still satisfy the §3 invariants.
+		if err := tracker.CheckInvariants(); err != nil {
+			t.Errorf("tracker invariants at teardown: %v", err)
+		}
 		cancel()
 		net.Close()
 		wg.Wait()
@@ -224,14 +229,10 @@ func TestMultiNodeBroadcastThroughOverlay(t *testing.T) {
 			t.Fatalf("node %d content mismatch", n.ID())
 		}
 	}
-	// The tracker processes Complete messages asynchronously; poll.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.tracker.CompletedCount() != 8 {
-		if time.Now().After(deadline) {
-			t.Fatalf("completed = %d, want 8", s.tracker.CompletedCount())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// The tracker processes Complete messages asynchronously.
+	waitFor(t, 5*time.Second, "all 8 completion reports", func() bool {
+		return s.tracker.CompletedCount() == 8
+	})
 	// Later nodes actually received forwarded (recoded) traffic: every
 	// node received at least GenSize*gens innovative packets.
 	for _, n := range s.nodes {
@@ -297,13 +298,9 @@ func TestCrashRepairViaComplaints(t *testing.T) {
 		}
 	}
 	// The tracker eventually repaired (removed) the crashed node.
-	deadline := time.Now().Add(10 * time.Second)
-	for s.tracker.NumNodes() != 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("tracker nodes = %d, want 3 after repair", s.tracker.NumNodes())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, "crashed node repaired away", func() bool {
+		return s.tracker.NumNodes() == 3
+	})
 }
 
 func TestBroadcastOverLossyNetwork(t *testing.T) {

@@ -72,12 +72,23 @@ func TestDuplicateHelloGetsSameIdentity(t *testing.T) {
 	if err := ep.Send(context.Background(), "tracker", hello); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if n := s.tracker.NumNodes(); n != 1 {
-			t.Fatalf("duplicate hello changed population to %d", n)
+	// The tracker answers a duplicate hello by re-sending the original
+	// welcome to the frame's sender. Receiving it here proves the hello
+	// was fully processed — the deterministic point at which to check the
+	// population, with no timing window to guess.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		_, frame, err := ep.Recv(ctx)
+		if err != nil {
+			t.Fatalf("welcome re-send never arrived: %v", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		if typ, _, derr := DecodeControl(frame); derr == nil && typ == MsgWelcome {
+			break
+		}
+	}
+	if n := s.tracker.NumNodes(); n != 1 {
+		t.Fatalf("duplicate hello changed population to %d", n)
 	}
 }
 

@@ -57,8 +57,7 @@ func TestFleetTelemetry(t *testing.T) {
 	defer srv.Close()
 
 	var snap obs.ClusterSnapshot
-	deadline := time.Now().Add(20 * time.Second)
-	for {
+	waitFor(t, 20*time.Second, "cluster view to converge", func() bool {
 		resp, err := http.Get(srv.URL + "/debug/cluster")
 		if err != nil {
 			t.Fatal(err)
@@ -72,14 +71,8 @@ func TestFleetTelemetry(t *testing.T) {
 		if err := json.Unmarshal(raw, &snap); err != nil {
 			t.Fatalf("cluster JSON: %v\n%s", err, raw)
 		}
-		if fleetComplete(snap, len(nodes)) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster view never converged: %s", raw)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+		return fleetComplete(snap, len(nodes))
+	})
 
 	if snap.StaleAfterMillis != (3 * statsInterval).Milliseconds() {
 		t.Errorf("stale horizon = %dms", snap.StaleAfterMillis)

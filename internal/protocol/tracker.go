@@ -145,39 +145,142 @@ func (t *Tracker) CompletedCount() int {
 	return len(t.completed)
 }
 
+// CheckInvariants verifies the curtain's §3 structural invariants plus
+// the tracker's own bookkeeping (addr and id maps are mutual inverses and
+// cover exactly the live rows). It is O(N·d) and intended for tests and
+// debug assertions.
+func (t *Tracker) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.curtain.CheckInvariants(); err != nil {
+		return err
+	}
+	if len(t.addrOf) != t.curtain.NumNodes() || len(t.idOf) != t.curtain.NumNodes() {
+		return fmt.Errorf("protocol: addr maps track %d/%d nodes, curtain has %d",
+			len(t.addrOf), len(t.idOf), t.curtain.NumNodes())
+	}
+	for id, addr := range t.addrOf {
+		if !t.curtain.Contains(id) {
+			return fmt.Errorf("protocol: addr map holds departed node %d", id)
+		}
+		if back, ok := t.idOf[addr]; !ok || back != id {
+			return fmt.Errorf("protocol: addr maps disagree for node %d (%q -> %d)", id, addr, back)
+		}
+	}
+	for id := range t.completed {
+		if !t.curtain.Contains(id) {
+			return fmt.Errorf("protocol: completed entry for departed node %d", id)
+		}
+	}
+	for id := range t.lastSeen {
+		if !t.curtain.Contains(id) {
+			return fmt.Errorf("protocol: lease entry for departed node %d", id)
+		}
+	}
+	return nil
+}
+
+// admissionBatchMax bounds how many hellos one matrix transaction admits.
+// A flash crowd beyond the cap is simply split into consecutive batches.
+const admissionBatchMax = 256
+
+// pendingHello is one queued admission awaiting the next batch flush.
+type pendingHello struct {
+	from string
+	h    Hello
+}
+
+// inFrame is one received frame handed from the recv goroutine to the
+// dispatch loop.
+type inFrame struct {
+	from  string
+	frame []byte
+}
+
 // Run processes control messages until the context is cancelled or the
 // endpoint closes. It always returns a non-nil error explaining why.
+//
+// Hellos are admitted in batches: a burst of pending hellos that arrived
+// while the tracker was busy is coalesced into one matrix transaction
+// (one lock hold, one gauge refresh) instead of paying per-message
+// locking. Per-hello semantics are unchanged — each hello still gets its
+// own Welcome, redirects and join event, in arrival order — and any
+// non-hello message flushes the queue first, so it observes exactly the
+// matrix it would have under one-at-a-time dispatch.
 func (t *Tracker) Run(ctx context.Context) error {
 	if t.cfg.LeaseTimeout > 0 {
 		go t.sweepLoop(ctx)
 	}
+	frames := make(chan inFrame, admissionBatchMax)
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			from, frame, err := t.ep.Recv(ctx)
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			select {
+			case frames <- inFrame{from: from, frame: frame}:
+			case <-ctx.Done():
+				recvErr <- ctx.Err()
+				return
+			}
+		}
+	}()
+	var pending []pendingHello
 	for {
-		from, frame, err := t.ep.Recv(ctx)
-		if err != nil {
+		var f inFrame
+		select {
+		case err := <-recvErr:
 			return fmt.Errorf("protocol: tracker recv: %w", err)
+		case f = <-frames:
 		}
-		if IsData(frame) || IsKeepalive(frame) {
-			continue // trackers do not carry data or heartbeats
+		pending = t.ingest(ctx, f.from, f.frame, pending)
+		// Coalesce whatever else already arrived, so a hello burst becomes
+		// one matrix transaction per dispatch round.
+	drain:
+		for len(pending) < admissionBatchMax {
+			select {
+			case f = <-frames:
+				pending = t.ingest(ctx, f.from, f.frame, pending)
+			default:
+				break drain
+			}
 		}
-		typ, payload, err := DecodeControl(frame)
-		if err != nil {
-			continue // malformed frame: ignore, stay up
-		}
-		t.dispatch(ctx, from, typ, payload)
+		pending = t.flushHellos(ctx, pending)
+		t.refreshGauges()
 	}
 }
 
-func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payload json.RawMessage) {
+// ingest routes one raw frame: hellos are queued for the next batch
+// flush; anything else flushes the queue and dispatches immediately so
+// message effects stay in arrival order.
+func (t *Tracker) ingest(ctx context.Context, from string, frame []byte, pending []pendingHello) []pendingHello {
+	if IsData(frame) || IsKeepalive(frame) {
+		return pending // trackers do not carry data or heartbeats
+	}
+	typ, payload, err := DecodeControl(frame)
+	if err != nil {
+		return pending // malformed frame: ignore, stay up
+	}
 	// Any control message proves the sender is alive; the dedicated
-	// MsgLease below only matters for nodes with nothing else to say.
+	// MsgLease only matters for nodes with nothing else to say.
 	t.touchLease(from)
-	switch typ {
-	case MsgHello:
+	if typ == MsgHello {
 		var h Hello
 		if err := json.Unmarshal(payload, &h); err != nil {
-			return
+			return pending
 		}
-		t.handleHello(ctx, from, h)
+		return append(pending, pendingHello{from: from, h: h})
+	}
+	pending = t.flushHellos(ctx, pending)
+	t.dispatch(ctx, from, typ, payload)
+	return pending
+}
+
+func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payload json.RawMessage) {
+	switch typ {
 	case MsgGoodbye:
 		var g Goodbye
 		if err := json.Unmarshal(payload, &g); err != nil {
@@ -223,7 +326,6 @@ func (t *Tracker) dispatch(ctx context.Context, from string, typ MsgType, payloa
 	default:
 		// Unknown control types are ignored for forward compatibility.
 	}
-	t.refreshGauges()
 }
 
 // refreshGauges re-exports the overlay gauges (rows of M, empty threads,
@@ -606,6 +708,7 @@ func (t *Tracker) expire(ctx context.Context, id core.NodeID) {
 	if !ok {
 		return // already removed by a racing complaint or good-bye
 	}
+	opStart := time.Now()
 	err := t.spliceOut(ctx, id, func() error {
 		if err := t.curtain.Fail(id); err != nil {
 			return err
@@ -618,6 +721,7 @@ func (t *Tracker) expire(ctx context.Context, id core.NodeID) {
 	if m := t.cfg.Obs; m != nil {
 		m.LeaseExpiries.Inc()
 		m.Repairs.Inc()
+		m.RepairNanos.ObserveSince(opStart)
 	}
 	t.sendControl(ctx, addr, MsgExpelled, Expelled{ID: uint64(id)})
 	t.emit(TrackerEvent{Kind: "expire", ID: id, Addr: addr})
@@ -633,71 +737,118 @@ func (t *Tracker) emit(ev TrackerEvent) {
 	}
 }
 
-// handleHello performs the §3 hello protocol: insert a row, then ask each
-// parent to redirect its stream to the new node.
-func (t *Tracker) handleHello(ctx context.Context, from string, h Hello) {
-	if m := t.cfg.Obs; m != nil {
-		m.Hellos.Inc()
-	}
-	addr := h.Addr
-	if addr == "" {
-		addr = from
-	}
-	deg := h.Degree
-	if deg == 0 {
-		deg = t.cfg.D
-	}
+// admitted is one hello's outcome computed inside the batch transaction;
+// the sends and events happen after the lock is released.
+type admitted struct {
+	from    string
+	addr    string
+	id      core.NodeID
+	threads []int
+	parents []core.NodeID
+	w       Welcome
+	dup     bool   // welcome retry: no redirects, no join event
+	errMsg  string // join rejection: MsgError instead of a welcome
+}
 
+// flushHellos performs the §3 hello protocol for every queued hello in
+// one matrix transaction: a single lock hold admits the whole batch (rows
+// inserted sequentially, in arrival order, so placements are identical to
+// one-at-a-time dispatch), then the per-hello Welcomes, parent redirects
+// and join events go out in the same order. Always returns an empty queue
+// reusing pending's storage.
+func (t *Tracker) flushHellos(ctx context.Context, pending []pendingHello) []pendingHello {
+	if len(pending) == 0 {
+		return pending[:0]
+	}
+	m := t.cfg.Obs
+	out := make([]admitted, 0, len(pending))
 	t.mu.Lock()
-	if id, ok := t.idOf[addr]; ok {
-		// Duplicate hello: the node is retrying because our welcome was
-		// lost. Re-send the same welcome instead of re-joining.
-		threads, err := t.curtain.Threads(id)
-		t.mu.Unlock()
-		if err != nil {
-			return
+	for _, ph := range pending {
+		if m != nil {
+			m.Hellos.Inc()
 		}
-		t.sendControl(ctx, from, MsgWelcome, Welcome{
-			ID:          uint64(id),
-			K:           t.cfg.K,
-			Degree:      len(threads),
-			Session:     t.cfg.Session,
-			Threads:     threads,
-			LeaseMillis: t.leaseMillis(),
-			StatsMillis: t.statsMillis(),
+		opStart := time.Now()
+		addr := ph.h.Addr
+		if addr == "" {
+			addr = ph.from
+		}
+		deg := ph.h.Degree
+		if deg == 0 {
+			deg = t.cfg.D
+		}
+		if id, ok := t.idOf[addr]; ok {
+			// Duplicate hello: the node is retrying because our welcome was
+			// lost (or it is still queued behind this batch). Re-send the
+			// same welcome instead of re-joining.
+			threads, err := t.curtain.Threads(id)
+			if err != nil {
+				continue
+			}
+			out = append(out, admitted{from: ph.from, dup: true, w: Welcome{
+				ID:          uint64(id),
+				K:           t.cfg.K,
+				Degree:      len(threads),
+				Session:     t.cfg.Session,
+				Threads:     threads,
+				LeaseMillis: t.leaseMillis(),
+				StatsMillis: t.statsMillis(),
+			}})
+			continue
+		}
+		id, err := t.curtain.JoinDegree(deg)
+		if err != nil {
+			out = append(out, admitted{from: ph.from, errMsg: err.Error()})
+			continue
+		}
+		t.addrOf[id] = addr
+		t.idOf[addr] = id
+		t.lastSeen[id] = time.Now()
+		threads, terr := t.curtain.Threads(id)
+		parents, perr := t.curtain.Parents(id)
+		if terr != nil || perr != nil {
+			continue // unreachable given a successful join
+		}
+		out = append(out, admitted{
+			from:    ph.from,
+			addr:    addr,
+			id:      id,
+			threads: threads,
+			parents: parents,
+			w: Welcome{
+				ID:          uint64(id),
+				K:           t.cfg.K,
+				Degree:      deg,
+				Session:     t.cfg.Session,
+				Threads:     threads,
+				LeaseMillis: t.leaseMillis(),
+				StatsMillis: t.statsMillis(),
+			},
 		})
-		return
+		if m != nil {
+			m.HelloNanos.ObserveSince(opStart)
+		}
 	}
-	id, err := t.curtain.JoinDegree(deg)
-	if err != nil {
-		t.mu.Unlock()
-		t.sendControl(ctx, from, MsgError, ErrorMsg{Reason: err.Error()})
-		return
-	}
-	t.addrOf[id] = addr
-	t.idOf[addr] = id
-	t.lastSeen[id] = time.Now()
-	threads, terr := t.curtain.Threads(id)
-	parents, perr := t.curtain.Parents(id)
 	t.mu.Unlock()
-	if terr != nil || perr != nil {
-		return // unreachable given a successful join
+	if m != nil {
+		m.AdmitBatch.Observe(float64(len(pending)))
 	}
 
-	t.sendControl(ctx, from, MsgWelcome, Welcome{
-		ID:          uint64(id),
-		K:           t.cfg.K,
-		Degree:      deg,
-		Session:     t.cfg.Session,
-		Threads:     threads,
-		LeaseMillis: t.leaseMillis(),
-		StatsMillis: t.statsMillis(),
-	})
-	// Redirect each parent's stream on the shared thread to the new node.
-	for i, th := range threads {
-		t.redirect(ctx, parents[i], th, addr)
+	for _, a := range out {
+		if a.errMsg != "" {
+			t.sendControl(ctx, a.from, MsgError, ErrorMsg{Reason: a.errMsg})
+			continue
+		}
+		t.sendControl(ctx, a.from, MsgWelcome, a.w)
+		if a.dup {
+			continue
+		}
+		// Redirect each parent's stream on the shared thread to the new node.
+		for i, th := range a.threads {
+			t.redirect(ctx, a.parents[i], th, a.addr)
+		}
+		t.emit(TrackerEvent{Kind: "join", ID: a.id, Addr: a.addr})
 	}
-	t.emit(TrackerEvent{Kind: "join", ID: id, Addr: addr})
+	return pending[:0]
 }
 
 // redirect routes thread th of owner (a node id or ServerID) to childAddr.
@@ -773,37 +924,7 @@ func (t *Tracker) spliceOut(ctx context.Context, id core.NodeID, remove func() e
 // childPerThread returns, aligned with threads, the successor node id on
 // each thread (0 when the node is the bottom clip). Caller holds t.mu.
 func (t *Tracker) childPerThread(id core.NodeID, threads []int) ([]core.NodeID, error) {
-	// Children() flattens per-thread successors but skips hanging
-	// threads, so recover alignment by asking per thread via Parents of
-	// the children... Instead, core exposes ordered access: successor is
-	// whichever node lists this node as its parent on that thread. We
-	// reconstruct from Children + Parents cross-check.
-	out := make([]core.NodeID, len(threads))
-	kids, err := t.curtain.Children(id)
-	if err != nil {
-		return nil, err
-	}
-	for _, kid := range kids {
-		kthreads, err := t.curtain.Threads(kid)
-		if err != nil {
-			return nil, err
-		}
-		kparents, err := t.curtain.Parents(kid)
-		if err != nil {
-			return nil, err
-		}
-		for ki, kp := range kparents {
-			if kp != id {
-				continue
-			}
-			for i, th := range threads {
-				if th == kthreads[ki] {
-					out[i] = kid
-				}
-			}
-		}
-	}
-	return out, nil
+	return t.curtain.ThreadChildren(id)
 }
 
 // handleGoodbye performs the §3 good-bye protocol.
@@ -821,12 +942,16 @@ func (t *Tracker) handleGoodbye(ctx context.Context, from string, g Goodbye) {
 		t.sendControl(ctx, from, MsgGoodbyeAck, GoodbyeAck{})
 		return
 	}
+	opStart := time.Now()
 	err := t.spliceOut(ctx, id, func() error {
 		return t.curtain.Leave(id)
 	})
 	if err != nil {
 		t.sendControl(ctx, from, MsgError, ErrorMsg{Reason: err.Error()})
 		return
+	}
+	if m := t.cfg.Obs; m != nil {
+		m.GoodbyeNanos.ObserveSince(opStart)
 	}
 	t.sendControl(ctx, addr, MsgGoodbyeAck, GoodbyeAck{})
 	t.emit(TrackerEvent{Kind: "leave", ID: id, Addr: addr})
@@ -882,6 +1007,7 @@ func (t *Tracker) handleComplaint(ctx context.Context, c Complaint) {
 		return
 	}
 
+	opStart := time.Now()
 	err = t.spliceOut(ctx, accused, func() error {
 		if err := t.curtain.Fail(accused); err != nil {
 			return err
@@ -893,6 +1019,7 @@ func (t *Tracker) handleComplaint(ctx context.Context, c Complaint) {
 	}
 	if m := t.cfg.Obs; m != nil {
 		m.Repairs.Inc()
+		m.RepairNanos.ObserveSince(opStart)
 	}
 	// Tell the expelled node, in case it is alive-but-slow: it can
 	// re-join with a fresh row (its decoded state survives).
@@ -926,6 +1053,7 @@ func (t *Tracker) handleCongested(ctx context.Context, c Congested) {
 	if err != nil {
 		t.mu.Unlock()
 		t.sendControl(ctx, addr, MsgError, ErrorMsg{Reason: err.Error()})
+		t.emit(TrackerEvent{Kind: "congest-rejected", ID: id, Addr: addr})
 		return
 	}
 	var parent, child core.NodeID

@@ -1,0 +1,47 @@
+package protocol
+
+// Test-synchronization helpers. Every wait in the protocol suite funnels
+// through these two functions instead of ad-hoc sleep loops: waitFor
+// polls a condition at millisecond granularity (so tests proceed the
+// moment the condition holds instead of burning a fixed sleep), and
+// waitEvent consumes the tracker's event stream (so tests key on the
+// control plane saying an operation happened rather than guessing how
+// long it takes).
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every two milliseconds until it holds, failing the
+// test if it does not within timeout.
+func waitFor(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitEvent consumes the tracker event stream until an event satisfies
+// pred, failing the test after timeout. Unrelated events are discarded.
+func waitEvent(t testing.TB, events <-chan TrackerEvent, timeout time.Duration, what string, pred func(TrackerEvent) bool) TrackerEvent {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-events:
+			if pred(ev) {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %v waiting for event %s", timeout, what)
+		}
+	}
+}
