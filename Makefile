@@ -6,9 +6,9 @@ RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc 
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt lint test purego race churn fuzz scale bench
+.PHONY: check build vet fmt lint test purego race churn fuzz allocguard scale bench
 
-check: vet fmt lint build test purego race churn fuzz
+check: vet fmt lint build test purego race churn fuzz allocguard
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,7 @@ race:
 # sweep of crashed leaves, outbox behavior behind stalled peers, churn
 # over the fault-injection transport, and the send-deadline regression.
 churn:
-	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot' ./internal/protocol ./internal/transport .
+	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot|TraceLive' ./internal/protocol ./internal/transport .
 
 # Short deterministic fuzz budgets over the wire decoders; go's fuzzer
 # accepts one -fuzz pattern per invocation, so each target runs alone.
@@ -49,6 +49,11 @@ fuzz:
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeControl -fuzztime 10s
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeData -fuzztime 10s
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeKeepalive -fuzztime 5s
+
+# Tracing-overhead guard: with sampling off, the traced emit/receive hot
+# path must allocate nothing beyond the untraced baseline (zero objects).
+allocguard:
+	$(GO) test ./internal/protocol -run TestTracedHotPathAllocs -count=1
 
 # Control-plane capacity trajectory (quick shape: small populations).
 # The committed BENCH_control.json comes from the full run:

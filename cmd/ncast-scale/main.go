@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ncast"
 	"ncast/internal/core"
 	"ncast/internal/obs"
 	"ncast/internal/protocol"
@@ -53,6 +54,8 @@ func main() {
 		mode        = flag.String("mode", "append", "row insert mode: append or random")
 		trackerPop  = flag.Int("tracker-nodes", 10_000, "population for the live-tracker phase (0 skips it)")
 		trackerOps  = flag.Int("tracker-ops", 50_000, "churn ops for the live-tracker phase")
+		tracePop    = flag.Int("trace-nodes", 24, "receivers for the dissemination-trace phase (0 skips it)")
+		traceLoss   = flag.Float64("trace-loss", 0.05, "per-frame loss for the dissemination-trace phase")
 		quick       = flag.Bool("quick", false, "CI-sized smoke run (shrinks every knob)")
 		checkEveryN = flag.Int("check-every", 0, "run CheckInvariants every N core ops (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -76,6 +79,7 @@ func main() {
 		*ops = 50_000
 		*trackerPop = 1_000
 		*trackerOps = 5_000
+		*tracePop = 12
 	}
 
 	insertMode := core.InsertAppend
@@ -133,6 +137,14 @@ func main() {
 		}
 		report.Tracker = tp
 	}
+	if *tracePop > 0 {
+		log.Printf("trace phase: %d receivers, loss=%v, full dissemination tracing", *tracePop, *traceLoss)
+		tr, err := runTracePhase(*tracePop, *traceLoss, *seed)
+		if err != nil {
+			log.Fatalf("trace phase: %v", err)
+		}
+		report.Trace = tr
+	}
 
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -153,6 +165,7 @@ type Report struct {
 	CorePhases []CorePhase    `json:"core_phases"`
 	P99Ratios  []P99Ratio     `json:"p99_ratios,omitempty"`
 	Tracker    *TrackerReport `json:"tracker,omitempty"`
+	Trace      *TraceReport   `json:"trace,omitempty"`
 }
 
 // Config echoes the knobs the run used.
@@ -523,6 +536,78 @@ func runTrackerPhase(pop, ops, k, d int, seed int64) (*TrackerReport, error) {
 			if p.Count > 0 {
 				rep.BatchMeanSize = p.Sum / float64(p.Count)
 			}
+		}
+	}
+	return rep, nil
+}
+
+// TraceReport is the dissemination-trace phase: a real coded broadcast
+// with every generation traced, reporting how deep the overlay's forwarding
+// tree actually ran and how innovation decayed per hop.
+type TraceReport struct {
+	Nodes              int              `json:"nodes"`
+	Loss               float64          `json:"loss"`
+	SampledGenerations int              `json:"sampled_generations"`
+	MaxHopDepth        int              `json:"max_hop_depth"`
+	WorstPathNanos     int64            `json:"worst_path_ns,omitempty"`
+	HopDepthDist       []obs.TraceDepth `json:"hop_depth_dist"`
+}
+
+// runTracePhase runs a small in-process broadcast with dissemination
+// tracing on every generation and records the fleet hop-depth distribution.
+func runTracePhase(nodes int, loss float64, seed int64) (*TraceReport, error) {
+	content := make([]byte, 64<<10)
+	rand.New(rand.NewSource(seed)).Read(content)
+
+	cfg := ncast.DefaultConfig()
+	cfg.K, cfg.D = 8, 2 // narrow curtain so the overlay grows real depth
+	cfg.Seed = seed
+	cfg.TraceRate = 1
+	cfg.StatsInterval = 200 * time.Millisecond
+	cfg.ComplaintTimeout = 300 * time.Millisecond
+
+	opts := []ncast.SessionOption{ncast.WithNetworkSeed(seed)}
+	if loss > 0 {
+		opts = append(opts, ncast.WithLoss(loss))
+	}
+	sess, err := ncast.NewSession(content, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	clients := make([]*ncast.Client, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	for i, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("trace phase node %d incomplete at %.1f%%: %w", i, 100*c.Progress(), err)
+		}
+	}
+	// Hop spans ride the periodic stats reports; poll until multi-hop
+	// structure shows up (or the deadline passes).
+	snap := sess.TraceSnapshot()
+	for (snap.SampledGenerations == 0 || snap.MaxHopDepth < 2) && ctx.Err() == nil {
+		time.Sleep(100 * time.Millisecond)
+		snap = sess.TraceSnapshot()
+	}
+	rep := &TraceReport{
+		Nodes:              nodes,
+		Loss:               loss,
+		SampledGenerations: snap.SampledGenerations,
+		MaxHopDepth:        snap.MaxHopDepth,
+		HopDepthDist:       snap.Depths,
+	}
+	for _, g := range snap.Generations {
+		if g.WorstPathNanos > rep.WorstPathNanos {
+			rep.WorstPathNanos = g.WorstPathNanos
 		}
 	}
 	return rep, nil

@@ -26,6 +26,7 @@ func main() {
 	obsPprof := flag.Bool("obs-pprof", false, "also mount net/http/pprof under /debug/pprof/ on the observability address")
 	traceCap := flag.Int("obs-trace", 0, "trace-event ring capacity (0 = default 256)")
 	statsEvery := flag.Duration("stats-interval", time.Second, "per-node telemetry reporting interval behind /debug/cluster (0 = off)")
+	traceRate := flag.Int("trace-rate", 0, "dissemination-tracing sample rate: 1-in-n generations (0 = off)")
 	file := flag.String("file", "", "content file to broadcast (required)")
 	k := flag.Int("k", 16, "server threads (unit streams)")
 	d := flag.Int("d", 4, "default node degree")
@@ -54,6 +55,7 @@ func main() {
 	cfg.SourceInterval = *interval
 	cfg.TraceCap = *traceCap
 	cfg.StatsInterval = *statsEvery
+	cfg.TraceRate = *traceRate
 	if *insert == "random" {
 		cfg.Insert = ncast.InsertRandom
 	}
@@ -80,13 +82,14 @@ func main() {
 	if *obsAddr != "" {
 		hs, err := obs.Serve(*obsAddr, srv.Observability(), srv.Snapshot,
 			obs.WithClusterSnapshot(srv.ClusterSnapshot),
+			obs.WithTraceSnapshot(srv.TraceSnapshot),
 			obs.WithProfiling(*obsPprof))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer hs.Close()
-		fmt.Printf("observability on http://%s/metrics, /debug/overlay, /debug/cluster\n", hs.Addr())
+		fmt.Printf("observability on http://%s/metrics, /debug/overlay, /debug/cluster, /debug/trace\n", hs.Addr())
 		if *obsPprof {
 			fmt.Printf("profiling on http://%s/debug/pprof/\n", hs.Addr())
 		}

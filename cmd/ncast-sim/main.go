@@ -45,6 +45,7 @@ func main() {
 	bytesFlag := flag.Int("bytes", 65536, "broadcast mode: content size")
 	loss := flag.Float64("loss", 0, "broadcast mode: per-frame loss probability")
 	timeline := flag.String("timeline", "", "broadcast mode: write generation-lifecycle events as JSONL to this file (\"-\" = stdout)")
+	trace := flag.String("trace", "", "broadcast mode: trace every generation and write assembled dissemination trees as JSONL to this file (\"-\" = stdout)")
 	waitFor := flag.Duration("wait", 2*time.Minute, "broadcast mode: completion deadline")
 	samples := flag.Int("samples", 200, "defect tuples sampled per report (0 = exact)")
 	snapshots := flag.Bool("snapshots", false, "also print an overlay-health JSON snapshot at each report step (curtain mode)")
@@ -66,7 +67,7 @@ func main() {
 		return
 	}
 	if *mode == "broadcast" {
-		runBroadcast(*k, *d, *nodes, *bytesFlag, *loss, *timeline, *waitFor, *seed)
+		runBroadcast(*k, *d, *nodes, *bytesFlag, *loss, *timeline, *trace, *waitFor, *seed)
 		return
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -158,8 +159,9 @@ func printHealth(curtain *core.Curtain, k, d, step int) {
 // runBroadcast runs a real in-process coded broadcast (source + tracker +
 // receivers over the in-memory fabric) and optionally records every
 // generation-lifecycle transition — first packet, rank quartiles, decode
-// with end-to-end delay — as one JSON line per event.
-func runBroadcast(k, d, nodes, size int, loss float64, timeline string, wait time.Duration, seed int64) {
+// with end-to-end delay — as one JSON line per event, and/or the assembled
+// per-generation dissemination trees (one JSON line per traced generation).
+func runBroadcast(k, d, nodes, size int, loss float64, timeline, trace string, wait time.Duration, seed int64) {
 	content := make([]byte, size)
 	rng := rand.New(rand.NewSource(seed))
 	rng.Read(content)
@@ -169,6 +171,10 @@ func runBroadcast(k, d, nodes, size int, loss float64, timeline string, wait tim
 	cfg.Seed = seed
 	cfg.ComplaintTimeout = 300 * time.Millisecond
 	cfg.StatsInterval = 250 * time.Millisecond
+	if trace != "" {
+		cfg.TraceRate = 1
+		cfg.StatsInterval = 100 * time.Millisecond
+	}
 
 	var sessionOpts []ncast.SessionOption
 	if loss > 0 {
@@ -245,6 +251,47 @@ func runBroadcast(k, d, nodes, size int, loss float64, timeline string, wait tim
 		n := events
 		outMu.Unlock()
 		fmt.Printf("timeline: %d lifecycle events\n", n)
+	}
+	if trace != "" {
+		dumpTrace(ctx, sess, trace)
+	}
+}
+
+// dumpTrace waits for per-node hop reports to reach the tracker, then
+// writes every assembled dissemination tree as one JSON line and prints
+// the fleet hop-depth distribution.
+func dumpTrace(ctx context.Context, sess *ncast.Session, path string) {
+	// Hop spans ride the periodic stats reports, so the assembled view
+	// lags the broadcast: poll until multi-hop structure appears (any
+	// overlay deeper than the source's direct children) or the deadline.
+	snap := sess.TraceSnapshot()
+	for (snap.SampledGenerations == 0 || snap.MaxHopDepth < 2) && ctx.Err() == nil {
+		time.Sleep(100 * time.Millisecond)
+		snap = sess.TraceSnapshot()
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	for _, g := range snap.Generations {
+		_ = enc.Encode(g) //nolint:errcheck // diagnostics stream
+	}
+	fmt.Printf("trace: %d generations assembled, max hop depth %d\n",
+		snap.SampledGenerations, snap.MaxHopDepth)
+	for _, lvl := range snap.Depths {
+		fmt.Printf("  depth %d: %d nodes, %d pkts, innovation %d‰",
+			lvl.Depth, lvl.Nodes, lvl.Received, lvl.InnovationPermille)
+		if lvl.MeanHopLatencyNanos > 0 {
+			fmt.Printf(", per-hop latency %v", time.Duration(lvl.MeanHopLatencyNanos).Round(time.Microsecond))
+		}
+		fmt.Println()
 	}
 }
 

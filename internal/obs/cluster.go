@@ -78,6 +78,10 @@ type ClusterSnapshot struct {
 	FleetDelayP50Nanos int64 `json:"fleet_delay_p50_ns"`
 	FleetDelayP90Nanos int64 `json:"fleet_delay_p90_ns"`
 	FleetDelayP99Nanos int64 `json:"fleet_delay_p99_ns"`
+	// Trace digests the dissemination-tracing state (worst path, deepest
+	// hop) when trace sampling is on and at least one generation has been
+	// assembled; see /debug/trace for the full trees.
+	Trace *TraceSummary `json:"trace,omitempty"`
 }
 
 // Node returns the report for the given overlay id, or nil.

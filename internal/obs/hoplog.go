@@ -1,0 +1,73 @@
+package obs
+
+import "sync"
+
+// HopRecord is one hop span: a single traced coded-frame arrival at a
+// node, annotated with the hop depth the frame carried, whether the
+// packet raised the node's rank, and how many children the node forwarded
+// a recoded descendant to. Nodes buffer these in a HopLog and ship them to
+// the tracker compacted into TraceHop aggregates.
+type HopRecord struct {
+	TraceID      uint64
+	Gen          uint32
+	Hop          int
+	Innovative   bool
+	Forwarded    int
+	ArrivalNanos int64
+	EmitNanos    int64
+}
+
+// HopLog is a bounded, preallocated hop-span buffer. Record never
+// allocates and never blocks; when the buffer is full new records are
+// dropped (drop-newest) and counted, so a burst of traced traffic cannot
+// grow node memory. All methods are no-ops on a nil receiver.
+type HopLog struct {
+	mu      sync.Mutex
+	buf     []HopRecord
+	n       int
+	dropped uint64
+}
+
+// NewHopLog creates a log holding up to capacity records (minimum 1).
+func NewHopLog(capacity int) *HopLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HopLog{buf: make([]HopRecord, capacity)}
+}
+
+// Record appends one hop span, dropping (and counting) it when full.
+func (l *HopLog) Record(rec HopRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.n < len(l.buf) {
+		l.buf[l.n] = rec
+		l.n++
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (l *HopLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Dropped returns how many records were discarded because the log was
+// full at record time.
+func (l *HopLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}

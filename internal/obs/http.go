@@ -14,6 +14,7 @@ type HandlerOption func(*handlerSettings)
 
 type handlerSettings struct {
 	cluster   func() ClusterSnapshot
+	trace     func() TraceSnapshot
 	profiling bool
 }
 
@@ -22,6 +23,13 @@ type handlerSettings struct {
 // one; client nodes leave this unset.
 func WithClusterSnapshot(fn func() ClusterSnapshot) HandlerOption {
 	return func(s *handlerSettings) { s.cluster = fn }
+}
+
+// WithTraceSnapshot mounts /debug/trace, serving the tracker's assembled
+// dissemination-tracing view (per-generation hop trees and the fleet
+// hop-depth distribution) as JSON. Only tracker processes have one.
+func WithTraceSnapshot(fn func() TraceSnapshot) HandlerOption {
+	return func(s *handlerSettings) { s.trace = fn }
 }
 
 // WithProfiling(true) mounts the net/http/pprof handlers under
@@ -51,7 +59,12 @@ func Handler(r *Registry, snapshot func() OverlaySnapshot, opts ...HandlerOption
 		if snapshot != nil {
 			snap = snapshot()
 		} else {
-			snap = OverlaySnapshot{At: time.Now(), Metrics: r.Snapshot(), Recent: r.Trace().Events()}
+			snap = OverlaySnapshot{
+				At:            time.Now(),
+				Metrics:       r.Snapshot(),
+				Recent:        r.Trace().Events(),
+				DroppedEvents: r.Trace().Dropped(),
+			}
 		}
 		writeJSON(w, snap)
 	})
@@ -59,6 +72,12 @@ func Handler(r *Registry, snapshot func() OverlaySnapshot, opts ...HandlerOption
 		cluster := settings.cluster
 		mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, cluster())
+		})
+	}
+	if settings.trace != nil {
+		trace := settings.trace
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, trace())
 		})
 	}
 	if settings.profiling {

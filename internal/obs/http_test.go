@@ -39,6 +39,20 @@ func clusterFixture() ClusterSnapshot {
 	}
 }
 
+// traceFixture is a deterministic TraceSnapshot source used by the
+// endpoint and golden tests: two generations, two hop levels, an eviction
+// already absorbed.
+func traceFixture() TraceSnapshot {
+	c := NewTraceCollector(4, nil)
+	c.Ingest(1, []TraceHop{{TraceID: 11, Gen: 0, Hop: 1, Received: 8, Innovative: 8,
+		Forwarded: 8, FirstArrivalNano: 1_100, LastArrivalNano: 1_500, EmitNanos: 1_000}})
+	c.Ingest(2, []TraceHop{{TraceID: 11, Gen: 0, Hop: 2, Received: 8, Innovative: 6,
+		FirstArrivalNano: 1_300, LastArrivalNano: 1_900, EmitNanos: 1_000}})
+	c.Ingest(1, []TraceHop{{TraceID: 12, Gen: 1, Hop: 1, Received: 4, Innovative: 4,
+		FirstArrivalNano: 2_200, LastArrivalNano: 2_400, EmitNanos: 2_000}})
+	return c.Snapshot()
+}
+
 // TestHTTPConcurrentScrapes hammers every endpoint from concurrent
 // goroutines while metrics keep changing — the scrape path must be
 // race-free (this test earns its keep under -race).
@@ -46,7 +60,8 @@ func TestHTTPConcurrentScrapes(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
 	c := r.Counter("scrape_hits_total", "hits")
-	srv, err := Serve("127.0.0.1:0", r, nil, WithClusterSnapshot(clusterFixture))
+	srv, err := Serve("127.0.0.1:0", r, nil,
+		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +85,7 @@ func TestHTTPConcurrentScrapes(t *testing.T) {
 
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
-		for _, path := range []string{"/metrics", "/debug/overlay", "/debug/cluster"} {
+		for _, path := range []string{"/metrics", "/debug/overlay", "/debug/cluster", "/debug/trace"} {
 			wg.Add(1)
 			go func(path string) {
 				defer wg.Done()
@@ -98,7 +113,8 @@ func TestHTTPConcurrentScrapes(t *testing.T) {
 func TestHTTPContentTypes(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
-	srv, err := Serve("127.0.0.1:0", r, nil, WithClusterSnapshot(clusterFixture))
+	srv, err := Serve("127.0.0.1:0", r, nil,
+		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +123,7 @@ func TestHTTPContentTypes(t *testing.T) {
 		"/metrics":       "text/plain; version=0.0.4; charset=utf-8",
 		"/debug/overlay": "application/json",
 		"/debug/cluster": "application/json",
+		"/debug/trace":   "application/json",
 	} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
@@ -221,6 +238,69 @@ func TestClusterSnapshotGolden(t *testing.T) {
 		if !strings.Contains(string(raw), key) {
 			t.Errorf("cluster JSON missing %s:\n%s", key, raw)
 		}
+	}
+}
+
+// TestTraceSnapshotGolden pins the /debug/trace JSON schema: field names
+// are API, consumed by dashboards and the ncast-sim -trace JSONL dump.
+func TestTraceSnapshotGolden(t *testing.T) {
+	t.Parallel()
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil, WithTraceSnapshot(traceFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	var snap TraceSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if snap.SampledGenerations != 2 || snap.MaxHopDepth != 2 ||
+		len(snap.Generations) != 2 || len(snap.Depths) != 2 {
+		t.Fatalf("round trip = %+v", snap)
+	}
+	g := snap.Generations[0]
+	if g.TraceID != 11 || g.MaxHop != 2 || g.Nodes != 2 || g.WorstPathNanos != 900 {
+		t.Fatalf("generation 0 = %+v", g)
+	}
+	if len(g.Tree) != 2 || g.Tree[1].Depth != 2 || g.Tree[1].Nodes[0].ID != 2 {
+		t.Fatalf("generation 0 tree = %+v", g.Tree)
+	}
+	if d := snap.Depths[1]; d.Depth != 2 || d.InnovationPermille != 750 {
+		t.Fatalf("depth row = %+v", d)
+	}
+	for _, key := range []string{
+		`"sampled_generations"`, `"max_hop_depth"`, `"trace_id"`, `"max_hop"`,
+		`"worst_path_ns"`, `"tree"`, `"depth"`, `"innovation_permille"`,
+		`"mean_hop_latency_ns"`, `"first_arrival_ns"`, `"last_arrival_ns"`, `"emit_ns"`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("trace JSON missing %s:\n%s", key, raw)
+		}
+	}
+	// Without the option the endpoint stays unmounted.
+	bare, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	resp, err = http.Get("http://" + bare.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted /debug/trace: status %d, want 404", resp.StatusCode)
 	}
 }
 

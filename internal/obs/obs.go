@@ -57,6 +57,7 @@ type Registry struct {
 	families map[string]*family
 	order    []string
 	trace    *Ring
+	collect  []func()
 }
 
 type family struct {
@@ -89,6 +90,30 @@ func (r *Registry) Trace() *Ring {
 		return nil
 	}
 	return r.trace
+}
+
+// OnCollect registers a hook run before each Snapshot or Prometheus
+// scrape — the lazy-sampling seam for sources (like runtime/metrics)
+// that are only worth reading when someone is looking. Hooks run outside
+// the registry lock, so they may set gauges freely. No-op on nil.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collect = append(r.collect, fn)
+	r.mu.Unlock()
+}
+
+// runCollectors invokes the collect hooks outside r.mu (hooks touch
+// metrics, which take the lock themselves).
+func (r *Registry) runCollectors() {
+	r.mu.Lock()
+	hooks := r.collect
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // family finds or creates the named family. Caller holds r.mu.
@@ -171,6 +196,7 @@ func (r *Registry) Snapshot() []MetricPoint {
 	if r == nil {
 		return nil
 	}
+	r.runCollectors()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := append([]string(nil), r.order...)

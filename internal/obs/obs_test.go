@@ -180,6 +180,14 @@ func TestRingWrapAround(t *testing.T) {
 			t.Errorf("event %d missing timestamp", i)
 		}
 	}
+	// Wrapping silently overwrote 6 events; the counter must say so.
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+	var nilRing *Ring
+	if nilRing.Dropped() != 0 {
+		t.Error("nil ring reported drops")
+	}
 }
 
 func TestRingConcurrent(t *testing.T) {

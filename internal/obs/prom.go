@@ -15,6 +15,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runCollectors()
 	bw := bufio.NewWriter(w)
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)

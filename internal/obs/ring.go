@@ -20,10 +20,11 @@ type Event struct {
 // oldest event and never blocks or allocates. All methods are no-ops on a
 // nil receiver.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next int
-	len  int
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	len     int
+	dropped uint64
 }
 
 // NewRing creates a ring holding up to capacity events (minimum 1).
@@ -47,8 +48,22 @@ func (r *Ring) Record(ev Event) {
 	r.next = (r.next + 1) % len(r.buf)
 	if r.len < len(r.buf) {
 		r.len++
+	} else {
+		r.dropped++
 	}
 	r.mu.Unlock()
+}
+
+// Dropped returns how many events have been overwritten before anyone
+// read them — the ring's capacity shortfall. A rising value means the
+// replay window is too small for the event rate.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Cap returns the ring's capacity.

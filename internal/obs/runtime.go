@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeMetrics exposes the Go runtime's own health — GC pause tail,
+// heap size, goroutine count, scheduler latency tail — as gauges in the
+// registry. Sampling happens lazily via the registry's collect hook, at
+// snapshot/scrape time only, so an idle registry pays nothing.
+type RuntimeMetrics struct {
+	GCPauseP99  *Gauge
+	HeapBytes   *Gauge
+	Goroutines  *Gauge
+	SchedLatP99 *Gauge
+	samples     []metrics.Sample
+	pauseIdx    int
+	heapIdx     int
+	schedIdx    int
+}
+
+// NewRuntimeMetrics registers the runtime family on r and hooks it into
+// the registry's collect phase. A nil registry returns a nil-safe bundle
+// that never samples.
+func NewRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	m := &RuntimeMetrics{
+		GCPauseP99: r.Gauge("ncast_runtime_gc_pause_p99_nanos",
+			"p99 stop-the-world GC pause (runtime/metrics /gc/pauses)"),
+		HeapBytes: r.Gauge("ncast_runtime_heap_bytes",
+			"Live heap object bytes (runtime/metrics)"),
+		Goroutines: r.Gauge("ncast_runtime_goroutines",
+			"Current goroutine count"),
+		SchedLatP99: r.Gauge("ncast_runtime_sched_latency_p99_nanos",
+			"p99 goroutine scheduling latency (runtime/metrics /sched/latencies)"),
+	}
+	if r == nil {
+		return m
+	}
+	m.samples = []metrics.Sample{
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/latencies:seconds"},
+	}
+	m.pauseIdx, m.heapIdx, m.schedIdx = 0, 1, 2
+	r.OnCollect(m.sample)
+	return m
+}
+
+// sample refreshes every gauge from the runtime. Called by the registry
+// before each snapshot or Prometheus scrape, outside the registry lock.
+func (m *RuntimeMetrics) sample() {
+	metrics.Read(m.samples)
+	if h := histOf(m.samples[m.pauseIdx]); h != nil {
+		m.GCPauseP99.Set(int64(histQuantile(h, 0.99) * 1e9))
+	}
+	if s := m.samples[m.heapIdx]; s.Value.Kind() == metrics.KindUint64 {
+		m.HeapBytes.Set(int64(s.Value.Uint64()))
+	}
+	if h := histOf(m.samples[m.schedIdx]); h != nil {
+		m.SchedLatP99.Set(int64(histQuantile(h, 0.99) * 1e9))
+	}
+	m.Goroutines.Set(int64(runtime.NumGoroutine()))
+}
+
+// histOf extracts a float64 histogram, guarding the kind — Value
+// accessors panic on mismatch, and runtime metrics may report
+// KindBad on older/newer toolchains.
+func histOf(s metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// histQuantile returns the q-quantile of a runtime histogram by
+// nearest-rank over its counts, clamping the open-ended edge buckets to
+// their finite neighbor.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Bucket i spans Buckets[i] .. Buckets[i+1]; report the upper
+			// edge, falling back to the lower one when it is +Inf.
+			hi := h.Buckets[i+1]
+			if !math.IsInf(hi, +1) {
+				return hi
+			}
+			lo := h.Buckets[i]
+			if math.IsInf(lo, -1) {
+				return 0
+			}
+			return lo
+		}
+	}
+	return 0
+}

@@ -100,6 +100,9 @@ type OverlaySnapshot struct {
 	Node    *NodeHealth    `json:"node,omitempty"`
 	Metrics []MetricPoint  `json:"metrics"`
 	Recent  []Event        `json:"recent_events,omitempty"`
+	// DroppedEvents counts trace-ring overwrites: events that rotated out
+	// of the replay window before this snapshot was taken.
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
 }
 
 // Metric returns the first point with the given name and label subset, or

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHopLogRecordAndDrop(t *testing.T) {
+	t.Parallel()
+	l := NewHopLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(HopRecord{TraceID: 1, Gen: 0, Hop: 1, ArrivalNanos: int64(i)})
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", l.Dropped())
+	}
+	// Nil receiver is a no-op on every method.
+	var nilLog *HopLog
+	nilLog.Record(HopRecord{})
+	if nilLog.Len() != 0 || nilLog.Dropped() != 0 || nilLog.Compact(0) != nil {
+		t.Fatal("nil HopLog produced data")
+	}
+}
+
+func TestHopLogCompact(t *testing.T) {
+	t.Parallel()
+	l := NewHopLog(16)
+	// Three records in the same (trace, gen, hop) cell, one in another.
+	l.Record(HopRecord{TraceID: 9, Gen: 2, Hop: 1, Innovative: true, Forwarded: 1, ArrivalNanos: 100, EmitNanos: 50})
+	l.Record(HopRecord{TraceID: 9, Gen: 2, Hop: 1, Innovative: false, Forwarded: 2, ArrivalNanos: 90, EmitNanos: 50})
+	l.Record(HopRecord{TraceID: 9, Gen: 2, Hop: 1, Innovative: true, Forwarded: 0, ArrivalNanos: 130, EmitNanos: 50})
+	l.Record(HopRecord{TraceID: 9, Gen: 2, Hop: 2, Innovative: true, Forwarded: 1, ArrivalNanos: 200, EmitNanos: 50})
+	hops := l.Compact(0)
+	if len(hops) != 2 {
+		t.Fatalf("compacted to %d cells, want 2: %+v", len(hops), hops)
+	}
+	var h1 *TraceHop
+	for i := range hops {
+		if hops[i].Hop == 1 {
+			h1 = &hops[i]
+		}
+	}
+	if h1 == nil {
+		t.Fatalf("no depth-1 cell in %+v", hops)
+	}
+	if h1.Received != 3 || h1.Innovative != 2 || h1.Forwarded != 3 {
+		t.Fatalf("depth-1 cell = %+v", h1)
+	}
+	if h1.FirstArrivalNano != 90 || h1.LastArrivalNano != 130 || h1.EmitNanos != 50 {
+		t.Fatalf("depth-1 envelope = %+v", h1)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("compact did not drain: len = %d", l.Len())
+	}
+
+	// Cells beyond max are dropped and counted, keeping the loss signal
+	// honest.
+	for hop := 1; hop <= 4; hop++ {
+		l.Record(HopRecord{TraceID: 9, Gen: 2, Hop: hop, ArrivalNanos: int64(hop)})
+	}
+	if got := l.Compact(2); len(got) != 2 {
+		t.Fatalf("max-limited compact returned %d cells, want 2", len(got))
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2 over-max cells", l.Dropped())
+	}
+}
+
+func TestTraceCollectorAssembly(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	m := NewTraceMetrics(reg)
+	c := NewTraceCollector(0, m)
+
+	// Trace 7 on generation 3: node 1 at depth 1 forwards to node 2 at
+	// depth 2; a second report from node 1 merges into the same entry.
+	c.Ingest(1, []TraceHop{{TraceID: 7, Gen: 3, Hop: 1, Received: 4, Innovative: 4,
+		Forwarded: 4, FirstArrivalNano: 110, LastArrivalNano: 150, EmitNanos: 100}})
+	c.Ingest(2, []TraceHop{{TraceID: 7, Gen: 3, Hop: 2, Received: 4, Innovative: 3,
+		Forwarded: 0, FirstArrivalNano: 130, LastArrivalNano: 180, EmitNanos: 100}})
+	c.Ingest(1, []TraceHop{{TraceID: 7, Gen: 3, Hop: 1, Received: 2, Innovative: 1,
+		Forwarded: 2, FirstArrivalNano: 105, LastArrivalNano: 160, EmitNanos: 100}})
+
+	snap := c.Snapshot()
+	if snap.SampledGenerations != 1 || snap.MaxHopDepth != 2 || len(snap.Generations) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	g := snap.Generations[0]
+	if g.TraceID != 7 || g.Gen != 3 || g.EmitNanos != 100 || g.MaxHop != 2 {
+		t.Fatalf("generation = %+v", g)
+	}
+	if g.Nodes != 2 || g.Received != 10 || g.Innovative != 8 {
+		t.Fatalf("generation totals = %+v", g)
+	}
+	if g.WorstPathNanos != 80 { // node 2 last arrival 180 − emit 100
+		t.Fatalf("worst path = %d, want 80", g.WorstPathNanos)
+	}
+	if len(g.Tree) != 2 || g.Tree[0].Depth != 1 || g.Tree[1].Depth != 2 {
+		t.Fatalf("tree levels = %+v", g.Tree)
+	}
+	n1 := g.Tree[0].Nodes[0]
+	if n1.ID != 1 || n1.Received != 6 || n1.Innovative != 5 || n1.Forwarded != 6 ||
+		n1.FirstArrivalNanos != 105 || n1.LastArrivalNanos != 160 {
+		t.Fatalf("merged node 1 = %+v", n1)
+	}
+	if len(snap.Depths) != 2 {
+		t.Fatalf("depth rows = %+v", snap.Depths)
+	}
+	d2 := snap.Depths[1]
+	if d2.Depth != 2 || d2.Nodes != 1 || d2.Received != 4 || d2.InnovationPermille != 750 {
+		t.Fatalf("depth-2 row = %+v", d2)
+	}
+	if d2.MeanHopLatencyNanos != 15 { // (130 − 100) / 2
+		t.Fatalf("depth-2 per-hop latency = %d, want 15", d2.MeanHopLatencyNanos)
+	}
+
+	sum := c.Summary()
+	if sum == nil || sum.SampledGenerations != 1 || sum.MaxHopDepth != 2 ||
+		sum.DeepestGen != 3 || sum.WorstPathGen != 3 || sum.WorstPathNanos != 80 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Fleet histograms observed one value per ingested cell.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ncast_trace_reports_total 3",
+		"ncast_trace_hop_records_total 3",
+		`ncast_trace_hop_depth_count 3`,
+		`ncast_trace_innovation_ratio_count 3`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Nil collector and empty summary are safe.
+	var nilC *TraceCollector
+	nilC.Ingest(1, []TraceHop{{TraceID: 1}})
+	if nilC.Summary() != nil || nilC.Snapshot().SampledGenerations != 0 {
+		t.Fatal("nil collector produced data")
+	}
+	if NewTraceCollector(0, nil).Summary() != nil {
+		t.Fatal("empty collector returned a summary")
+	}
+}
+
+func TestTraceCollectorEviction(t *testing.T) {
+	t.Parallel()
+	c := NewTraceCollector(2, nil)
+	for id := uint64(1); id <= 3; id++ {
+		c.Ingest(1, []TraceHop{{TraceID: id, Gen: uint32(id), Hop: 1, Received: 1}})
+	}
+	snap := c.Snapshot()
+	if snap.SampledGenerations != 2 {
+		t.Fatalf("retained %d generations, want 2", snap.SampledGenerations)
+	}
+	for _, g := range snap.Generations {
+		if g.TraceID == 1 {
+			t.Fatalf("oldest trace not evicted: %+v", snap.Generations)
+		}
+	}
+}
+
+func TestTraceCollectorConcurrent(t *testing.T) {
+	t.Parallel()
+	c := NewTraceCollector(8, NewTraceMetrics(NewRegistry()))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Ingest(uint64(w), []TraceHop{{TraceID: uint64(i%16 + 1), Gen: uint32(i % 16),
+					Hop: w%3 + 1, Received: 1, Innovative: i % 2,
+					FirstArrivalNano: int64(i + 10), LastArrivalNano: int64(i + 20), EmitNanos: 5}})
+				if i%50 == 0 {
+					c.Snapshot()
+					c.Summary()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if snap := c.Snapshot(); snap.SampledGenerations != 8 {
+		t.Fatalf("retained %d generations, want cap 8", snap.SampledGenerations)
+	}
+}
+
+// TestRuntimeMetricsSample pins the lazily-sampled runtime bundle: the
+// gauges exist after registration and carry live values once a snapshot
+// (which runs the collect hooks) is taken.
+func TestRuntimeMetricsSample(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	if NewRuntimeMetrics(reg) == nil {
+		t.Fatal("nil bundle from live registry")
+	}
+	points := map[string]float64{}
+	for _, p := range reg.Snapshot() {
+		points[p.Name] = p.Value
+	}
+	if points["ncast_runtime_goroutines"] <= 0 {
+		t.Errorf("goroutines gauge = %v, want > 0", points["ncast_runtime_goroutines"])
+	}
+	if points["ncast_runtime_heap_bytes"] <= 0 {
+		t.Errorf("heap gauge = %v, want > 0", points["ncast_runtime_heap_bytes"])
+	}
+	for _, name := range []string{"ncast_runtime_gc_pause_p99_nanos", "ncast_runtime_sched_latency_p99_nanos"} {
+		if _, ok := points[name]; !ok {
+			t.Errorf("missing gauge %s", name)
+		}
+	}
+	// Prometheus exposition also runs the hooks without deadlocking.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ncast_runtime_goroutines") {
+		t.Errorf("prometheus output missing runtime gauges:\n%s", sb.String())
+	}
+	// Nil registry returns a usable no-op bundle.
+	m := NewRuntimeMetrics(nil)
+	if m == nil {
+		t.Fatal("nil registry returned nil bundle")
+	}
+	m.Goroutines.Set(1)
+}
+
+// TestRegistryOnCollect pins the lazy-collection contract: hooks run on
+// every Snapshot and WritePrometheus, outside the registry lock, so a hook
+// may itself set gauges.
+func TestRegistryOnCollect(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	g := reg.Gauge("collect_runs", "hook runs")
+	runs := 0
+	reg.OnCollect(func() {
+		runs++
+		g.Set(int64(runs))
+	})
+	reg.Snapshot()
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("hook ran %d times, want 2", runs)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	// Nil registry accepts hooks as a no-op.
+	var nilReg *Registry
+	nilReg.OnCollect(func() { t.Fatal("hook on nil registry ran") })
+	nilReg.Snapshot()
+}

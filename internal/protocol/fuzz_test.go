@@ -10,6 +10,7 @@ package protocol
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"ncast/internal/gf"
@@ -89,15 +90,17 @@ func FuzzDecodeControl(f *testing.F) {
 		if typ2 != typ {
 			t.Fatalf("type changed across round trip: %d -> %d", typ, typ2)
 		}
-		var want, got bytes.Buffer
-		if err := json.Compact(&want, payload); err != nil {
-			t.Fatalf("compact original: %v", err)
+		// Compare semantically, not byte-wise: re-encoding HTML-escapes
+		// characters like "&" to "\u0026", which is the same JSON value.
+		var want, got interface{}
+		if err := json.Unmarshal(payload, &want); err != nil {
+			t.Fatalf("unmarshal original: %v", err)
 		}
-		if err := json.Compact(&got, payload2); err != nil {
-			t.Fatalf("compact round-tripped: %v", err)
+		if err := json.Unmarshal(payload2, &got); err != nil {
+			t.Fatalf("unmarshal round-tripped: %v", err)
 		}
-		if want.String() != got.String() {
-			t.Fatalf("payload changed across round trip: %s -> %s", want.String(), got.String())
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("payload changed across round trip: %s -> %s", payload, payload2)
 		}
 	})
 }
@@ -115,20 +118,26 @@ func fuzzField(sel uint8) gf.Field {
 }
 
 // FuzzDecodeData hammers the binary data-frame decoder over all three
-// fields. Accepted frames must round-trip exactly: thread, stamp,
-// generation, coefficients, and payload all survive re-encoding.
+// fields and all three data-frame variants. Accepted frames must
+// round-trip exactly: thread, stamp, trace context, generation,
+// coefficients, and payload all survive re-encoding. A malformed trace
+// header must be rejected, never mis-routed to another variant.
 func FuzzDecodeData(f *testing.F) {
 	for sel := uint8(0); sel < 3; sel++ {
 		fld := fuzzField(sel)
 		p := &rlnc.Packet{Gen: 3, Coeff: []uint16{1, 0, 1}, Payload: []byte("abcd")}
 		f.Add(sel, EncodeData(fld, 9, 0, p))
 		f.Add(sel, EncodeData(fld, 9, 123456789, p))
+		f.Add(sel, EncodeDataTraced(fld, 9, 123456789, TraceContext{ID: 0xfeedface, Hop: 2}, p))
+		f.Add(sel, EncodeDataTraced(fld, 9, 0, TraceContext{ID: 1, Hop: 255}, p))
 	}
-	f.Add(uint8(1), []byte{0, 0, 1})          // header only
-	f.Add(uint8(1), []byte{3, 0, 1, 1, 2, 3}) // stamped, truncated stamp
+	f.Add(uint8(1), []byte{0, 0, 1})                              // header only
+	f.Add(uint8(1), []byte{3, 0, 1, 1, 2, 3})                     // stamped, truncated stamp
+	f.Add(uint8(1), []byte{4, 0, 1, 1, 2, 3})                     // traced, truncated context
+	f.Add(uint8(1), append([]byte{4, 0, 1}, make([]byte, 17)...)) // traced, zero id
 	f.Fuzz(func(t *testing.T, sel uint8, frame []byte) {
 		fld := fuzzField(sel)
-		thread, stamp, p, err := DecodeData(fld, frame)
+		thread, stamp, tc, p, err := DecodeDataTraced(fld, frame)
 		if err != nil {
 			return
 		}
@@ -137,21 +146,29 @@ func FuzzDecodeData(f *testing.F) {
 		if p.WireSize(fld) > len(frame) {
 			t.Fatalf("decoded packet claims %d wire bytes from a %d-byte frame", p.WireSize(fld), len(frame))
 		}
-		again := EncodeData(fld, thread, stamp, p)
-		thread2, stamp2, p2, err := DecodeData(fld, again)
+		// A frame the decoder calls traced must carry a usable context.
+		if len(frame) > 0 && frame[0] == 4 && !tc.Traced() {
+			t.Fatalf("traced frame accepted with zero trace id")
+		}
+		again := EncodeDataTraced(fld, thread, stamp, tc, p)
+		thread2, stamp2, tc2, p2, err := DecodeDataTraced(fld, again)
 		if err != nil {
 			t.Fatalf("decode of re-encoded frame failed: %v", err)
 		}
 		if thread2 != thread {
 			t.Fatalf("thread changed across round trip: %d -> %d", thread, thread2)
 		}
-		// A non-positive stamp encodes as the unstamped variant.
+		// Traced frames carry the stamp verbatim; otherwise a non-positive
+		// stamp encodes as the unstamped variant.
 		wantStamp := stamp
-		if wantStamp <= 0 {
+		if !tc.Traced() && wantStamp <= 0 {
 			wantStamp = 0
 		}
 		if stamp2 != wantStamp {
 			t.Fatalf("stamp changed across round trip: %d -> %d", stamp, stamp2)
+		}
+		if tc2 != tc {
+			t.Fatalf("trace context changed across round trip: %+v -> %+v", tc, tc2)
 		}
 		if p2.Gen != p.Gen || !equalCoeff(p2.Coeff, p.Coeff) || !bytes.Equal(p2.Payload, p.Payload) {
 			t.Fatalf("packet changed across round trip:\n%+v\n%+v", p, p2)
@@ -225,6 +242,91 @@ func TestControlRoundTripAllTypes(t *testing.T) {
 	check(MsgStatsReport, &StatsReport{ID: 2, Rank: 5, MaxRank: 10, GenRanks: []int{5},
 		GensDone: 0, TotalGens: 2, Received: 9, Innovative: 5, Redundant: 4,
 		DelayP50Nanos: 10, DelayP90Nanos: 20, DelayP99Nanos: 30, OverheadPermille: 1100}, &StatsReport{})
+}
+
+// TestDataRoundTripTraced pins the traced frame variant across the three
+// fields: the context survives exactly (including hop saturation values
+// and a zero stamp, which the traced variant carries verbatim), and the
+// two malformed shapes — truncated context, zero trace ID — are rejected
+// as errors rather than mis-routed to another variant.
+func TestDataRoundTripTraced(t *testing.T) {
+	t.Parallel()
+	for _, fld := range []gf.Field{gf.F2, gf.F256, gf.F65536} {
+		p := &rlnc.Packet{Gen: 7, Coeff: []uint16{1, 0, 1, 1}, Payload: []byte("traced-payload")}
+		for _, tc := range []TraceContext{
+			{ID: 1, Hop: 1},
+			{ID: ^uint64(0), Hop: 255},
+			{ID: 0xdeadbeefcafe, Hop: 0},
+		} {
+			for _, stamp := range []int64{0, 42} {
+				frame := EncodeDataTraced(fld, 3, stamp, tc, p)
+				thread, gotStamp, gotTC, q, err := DecodeDataTraced(fld, frame)
+				if err != nil {
+					t.Fatalf("field %d tc=%+v stamp=%d: %v", fld.Bits(), tc, stamp, err)
+				}
+				if thread != 3 || gotStamp != stamp || gotTC != tc {
+					t.Fatalf("field %d: got thread=%d stamp=%d tc=%+v, want 3/%d/%+v",
+						fld.Bits(), thread, gotStamp, gotTC, stamp, tc)
+				}
+				if q.Gen != p.Gen || !equalCoeff(q.Coeff, p.Coeff) || !bytes.Equal(q.Payload, p.Payload) {
+					t.Fatalf("field %d tc=%+v: packet mismatch", fld.Bits(), tc)
+				}
+				// The plain decoder must accept the traced frame too,
+				// dropping only the context.
+				thread, gotStamp, q2, err := DecodeData(fld, frame)
+				if err != nil || thread != 3 || gotStamp != stamp || q2.Gen != p.Gen {
+					t.Fatalf("field %d: DecodeData on traced frame: %v", fld.Bits(), err)
+				}
+			}
+		}
+		// An untraced context must produce the exact legacy encoding.
+		for _, stamp := range []int64{0, 99} {
+			traced := EncodeDataTraced(fld, 3, stamp, TraceContext{}, p)
+			plain := EncodeData(fld, 3, stamp, p)
+			if !bytes.Equal(traced, plain) {
+				t.Fatalf("field %d stamp=%d: untraced encoding diverged from legacy", fld.Bits(), stamp)
+			}
+		}
+		// Malformed traced frames: truncated context and zero trace ID.
+		if _, _, _, _, err := DecodeDataTraced(fld, []byte{4, 0, 3, 1, 2}); err == nil {
+			t.Fatalf("field %d: truncated traced frame accepted", fld.Bits())
+		}
+		zero := append([]byte{4, 0, 3}, make([]byte, 17)...)
+		zero = p.AppendTo(zero, fld)
+		if _, _, _, _, err := DecodeDataTraced(fld, zero); err == nil {
+			t.Fatalf("field %d: zero-trace-id frame accepted", fld.Bits())
+		}
+	}
+}
+
+// TestTracedHotPathAllocs is the tracing-overhead guard: with sampling
+// off (a zero TraceContext), the pooled emit and receive paths must not
+// allocate at all — enabling the tracing code paths costs nothing unless
+// a generation is actually sampled.
+func TestTracedHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on instrumented paths")
+	}
+	fld := gf.F256
+	src := &rlnc.Packet{Gen: 1, Coeff: []uint16{3, 1, 4, 1}, Payload: make([]byte, 256)}
+	frame := EncodeDataTraced(fld, 2, 12345, TraceContext{}, src)
+	hot := func() {
+		buf := rlnc.GetFrameBuf()
+		*buf = AppendDataTraced(*buf, fld, 2, 12345, TraceContext{}, src)
+		_, _, _, p, err := DecodeDataTraced(fld, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+		rlnc.PutFrameBuf(buf)
+	}
+	// Warm the pools outside the measured runs.
+	for i := 0; i < 16; i++ {
+		hot()
+	}
+	if allocs := testing.AllocsPerRun(200, hot); allocs != 0 {
+		t.Fatalf("untraced hot path allocates %.1f objects per emit+receive, want 0", allocs)
+	}
 }
 
 // TestDataRoundTripAllFields pins the binary codec across the three

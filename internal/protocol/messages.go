@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"ncast/internal/gf"
+	"ncast/internal/obs"
 	"ncast/internal/rlnc"
 )
 
@@ -66,15 +67,29 @@ const (
 )
 
 // frame kind bytes: a data frame, a JSON control envelope, a per-thread
-// keepalive, or a data frame stamped with the source's first-emission
-// time for its generation (what makes end-to-end decode delay measurable
-// at every receiver).
+// keepalive, a data frame stamped with the source's first-emission time
+// for its generation (what makes end-to-end decode delay measurable at
+// every receiver), or a traced data frame carrying the stamp plus a
+// dissemination-trace context (64-bit trace ID, 8-bit hop count).
 const (
-	frameData      byte = 0
-	frameControl   byte = 1
-	frameKeepalive byte = 2
-	frameDataTS    byte = 3
+	frameData       byte = 0
+	frameControl    byte = 1
+	frameKeepalive  byte = 2
+	frameDataTS     byte = 3
+	frameDataTraced byte = 4
 )
+
+// TraceContext is the dissemination-trace context a traced data frame
+// carries: the trace ID the source assigned to the sampled generation and
+// the hop count — the overlay depth of the sender, so a receiver learns
+// its own depth directly from the frame. The zero value means untraced.
+type TraceContext struct {
+	ID  uint64
+	Hop uint8
+}
+
+// Traced reports whether the context marks a sampled generation.
+func (tc TraceContext) Traced() bool { return tc.ID != 0 }
 
 // Hello asks to join the session.
 type Hello struct {
@@ -232,6 +247,12 @@ type StatsReport struct {
 	DelayP90Nanos    int64 `json:"delay_p90_ns,omitempty"`
 	DelayP99Nanos    int64 `json:"delay_p99_ns,omitempty"`
 	OverheadPermille int   `json:"overhead_permille,omitempty"`
+
+	// TraceHops are the node's compacted dissemination-trace hop spans
+	// since the previous report (present only when trace sampling is on
+	// and traced frames arrived); the tracker's TraceCollector assembles
+	// them into per-generation dissemination trees.
+	TraceHops []obs.TraceHop `json:"trace_hops,omitempty"`
 }
 
 // ThreadDropped confirms a degree reduction.
@@ -296,36 +317,82 @@ func AppendData(buf []byte, f gf.Field, thread int, emitNanos int64, p *rlnc.Pac
 	return p.AppendTo(buf, f)
 }
 
+// AppendDataTraced appends a data frame carrying a dissemination-trace
+// context. An untraced context (ID 0) delegates to AppendData, so the
+// non-sampled hot path emits exactly the frames it always did — same
+// bytes, zero extra allocations. A traced frame always carries the stamp
+// (a sampled generation without a stamp would make per-hop latency
+// unmeasurable), so emitNanos rides even when zero.
+func AppendDataTraced(buf []byte, f gf.Field, thread int, emitNanos int64, tc TraceContext, p *rlnc.Packet) []byte {
+	if !tc.Traced() {
+		return AppendData(buf, f, thread, emitNanos, p)
+	}
+	buf = append(buf, frameDataTraced, byte(thread>>8), byte(thread))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(emitNanos))
+	buf = binary.BigEndian.AppendUint64(buf, tc.ID)
+	buf = append(buf, tc.Hop)
+	return p.AppendTo(buf, f)
+}
+
 // EncodeData marshals a data frame into a fresh buffer.
 func EncodeData(f gf.Field, thread int, emitNanos int64, p *rlnc.Packet) []byte {
 	return AppendData(make([]byte, 0, 11+p.WireSize(f)), f, thread, emitNanos, p)
 }
 
-// DecodeData unmarshals a data frame of either variant; emitNanos is 0
-// for unstamped frames.
+// EncodeDataTraced marshals a (possibly traced) data frame into a fresh
+// buffer.
+func EncodeDataTraced(f gf.Field, thread int, emitNanos int64, tc TraceContext, p *rlnc.Packet) []byte {
+	return AppendDataTraced(make([]byte, 0, 20+p.WireSize(f)), f, thread, emitNanos, tc, p)
+}
+
+// DecodeData unmarshals a data frame of any variant; emitNanos is 0 for
+// unstamped frames. Trace context, if present, is dropped — receivers
+// that care use DecodeDataTraced.
 func DecodeData(f gf.Field, frame []byte) (thread int, emitNanos int64, p *rlnc.Packet, err error) {
-	if len(frame) < 3 || (frame[0] != frameData && frame[0] != frameDataTS) {
-		return 0, 0, nil, fmt.Errorf("protocol: not a data frame")
+	thread, emitNanos, _, p, err = DecodeDataTraced(f, frame)
+	return thread, emitNanos, p, err
+}
+
+// DecodeDataTraced unmarshals a data frame of any variant, returning the
+// trace context for traced frames (zero otherwise). A malformed trace
+// header is an error, never a silent fallback to another variant.
+func DecodeDataTraced(f gf.Field, frame []byte) (thread int, emitNanos int64, tc TraceContext, p *rlnc.Packet, err error) {
+	if len(frame) < 3 ||
+		(frame[0] != frameData && frame[0] != frameDataTS && frame[0] != frameDataTraced) {
+		return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: not a data frame")
 	}
 	thread = int(binary.BigEndian.Uint16(frame[1:3]))
 	body := frame[3:]
-	if frame[0] == frameDataTS {
+	switch frame[0] {
+	case frameDataTS:
 		if len(body) < 8 {
-			return 0, 0, nil, fmt.Errorf("protocol: stamped data frame truncated")
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: stamped data frame truncated")
 		}
 		emitNanos = int64(binary.BigEndian.Uint64(body[:8]))
 		body = body[8:]
+	case frameDataTraced:
+		if len(body) < 17 {
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame truncated")
+		}
+		emitNanos = int64(binary.BigEndian.Uint64(body[:8]))
+		tc.ID = binary.BigEndian.Uint64(body[8:16])
+		tc.Hop = body[16]
+		body = body[17:]
+		if !tc.Traced() {
+			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame with zero trace id")
+		}
 	}
 	p, err = rlnc.Unmarshal(f, body)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, TraceContext{}, nil, err
 	}
-	return thread, emitNanos, p, nil
+	return thread, emitNanos, tc, p, nil
 }
 
-// IsData reports whether the frame is a data frame (either variant).
+// IsData reports whether the frame is a data frame (any variant).
 func IsData(frame []byte) bool {
-	return len(frame) > 0 && (frame[0] == frameData || frame[0] == frameDataTS)
+	return len(frame) > 0 &&
+		(frame[0] == frameData || frame[0] == frameDataTS || frame[0] == frameDataTraced)
 }
 
 // EncodeKeepalive marshals a per-thread keepalive. A parent that has

@@ -95,6 +95,15 @@ type Node struct {
 	innovative int
 	received   int
 	hbGen      int
+	// traceOf holds, per generation, the dissemination-trace context this
+	// node first received for a sampled generation: the trace ID and the
+	// node's own hop depth (max over received frames of the same trace,
+	// per the merge rule — under recoding a node may hear a traced
+	// generation at several depths). Empty unless the source samples.
+	traceOf map[uint32]traceState
+	// hoplog buffers hop spans between stats reports; created lazily on
+	// the first traced receive so untraced sessions allocate nothing.
+	hoplog *obs.HopLog
 	// lifecycle records per-generation spans (first packet, rank
 	// quartiles, decode completion, end-to-end delay); created on the
 	// first welcome, and kept across re-joins since decoded state
@@ -130,15 +139,32 @@ type Node struct {
 }
 
 // decodeJob carries one received packet to a decode worker, with the
-// session field, recoder, and source-emission stamp captured under n.mu
-// at enqueue time.
+// session field, recoder, trace context, and source-emission stamp
+// captured under n.mu at enqueue time.
 type decodeJob struct {
 	f    gf.Field
 	th   int
 	emit int64
+	tc   TraceContext
 	rc   *rlnc.Recoder
 	p    *rlnc.Packet
 }
+
+// traceState is the per-generation trace merge state: the trace ID the
+// node adopted (first seen wins) and the node's hop depth under that
+// trace (max over received frames).
+type traceState struct {
+	id    uint64
+	depth uint8
+}
+
+// hopLogCap bounds the per-node hop-span buffer between stats reports;
+// maxTraceHopsPerReport bounds the compacted cells shipped per report so
+// a traced burst cannot bloat the control plane.
+const (
+	hopLogCap             = 4096
+	maxTraceHopsPerReport = 256
+)
 
 // NewNode creates a node bound to ep.
 func NewNode(ep transport.Endpoint, cfg NodeConfig) *Node {
@@ -147,6 +173,7 @@ func NewNode(ep transport.Endpoint, cfg NodeConfig) *Node {
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		recoders:   make(map[uint32]*rlnc.Recoder),
+		traceOf:    make(map[uint32]traceState),
 		replay:     make(map[uint32]*rlnc.Packet),
 		childOf:    make(map[int]string),
 		parentOf:   make(map[int]string),
@@ -612,7 +639,8 @@ func (n *Node) applyRedirect(ctx context.Context, r Redirect) {
 			continue
 		}
 		if p := n.emitPacketLocked(g, rc); p != nil {
-			bursts = append(bursts, burst{frame: EncodeData(n.field, r.Thread, n.lifecycle.EmitStamp(g), p)})
+			bursts = append(bursts, burst{frame: EncodeDataTraced(n.field, r.Thread,
+				n.lifecycle.EmitStamp(g), n.forwardTraceLocked(g), p)})
 			p.Release()
 		}
 	}
@@ -629,7 +657,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		n.mu.Unlock()
 		return
 	}
-	th, emit, p, err := DecodeData(n.field, frame)
+	th, emit, tc, p, err := DecodeDataTraced(n.field, frame)
 	if err != nil {
 		n.mu.Unlock()
 		return
@@ -663,11 +691,11 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 	n.mu.Unlock()
 
 	if n.decodeQ == nil {
-		n.absorb(ctx, f, th, emit, rc, p)
+		n.absorb(ctx, f, th, emit, tc, rc, p)
 		return
 	}
 	select {
-	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, emit: emit, rc: rc, p: p}:
+	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, emit: emit, tc: tc, rc: rc, p: p}:
 	default:
 		// A saturated decode worker behaves like a congested link: the
 		// packet is dropped, which RLNC absorbs by design.
@@ -679,7 +707,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 	defer n.decodeWG.Done()
 	for j := range q {
-		n.absorb(ctx, j.f, j.th, j.emit, j.rc, j.p)
+		n.absorb(ctx, j.f, j.th, j.emit, j.tc, j.rc, j.p)
 	}
 }
 
@@ -688,8 +716,15 @@ func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 // then re-locks for node bookkeeping and forwards one packet of the same
 // generation down the node's own thread, preserving unit flow per
 // thread. It consumes p (released back to the packet pool).
-func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, rc *rlnc.Recoder, p *rlnc.Packet) {
+func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, tc TraceContext, rc *rlnc.Recoder, p *rlnc.Packet) {
 	m := n.cfg.Obs
+	// Stamp the arrival before the Gaussian elimination so the hop span
+	// measures propagation, not local decode work. Untraced frames (the
+	// overwhelming majority at realistic sampling rates) skip the clock.
+	var arrival int64
+	if tc.Traced() {
+		arrival = time.Now().UnixNano()
+	}
 	wasComplete := rc.Complete()
 	innovative, err := rc.Add(p)
 	if err != nil {
@@ -741,6 +776,39 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, rc *r
 			child = c
 		}
 	}
+	// Merge the trace context and record the hop span. First trace ID
+	// wins for a generation; the node's depth is the max hop seen under
+	// that trace (recoding can deliver the same traced generation along
+	// paths of different length — max is the honest depth of the mix).
+	var fwdTC TraceContext
+	if tc.Traced() {
+		ts, ok := n.traceOf[p.Gen]
+		if !ok {
+			ts = traceState{id: tc.ID, depth: tc.Hop}
+		} else if ts.id == tc.ID && tc.Hop > ts.depth {
+			ts.depth = tc.Hop
+		}
+		n.traceOf[p.Gen] = ts
+		if n.hoplog == nil {
+			n.hoplog = obs.NewHopLog(hopLogCap)
+		}
+		fanout := 0
+		if out != nil {
+			fanout = 1
+		}
+		n.hoplog.Record(obs.HopRecord{
+			TraceID:      tc.ID,
+			Gen:          p.Gen,
+			Hop:          int(tc.Hop),
+			Innovative:   innovative,
+			Forwarded:    fanout,
+			ArrivalNanos: arrival,
+			EmitNanos:    emit,
+		})
+	}
+	if out != nil {
+		fwdTC = n.forwardTraceLocked(out.Gen)
+	}
 	id := n.id
 	n.mu.Unlock()
 	p.Release()
@@ -760,11 +828,27 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, rc *r
 			stamp = s
 		}
 		buf := rlnc.GetFrameBuf()
-		*buf = AppendData(*buf, f, th, stamp, out)
+		*buf = AppendDataTraced(*buf, f, th, stamp, fwdTC, out)
 		out.Release()
 		n.sendData(ctx, child, *buf)
 		rlnc.PutFrameBuf(buf)
 	}
+}
+
+// forwardTraceLocked returns the trace context this node stamps on
+// packets it forwards for gen: its adopted trace ID with the hop count
+// advanced by one (saturating), or the zero context when the generation
+// is untraced. Callers hold n.mu.
+func (n *Node) forwardTraceLocked(gen uint32) TraceContext {
+	ts, ok := n.traceOf[gen]
+	if !ok {
+		return TraceContext{}
+	}
+	hop := ts.depth
+	if hop < 255 {
+		hop++
+	}
+	return TraceContext{ID: ts.id, Hop: hop}
 }
 
 // emitPacketLocked produces the packet this node forwards for generation
@@ -856,7 +940,8 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 				g := n.genIDs[(n.hbGen+th)%len(n.genIDs)]
 				if rc, ok := n.recoders[g]; ok && rc.Rank() > 0 {
 					if p := n.emitPacketLocked(g, rc); p != nil {
-						b.frame = EncodeData(n.field, th, n.lifecycle.EmitStamp(g), p)
+						b.frame = EncodeDataTraced(n.field, th,
+							n.lifecycle.EmitStamp(g), n.forwardTraceLocked(g), p)
 						p.Release()
 					}
 				}
@@ -975,7 +1060,12 @@ func (n *Node) buildStatsReport() StatsReport {
 		r.QueueDepth += len(q)
 	}
 	lc := n.lifecycle
+	hl := n.hoplog
 	n.mu.Unlock()
+	// Drain the hop spans accumulated since the previous report; Compact
+	// aggregates them per (trace, generation, hop) cell so the report
+	// stays bounded however many traced frames arrived.
+	r.TraceHops = hl.Compact(maxTraceHopsPerReport)
 	if lc != nil {
 		if d := lc.Delays(); len(d) > 0 {
 			r.DelayP50Nanos = int64(obs.Quantile(d, 0.50))

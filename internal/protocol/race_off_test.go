@@ -1,0 +1,7 @@
+//go:build !race
+
+package protocol
+
+// raceEnabled reports whether the race detector instruments this build;
+// alloc-count guards are skipped under it (the detector itself allocates).
+const raceEnabled = false

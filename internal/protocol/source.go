@@ -30,12 +30,18 @@ type Source struct {
 	// first emission — the fixed epoch every receiver measures its
 	// end-to-end decode delay against. Stamped into every data frame of
 	// that generation and propagated by forwarding nodes.
-	emitAt map[uint32]int64
+	emitAt    map[uint32]int64
+	traceSeed int64
 	// RoundInterval throttles pump rounds; zero relies on transport
 	// backpressure alone.
 	RoundInterval time.Duration
 	// Obs carries optional instrumentation; nil is a no-op.
 	Obs *obs.SourceMetrics
+	// TraceRate enables dissemination tracing: every TraceRate-th
+	// generation (deterministically chosen by a seed-keyed hash, 1 = all)
+	// is emitted with a trace context that nodes propagate and report.
+	// 0 disables sampling.
+	TraceRate int
 }
 
 // NewSource wraps content for broadcasting on k threads.
@@ -48,13 +54,14 @@ func NewSource(ep transport.Endpoint, k int, params rlnc.Params, content []byte,
 		return nil, err
 	}
 	return &Source{
-		ep:      ep,
-		params:  params,
-		fe:      fe,
-		length:  len(content),
-		rng:     rand.New(rand.NewSource(seed)),
-		childOf: make([]string, k),
-		emitAt:  make(map[uint32]int64),
+		ep:        ep,
+		params:    params,
+		fe:        fe,
+		length:    len(content),
+		rng:       rand.New(rand.NewSource(seed)),
+		traceSeed: seed,
+		childOf:   make([]string, k),
+		emitAt:    make(map[uint32]int64),
 	}, nil
 }
 
@@ -70,13 +77,14 @@ func NewLayeredSource(ep transport.Endpoint, k int, params rlnc.LayeredParams, c
 		return nil, err
 	}
 	return &Source{
-		ep:      ep,
-		params:  params.Params,
-		le:      le,
-		length:  len(content),
-		rng:     rand.New(rand.NewSource(seed)),
-		childOf: make([]string, k),
-		emitAt:  make(map[uint32]int64),
+		ep:        ep,
+		params:    params.Params,
+		le:        le,
+		length:    len(content),
+		rng:       rand.New(rand.NewSource(seed)),
+		traceSeed: seed,
+		childOf:   make([]string, k),
+		emitAt:    make(map[uint32]int64),
 	}, nil
 }
 
@@ -107,6 +115,30 @@ func (s *Source) emitStamp(gen uint32) int64 {
 		s.emitAt[gen] = at
 	}
 	return at
+}
+
+// traceID returns the generation's trace ID, or 0 when the generation is
+// not sampled. Sampling is a deterministic splitmix64-style hash keyed by
+// the source seed — it never touches the coding RNG, so enabling tracing
+// does not perturb the coded stream.
+func (s *Source) traceID(gen uint32) uint64 {
+	rate := s.TraceRate
+	if rate <= 0 {
+		return 0
+	}
+	h := uint64(s.traceSeed) ^ (uint64(gen)+1)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	if rate > 1 && h%uint64(rate) != 0 {
+		return 0
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // SetChild routes thread th to addr (empty = hang the thread).
@@ -158,7 +190,9 @@ func (s *Source) Run(ctx context.Context) error {
 			if err != nil {
 				return err
 			}
-			frame := EncodeData(s.params.Field, th, s.emitStamp(p.Gen), p)
+			// Direct children of the source sit at hop depth 1.
+			tc := TraceContext{ID: s.traceID(p.Gen), Hop: 1}
+			frame := EncodeDataTraced(s.params.Field, th, s.emitStamp(p.Gen), tc, p)
 			sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 			err = s.ep.Send(sendCtx, child, frame)
 			cancel()

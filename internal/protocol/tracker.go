@@ -47,6 +47,11 @@ type TrackerConfig struct {
 	// Obs, when non-nil, instruments the tracker: control-plane counters,
 	// the overlay gauges, and the trace ring.
 	Obs *obs.TrackerMetrics
+	// TraceObs, when non-nil, feeds the dissemination-tracing histograms
+	// (hop depth, per-hop latency, innovation ratio) as hop reports arrive.
+	// Independent of Obs because the trace family is tracker-wide while
+	// TrackerMetrics carries the per-tracker control-plane series.
+	TraceObs *obs.TraceMetrics
 }
 
 // Tracker is the §3 "server (or some other centralized authority)": it
@@ -67,6 +72,9 @@ type Tracker struct {
 	reports   map[core.NodeID]nodeReport
 	genIDs    []uint32 // canonical generation order (sessionGenIDs)
 	events    chan TrackerEvent
+	// traces assembles hop reports into dissemination trees; it locks
+	// itself, so ingest and snapshot run outside t.mu.
+	traces *obs.TraceCollector
 
 	// outMu guards the per-peer control outboxes (see sendControl).
 	outMu    sync.Mutex
@@ -116,6 +124,7 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 		lastSeen:  make(map[core.NodeID]time.Time),
 		reports:   make(map[core.NodeID]nodeReport),
 		genIDs:    genIDs,
+		traces:    obs.NewTraceCollector(0, cfg.TraceObs),
 		outboxes:  make(map[string]chan []byte),
 		events:    make(chan TrackerEvent, 1024),
 	}, nil
@@ -451,6 +460,7 @@ func (t *Tracker) ClusterSnapshot() obs.ClusterSnapshot {
 		snap.FleetDelayP90Nanos = int64(obs.Quantile(medians, 0.90))
 		snap.FleetDelayP99Nanos = int64(obs.Quantile(medians, 0.99))
 	}
+	snap.Trace = t.traces.Summary()
 	// Per-generation census over fresh reporters whose rank vector covers
 	// the session's generation list. Stragglers are named only once a
 	// majority of reporters decoded the generation — before that the
@@ -639,10 +649,23 @@ func (t *Tracker) handleStatsReport(r StatsReport) {
 	}
 	id := core.NodeID(r.ID)
 	t.mu.Lock()
-	if _, known := t.addrOf[id]; known {
+	_, known := t.addrOf[id]
+	if known {
 		t.reports[id] = nodeReport{report: r, at: time.Now()}
 	}
 	t.mu.Unlock()
+	// Hop spans ride the same report; the collector locks itself, so the
+	// assembly happens outside t.mu.
+	if known && len(r.TraceHops) > 0 {
+		t.traces.Ingest(r.ID, r.TraceHops)
+	}
+}
+
+// TraceSnapshot assembles the tracker's dissemination-tracing view: the
+// fleet hop-depth distribution and every retained generation's hop tree.
+// Serve it at /debug/trace via obs.WithTraceSnapshot.
+func (t *Tracker) TraceSnapshot() obs.TraceSnapshot {
+	return t.traces.Snapshot()
 }
 
 // handleLease renews a node's lease. A lease from an unknown id means the

@@ -130,6 +130,14 @@ type Config struct {
 	// stays single-threaded. 0 or 1 decodes inline on the receive loop;
 	// values above 1 help multi-generation sessions on multi-core hosts.
 	DecodeWorkers int
+	// TraceRate enables dissemination tracing: the source samples roughly
+	// one generation in TraceRate (1 = every generation) and stamps its
+	// frames with a trace context that nodes propagate through recoding
+	// and report to the server, which assembles per-generation hop trees
+	// served at /debug/trace and summarized in ClusterSnapshot. 0 (the
+	// default) disables sampling; the data path then emits the exact
+	// frames it always did, at zero extra cost.
+	TraceRate int
 }
 
 // DefaultConfig returns the baseline configuration: k=16 threads, degree
@@ -276,6 +284,12 @@ func WithStatsInterval(d time.Duration) Option {
 // Config.DecodeWorkers).
 func WithDecodeWorkers(n int) Option {
 	return func(c *Config) { c.DecodeWorkers = n }
+}
+
+// WithTraceRate enables dissemination tracing at a 1-in-n generation
+// sampling rate (see Config.TraceRate; 0 disables).
+func WithTraceRate(n int) Option {
+	return func(c *Config) { c.TraceRate = n }
 }
 
 // newSource builds the flat or layered data source for cfg.

@@ -110,8 +110,11 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	}
 	source.RoundInterval = cfg.SourceInterval
 	source.Obs = obs.NewSourceMetrics(reg)
+	source.TraceRate = cfg.TraceRate
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
+	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)
+	obs.NewRuntimeMetrics(reg)
 	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
 		net.Close()
@@ -171,6 +174,7 @@ func (s *Session) Snapshot() obs.OverlaySnapshot {
 	if s.obs != nil {
 		snap.Metrics = s.obs.Snapshot()
 		snap.Recent = s.obs.Trace().Events()
+		snap.DroppedEvents = s.obs.Trace().Dropped()
 	}
 	return snap
 }
@@ -181,6 +185,14 @@ func (s *Session) Snapshot() obs.OverlaySnapshot {
 // Nodes report only when Config.StatsInterval is positive.
 func (s *Session) ClusterSnapshot() obs.ClusterSnapshot {
 	return s.tracker.ClusterSnapshot()
+}
+
+// TraceSnapshot returns the assembled dissemination-tracing view (hop
+// trees per sampled generation, fleet hop-depth distribution). Empty
+// unless Config.TraceRate is positive and traced reports have arrived.
+// Pass it to obs.WithTraceSnapshot to serve it at /debug/trace.
+func (s *Session) TraceSnapshot() obs.TraceSnapshot {
+	return s.tracker.TraceSnapshot()
 }
 
 // ClientOption configures one client.

@@ -43,8 +43,11 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	}
 	source.RoundInterval = cfg.SourceInterval
 	source.Obs = obs.NewSourceMetrics(reg)
+	source.TraceRate = cfg.TraceRate
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
+	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)
+	obs.NewRuntimeMetrics(reg)
 	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
 		ep.Close()
@@ -82,6 +85,7 @@ func (s *Server) Snapshot() obs.OverlaySnapshot {
 	if s.obs != nil {
 		snap.Metrics = s.obs.Snapshot()
 		snap.Recent = s.obs.Trace().Events()
+		snap.DroppedEvents = s.obs.Trace().Dropped()
 	}
 	return snap
 }
@@ -91,6 +95,13 @@ func (s *Server) Snapshot() obs.OverlaySnapshot {
 // at /debug/cluster.
 func (s *Server) ClusterSnapshot() obs.ClusterSnapshot {
 	return s.tracker.ClusterSnapshot()
+}
+
+// TraceSnapshot returns the assembled dissemination-tracing view (see
+// Session.TraceSnapshot). Pass it to obs.WithTraceSnapshot to serve it at
+// /debug/trace.
+func (s *Server) TraceSnapshot() obs.TraceSnapshot {
+	return s.tracker.TraceSnapshot()
 }
 
 // Close stops the server.
@@ -187,6 +198,7 @@ func (c *RemoteClient) Snapshot() obs.OverlaySnapshot {
 	if c.obs != nil {
 		snap.Metrics = c.obs.Snapshot()
 		snap.Recent = c.obs.Trace().Events()
+		snap.DroppedEvents = c.obs.Trace().Dropped()
 	}
 	return snap
 }

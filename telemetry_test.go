@@ -27,6 +27,8 @@ func TestMetricNameLint(t *testing.T) {
 	obs.NewSourceMetrics(reg)
 	nm := obs.NewNodeMetrics(reg, "lint-node")
 	obs.NewTransportMetrics(reg, "lint-ep")
+	obs.NewTraceMetrics(reg)
+	obs.NewRuntimeMetrics(reg)
 	// The lifecycle tracker registers the decode-delay and overhead
 	// histograms lazily on the first decode; force both.
 	gt := obs.NewGenTracker("lint-node", 1, nm, nil)
@@ -51,6 +53,10 @@ func TestMetricNameLint(t *testing.T) {
 		"ncast_node_decode_delay_nanos",
 		"ncast_node_coding_overhead_ratio",
 		"ncast_tracker_stats_reports_total",
+		"ncast_trace_hop_depth",
+		"ncast_trace_innovation_ratio",
+		"ncast_runtime_heap_bytes",
+		"ncast_runtime_goroutines",
 	} {
 		if !seen[want] {
 			t.Errorf("missing series %s", want)
@@ -81,6 +87,119 @@ func TestSessionMetricNames(t *testing.T) {
 		if !metricNameRE.MatchString(p.Name) {
 			t.Errorf("metric %q violates %s", p.Name, metricNameRE)
 		}
+	}
+}
+
+// TestTraceLive runs a real broadcast with tracing on every generation
+// and checks the end-to-end pipeline: traced frames propagate through
+// recoding nodes, hop spans ride the stats reports, and the tracker
+// assembles a multi-level dissemination tree with per-depth innovation.
+func TestTraceLive(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.K, cfg.D = 4, 2 // narrow curtain so the overlay grows real depth
+	cfg.TraceRate = 1
+	cfg.StatsInterval = 100 * time.Millisecond
+	sess, err := NewSession(testContent(4*8*64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var clients []*Client
+	for i := 0; i < 8; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hop spans ride the periodic stats reports; poll until multi-hop
+	// structure shows up. With 8 nodes on 4 threads at degree 2, some node
+	// must sit below another, so depth > 1 is guaranteed by construction.
+	var snap obs.TraceSnapshot
+	for {
+		snap = sess.TraceSnapshot()
+		if snap.SampledGenerations > 0 && snap.MaxHopDepth > 1 {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("trace view never assembled: %+v", snap)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(snap.Depths) < 2 {
+		t.Fatalf("hop-depth distribution is degenerate: %+v", snap.Depths)
+	}
+	for _, d := range snap.Depths {
+		if d.Received <= 0 || d.Nodes <= 0 {
+			t.Fatalf("empty depth row %+v", d)
+		}
+		if d.InnovationPermille < 0 || d.InnovationPermille > 1000 {
+			t.Fatalf("innovation ratio out of range: %+v", d)
+		}
+	}
+	// Every assembled generation must have a coherent tree: levels sorted,
+	// depths positive, worst path no earlier than the emit stamp.
+	for _, g := range snap.Generations {
+		if g.TraceID == 0 || len(g.Tree) == 0 {
+			t.Fatalf("degenerate generation %+v", g)
+		}
+		prev := 0
+		for _, lvl := range g.Tree {
+			if lvl.Depth <= prev || len(lvl.Nodes) == 0 {
+				t.Fatalf("generation %d has malformed tree %+v", g.Gen, g.Tree)
+			}
+			prev = lvl.Depth
+		}
+		if g.WorstPathNanos < 0 {
+			t.Fatalf("generation %d negative worst path", g.Gen)
+		}
+	}
+	// The cluster view carries the trace digest.
+	if cs := sess.ClusterSnapshot(); cs.Trace == nil || cs.Trace.MaxHopDepth < 2 {
+		t.Fatalf("cluster snapshot trace digest = %+v", cs.Trace)
+	}
+	// The fleet histograms saw traced traffic.
+	osnap := sess.Snapshot()
+	if p := osnap.Metric("ncast_trace_hop_records_total"); p == nil || p.Value <= 0 {
+		t.Fatalf("hop-records counter = %+v", p)
+	}
+}
+
+// TestTraceDisabledByDefault pins the zero-cost default: with TraceRate
+// unset no hop spans are recorded, no trace state reaches the tracker, and
+// the trace view stays empty.
+func TestTraceDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.StatsInterval = 100 * time.Millisecond
+	sess, err := NewSession(testContent(2*8*64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := sess.AddClient(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.TraceSnapshot()
+	if snap.SampledGenerations != 0 || len(snap.Generations) != 0 {
+		t.Fatalf("untraced session assembled generations: %+v", snap)
+	}
+	if cs := sess.ClusterSnapshot(); cs.Trace != nil {
+		t.Fatalf("untraced cluster snapshot carries a trace digest: %+v", cs.Trace)
 	}
 }
 
