@@ -6,12 +6,18 @@ RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc 
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build vet fmt lint test purego race churn fuzz allocguard scale bench
+.PHONY: check build crossbuild vet fmt lint test purego race churn fuzz allocguard bench-gate scale bench
 
-check: vet fmt lint build test purego race churn fuzz allocguard
+check: vet fmt lint build crossbuild test purego race churn fuzz allocguard bench-gate
 
 build:
 	$(GO) build ./...
+
+# The arm64 NEON kernels have no execution leg in CI; cross-compiling
+# keeps the assembly and its dispatch glue at least building on every
+# change.
+crossbuild:
+	GOARCH=arm64 $(GO) build ./...
 
 vet:
 	$(GO) vet ./...
@@ -50,10 +56,19 @@ fuzz:
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeData -fuzztime 10s
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeKeepalive -fuzztime 5s
 
-# Tracing-overhead guard: with sampling off, the traced emit/receive hot
-# path must allocate nothing beyond the untraced baseline (zero objects).
+# Allocation guards: with sampling off, the traced emit/receive hot path
+# must allocate nothing beyond the untraced baseline, and the decode
+# steady state (redundant packets, systematic installs) must be
+# zero-alloc.
 allocguard:
 	$(GO) test ./internal/protocol -run TestTracedHotPathAllocs -count=1
+	$(GO) test ./internal/rlnc -run TestDecodeHotPathAllocs -count=1
+
+# Perf regression gate: emit paths stay zero-alloc and the parallel
+# decoder beats serial at workers>=2 (the property the batch engine
+# exists for).
+bench-gate:
+	$(GO) run ./cmd/ncast-perf -gate
 
 # Control-plane capacity trajectory (quick shape: small populations).
 # The committed BENCH_control.json comes from the full run:

@@ -7,13 +7,19 @@
 //   - steady-state codec emit cost (Encoder.Packet, Recoder.Packet) in
 //     ns/op and allocs/op — the zero-allocation budget of the pipeline;
 //   - whole-file decode throughput, serial FileDecoder vs the
-//     generation-sharded ParallelFileDecoder worker pool.
+//     generation-sharded ParallelFileDecoder worker pool, as a matrix of
+//     worker counts (1/2/4/8) by content size (1–64 MiB);
+//   - systematic fast-path throughput: serial decode of a loss-free
+//     all-systematic feed, where elimination degenerates to copying.
 //
 // Usage:
 //
 //	ncast-perf                 # write BENCH_rlnc.json and print a summary
 //	ncast-perf -o results.json # choose the output path
 //	ncast-perf -size 8192      # payload bytes for the kernel benchmarks
+//	ncast-perf -gate           # regression gate: exit 1 unless the
+//	                           # parallel decoder beats serial at
+//	                           # workers>=2 and emit stays zero-alloc
 package main
 
 import (
@@ -31,13 +37,15 @@ import (
 
 // report is the schema of BENCH_rlnc.json.
 type report struct {
-	Accel      string        `json:"accel"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	GoVersion  string        `json:"go_version"`
-	SliceBytes int           `json:"slice_bytes"`
-	Kernels    []kernelRow   `json:"kernels"`
-	Codec      []codecRow    `json:"codec"`
-	FileDecode fileDecodeRow `json:"file_decode"`
+	Accel            string          `json:"accel"`
+	GOMAXPROCS       int             `json:"gomaxprocs"`
+	GoVersion        string          `json:"go_version"`
+	SliceBytes       int             `json:"slice_bytes"`
+	Kernels          []kernelRow     `json:"kernels"`
+	Codec            []codecRow      `json:"codec"`
+	FileDecode       fileDecodeRow   `json:"file_decode"`
+	FileDecodeMatrix []fileDecodeRow `json:"file_decode_matrix"`
+	SystematicDecode sysDecodeRow    `json:"systematic_decode"`
 }
 
 type kernelRow struct {
@@ -60,6 +68,12 @@ type fileDecodeRow struct {
 	SerialMBps   float64 `json:"serial_mb_per_s"`
 	ParallelMBps float64 `json:"parallel_mb_per_s"`
 	Speedup      float64 `json:"speedup"`
+}
+
+type sysDecodeRow struct {
+	ContentBytes int     `json:"content_bytes"`
+	Generations  int     `json:"generations"`
+	MBps         float64 `json:"mb_per_s"`
 }
 
 // mbps converts a benchmark over size-byte operations to MB/s.
@@ -155,27 +169,36 @@ func codecRows() []codecRow {
 	}
 }
 
-// fileDecode measures serial vs parallel whole-blob decode over 8
-// generations of h=16, 1 KiB packets.
-func fileDecode() fileDecodeRow {
-	params := rlnc.Params{Field: gf.F256, GenSize: 16, PacketSize: 1024}
-	const gens = 8
-	content := make([]byte, gens*params.GenSize*params.PacketSize)
+// decodeParams is the decode-benchmark coding configuration — the
+// library default of h=16 source packets of 1 KiB.
+var decodeParams = rlnc.Params{Field: gf.F256, GenSize: 16, PacketSize: 1024}
+
+// codedFeed builds seeded content of the given size plus a coded packet
+// schedule with two redundant packets per generation, the same surplus a
+// lossless overlay path delivers.
+func codedFeed(params rlnc.Params, contentBytes int) ([]byte, []*rlnc.Packet) {
+	content := make([]byte, contentBytes)
 	rand.New(rand.NewSource(3)).Read(content)
 	fe, err := rlnc.NewFileEncoder(params, content)
 	check(err)
 	r := rand.New(rand.NewSource(4))
+	gens := fe.NumGenerations()
 	perGen := params.GenSize + 2
 	pkts := make([]*rlnc.Packet, 0, gens*perGen)
 	for g := 0; g < gens; g++ {
 		for i := 0; i < perGen; i++ {
 			p, err := fe.Packet(g, r)
 			check(err)
-			pkts = append(pkts, p.Clone())
-			p.Release()
+			pkts = append(pkts, p)
 		}
 	}
-	serial := testing.Benchmark(func(b *testing.B) {
+	return content, pkts
+}
+
+// benchSerialDecode measures the serial FileDecoder over the feed. The
+// serial decoder copies packets on Add, so the feed is reused as-is.
+func benchSerialDecode(params rlnc.Params, content []byte, pkts []*rlnc.Packet) float64 {
+	res := testing.Benchmark(func(b *testing.B) {
 		b.SetBytes(int64(len(content)))
 		for i := 0; i < b.N; i++ {
 			fd, err := rlnc.NewFileDecoder(params, len(content))
@@ -192,17 +215,28 @@ func fileDecode() fileDecodeRow {
 			}
 		}
 	})
-	workers := runtime.GOMAXPROCS(0)
-	if workers > gens {
-		workers = gens
-	}
-	parallel := testing.Benchmark(func(b *testing.B) {
+	return mbps(res, len(content))
+}
+
+// benchParallelDecode measures the worker-pool decoder. The pool takes
+// ownership of (and releases) every packet, so each iteration feeds
+// pooled clones made outside the timed region — the caller of a real
+// session hands over packets it already owns, so the clone cost is not
+// part of the decode path.
+func benchParallelDecode(params rlnc.Params, content []byte, pkts []*rlnc.Packet, workers int) float64 {
+	feed := make([]*rlnc.Packet, len(pkts))
+	res := testing.Benchmark(func(b *testing.B) {
 		b.SetBytes(int64(len(content)))
 		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for j, p := range pkts {
+				feed[j] = p.ClonePooled()
+			}
+			b.StartTimer()
 			pd, err := rlnc.NewParallelFileDecoder(params, len(content), workers, nil)
 			check(err)
-			for _, p := range pkts {
-				check(pd.Add(p.Clone()))
+			for _, p := range feed {
+				check(pd.Add(p))
 			}
 			pd.Close()
 			if !pd.Complete() {
@@ -210,17 +244,126 @@ func fileDecode() fileDecodeRow {
 			}
 		}
 	})
+	return mbps(res, len(content))
+}
+
+func decodeRow(params rlnc.Params, content []byte, pkts []*rlnc.Packet, workers int, serialMBps float64) fileDecodeRow {
 	row := fileDecodeRow{
 		ContentBytes: len(content),
-		Generations:  gens,
+		Generations:  (len(content) + params.GenSize*params.PacketSize - 1) / (params.GenSize * params.PacketSize),
 		Workers:      workers,
-		SerialMBps:   mbps(serial, len(content)),
-		ParallelMBps: mbps(parallel, len(content)),
+		SerialMBps:   serialMBps,
+		ParallelMBps: benchParallelDecode(params, content, pkts, workers),
 	}
 	if row.SerialMBps > 0 {
 		row.Speedup = row.ParallelMBps / row.SerialMBps
 	}
 	return row
+}
+
+// fileDecode is the headline serial-vs-parallel row: 8 generations,
+// GOMAXPROCS workers.
+func fileDecode() fileDecodeRow {
+	params := decodeParams
+	const gens = 8
+	content, pkts := codedFeed(params, gens*params.GenSize*params.PacketSize)
+	defer releaseAll(pkts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > gens {
+		workers = gens
+	}
+	return decodeRow(params, content, pkts, workers, benchSerialDecode(params, content, pkts))
+}
+
+// fileDecodeMatrix sweeps worker count against content size. Serial
+// throughput is measured once per size and shared across that size's
+// rows.
+func fileDecodeMatrix() []fileDecodeRow {
+	params := decodeParams
+	const mib = 1 << 20
+	var rows []fileDecodeRow
+	for _, size := range []int{1 * mib, 4 * mib, 16 * mib, 64 * mib} {
+		content, pkts := codedFeed(params, size)
+		serial := benchSerialDecode(params, content, pkts)
+		for _, workers := range []int{1, 2, 4, 8} {
+			rows = append(rows, decodeRow(params, content, pkts, workers, serial))
+		}
+		releaseAll(pkts)
+	}
+	return rows
+}
+
+// systematicDecode measures the serial decoder on a loss-free
+// all-systematic feed: every packet takes the identity fast path, so the
+// decode degenerates to copying payloads into place.
+func systematicDecode() sysDecodeRow {
+	params := decodeParams
+	const mib = 1 << 20
+	contentBytes := 16 * mib
+	content := make([]byte, contentBytes)
+	rand.New(rand.NewSource(5)).Read(content)
+	fe, err := rlnc.NewFileEncoder(params, content)
+	check(err)
+	gens := fe.NumGenerations()
+	pkts := make([]*rlnc.Packet, 0, gens*params.GenSize)
+	for g := 0; g < gens; g++ {
+		for i := 0; i < params.GenSize; i++ {
+			p, err := fe.Systematic(g, i)
+			check(err)
+			pkts = append(pkts, p)
+		}
+	}
+	defer releaseAll(pkts)
+	return sysDecodeRow{
+		ContentBytes: contentBytes,
+		Generations:  gens,
+		MBps:         benchSerialDecode(params, content, pkts),
+	}
+}
+
+func releaseAll(pkts []*rlnc.Packet) {
+	for _, p := range pkts {
+		p.Release()
+	}
+}
+
+// runGate is the `-gate` regression check wired into `make check`: the
+// emit paths must stay zero-alloc, and the parallel decoder must be at
+// least as fast as serial once it has two or more workers. Throughput
+// comparisons on a loaded machine are noisy, so the decode leg gets
+// three attempts; allocation counts are deterministic and get none.
+func runGate() int {
+	failed := false
+	for _, c := range codecRows() {
+		status := "ok"
+		if c.AllocsPerOp != 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("gate %-32s %3d allocs/op (want 0) %s\n", c.Name, c.AllocsPerOp, status)
+	}
+	params := decodeParams
+	content, pkts := codedFeed(params, 4<<20)
+	defer releaseAll(pkts)
+	for _, workers := range []int{2, 4} {
+		ok := false
+		for attempt := 1; attempt <= 3 && !ok; attempt++ {
+			serial := benchSerialDecode(params, content, pkts)
+			row := decodeRow(params, content, pkts, workers, serial)
+			ok = row.ParallelMBps >= row.SerialMBps
+			fmt.Printf("gate file decode workers=%d attempt %d: serial %.0f MB/s, parallel %.0f MB/s (%.2fx)\n",
+				workers, attempt, row.SerialMBps, row.ParallelMBps, row.Speedup)
+		}
+		if !ok {
+			fmt.Printf("gate FAIL: parallel decode slower than serial at workers=%d\n", workers)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("gate ok")
+	return 0
 }
 
 func check(err error) {
@@ -233,7 +376,12 @@ func check(err error) {
 func main() {
 	out := flag.String("o", "BENCH_rlnc.json", "output path for the JSON report")
 	size := flag.Int("size", 4096, "payload bytes for the kernel benchmarks")
+	gate := flag.Bool("gate", false, "run the perf regression gate instead of the full report")
 	flag.Parse()
+
+	if *gate {
+		os.Exit(runGate())
+	}
 
 	rep := report{
 		Accel:      gf.Accel(),
@@ -254,6 +402,15 @@ func main() {
 	fd := rep.FileDecode
 	fmt.Printf("file decode %d B / %d gens: serial %.0f MB/s, parallel(%d) %.0f MB/s (%.2fx)\n",
 		fd.ContentBytes, fd.Generations, fd.SerialMBps, fd.Workers, fd.ParallelMBps, fd.Speedup)
+	rep.FileDecodeMatrix = fileDecodeMatrix()
+	for _, row := range rep.FileDecodeMatrix {
+		fmt.Printf("file decode %4d MiB workers=%d: serial %.0f MB/s, parallel %.0f MB/s (%.2fx)\n",
+			row.ContentBytes>>20, row.Workers, row.SerialMBps, row.ParallelMBps, row.Speedup)
+	}
+	rep.SystematicDecode = systematicDecode()
+	sd := rep.SystematicDecode
+	fmt.Printf("systematic decode %d MiB / %d gens: %.0f MB/s\n",
+		sd.ContentBytes>>20, sd.Generations, sd.MBps)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	check(err)

@@ -1,6 +1,9 @@
 package gf
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
 
 // This file holds the data-plane kernel dispatch and every pure-Go kernel
 // implementation. The bulk slice operations on the three fields route
@@ -153,4 +156,27 @@ func buildNibTab65536(c uint16, tab *[128]byte) {
 		tab[64+n], tab[80+n] = byte(f2), byte(f2>>8)
 		tab[96+n], tab[112+n] = byte(f3), byte(f3>>8)
 	}
+}
+
+// tab65536Cache amortizes GF(2^16) nibble-table construction across calls:
+// decode and recode workloads revisit the same 16-bit coefficients many
+// times over a session, and each table costs 60 log/exp multiplies — more
+// than the vector loop itself for KiB-scale rows. Entries are built on
+// first use and published through an atomic pointer; tables are immutable
+// after publication, so a racing double build wastes one 128-byte
+// allocation at worst and readers can never observe a partial table.
+// Fully populated the cache tops out at 8 MiB (65536 x 128 B), reached
+// only by a workload that has already paid for 65536 distinct builds.
+var tab65536Cache [1 << 16]atomic.Pointer[[128]byte]
+
+// tab65536For returns the cached nibble table for coefficient c, building
+// and publishing it on first use.
+func tab65536For(c uint16) *[128]byte {
+	if t := tab65536Cache[c].Load(); t != nil {
+		return t
+	}
+	t := new([128]byte)
+	buildNibTab65536(c, t)
+	tab65536Cache[c].Store(t)
+	return t
 }

@@ -96,20 +96,20 @@ func addMulSlice256Asm(dst, src []byte, c uint16) {
 	}
 }
 
-// vecCut65536 is the slice length below which building the per-call
-// GF(2^16) nibble tables (60 log/exp multiplies) costs more than the
-// vector loop saves over the scalar log/exp path.
-const vecCut65536 = 256
+// vecCut65536 is the slice length below which the GF(2^16) vector path
+// (an amortized table-cache hit plus the loop prologue) still loses to
+// the scalar log/exp loop. With tables cached across calls the first-use
+// build cost no longer factors in, so the cutover sits at one vector
+// iteration's worth of data.
+const vecCut65536 = 64
 
 func mulSlice65536Asm(dst, src []byte, c uint16) {
 	if len(dst) < vecCut65536 {
 		refMulSlice65536(dst, src, c)
 		return
 	}
-	var tab [128]byte
-	buildNibTab65536(c, &tab)
 	n := len(dst) &^ 31
-	mulSlice65536AVX2(&dst[0], &src[0], n, &tab)
+	mulSlice65536AVX2(&dst[0], &src[0], n, tab65536For(c))
 	if n < len(dst) {
 		refMulSlice65536(dst[n:], src[n:], c)
 	}
@@ -120,10 +120,8 @@ func addMulSlice65536Asm(dst, src []byte, c uint16) {
 		refAddMulSlice65536(dst, src, c)
 		return
 	}
-	var tab [128]byte
-	buildNibTab65536(c, &tab)
 	n := len(dst) &^ 31
-	addMulSlice65536AVX2(&dst[0], &src[0], n, &tab)
+	addMulSlice65536AVX2(&dst[0], &src[0], n, tab65536For(c))
 	if n < len(dst) {
 		refAddMulSlice65536(dst[n:], src[n:], c)
 	}

@@ -1,0 +1,187 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON kernels. Structure mirrors kernels_amd64.s with 16-byte vectors:
+// the GF(2^8) multiply is the classic low/high-nibble product-table
+// lookup (TBL against a 16-byte table per nibble), and the GF(2^16)
+// multiply accumulates eight byte-plane table contributions per vector
+// (see buildNibTab65536 for the table layout). TBL yields zero for any
+// index >= 16, so lanes that must not contribute are masked by forcing
+// their control byte to 0xFF — the NEON equivalent of PSHUFB's bit-7
+// convention.
+
+// nibMask selects the low nibble of every byte.
+DATA nibMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// oddMask carries 0xFF in the odd (high, little-endian) byte of every
+// 16-bit lane; evenMask in the even (low) byte. ORing one into a TBL
+// control invalidates that half of every symbol.
+DATA oddMask<>+0x00(SB)/8, $0xff00ff00ff00ff00
+DATA oddMask<>+0x08(SB)/8, $0xff00ff00ff00ff00
+GLOBL oddMask<>(SB), RODATA|NOPTR, $16
+
+DATA evenMask<>+0x00(SB)/8, $0x00ff00ff00ff00ff
+DATA evenMask<>+0x08(SB)/8, $0x00ff00ff00ff00ff
+GLOBL evenMask<>(SB), RODATA|NOPTR, $16
+
+// func xorSliceNEON(dst, src *byte, n int)
+// n is a positive multiple of 16.
+TEXT ·xorSliceNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+xorloop:
+	VLD1   (R0), [V0.B16]
+	VLD1.P 16(R1), [V1.B16]
+	VEOR   V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    xorloop
+	RET
+
+// func mulSlice256NEON(dst, src *byte, n int, tab *[32]byte)
+// dst[i] = tab-lookup product of src[i]; n is a positive multiple of 16.
+// tab holds the 16 low-nibble products followed by the 16 high-nibble
+// products for the scalar (see nib256).
+TEXT ·mulSlice256NEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD tab+24(FP), R3
+	VLD1 (R3), [V16.B16, V17.B16]
+	MOVD $nibMask<>(SB), R4
+	VLD1 (R4), [V18.B16]
+
+mulloop:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR  $4, V0.B16, V1.B16
+	VAND   V18.B16, V0.B16, V0.B16
+	VTBL   V0.B16, [V16.B16], V2.B16
+	VTBL   V1.B16, [V17.B16], V3.B16
+	VEOR   V3.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    mulloop
+	RET
+
+// func addMulSlice256NEON(dst, src *byte, n int, tab *[32]byte)
+// dst[i] ^= product of src[i]; n is a positive multiple of 16.
+TEXT ·addMulSlice256NEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD tab+24(FP), R3
+	VLD1 (R3), [V16.B16, V17.B16]
+	MOVD $nibMask<>(SB), R4
+	VLD1 (R4), [V18.B16]
+
+addmulloop:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR  $4, V0.B16, V1.B16
+	VAND   V18.B16, V0.B16, V0.B16
+	VTBL   V0.B16, [V16.B16], V2.B16
+	VTBL   V1.B16, [V17.B16], V3.B16
+	VEOR   V3.B16, V2.B16, V2.B16
+	VLD1   (R0), [V4.B16]
+	VEOR   V4.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    addmulloop
+	RET
+
+// GF(2^16) vector multiply over 16-bit little-endian symbols. A loaded
+// vector interleaves low bytes (even lanes, nibbles n0/n1) and high
+// bytes (odd lanes, nibbles n2/n3) of 8 symbols. The product's low byte
+// is T0lo[n0]^T1lo[n1]^T2lo[n2]^T3lo[n3] and the high byte the same
+// over the *hi tables (buildNibTab65536 layout: T0lo T0hi T1lo T1hi
+// T2lo T2hi T3lo T3hi, 16 bytes each, in V16..V23). Word shifts by 8
+// move a nibble to the opposite lane of its symbol and never leak bits
+// across symbols; oddMask/evenMask force the non-target lanes of every
+// TBL control out of range.
+//
+// Register plan for both loops below:
+//   V16..V23 the eight product tables
+//   V24      low-nibble mask, V25 oddMask, V26 evenMask
+//   V0 input, V1 low nibbles, V2 high nibbles, V3 control scratch,
+//   V4 lookup scratch, V7 accumulator, V5 dst (addmul only)
+
+#define GF65536_PROLOGUE \
+	MOVD   dst+0(FP), R0             \
+	MOVD   src+8(FP), R1             \
+	MOVD   n+16(FP), R2              \
+	MOVD   tab+24(FP), R3            \
+	VLD1.P 64(R3), [V16.B16, V17.B16, V18.B16, V19.B16] \
+	VLD1   (R3), [V20.B16, V21.B16, V22.B16, V23.B16]   \
+	MOVD   $nibMask<>(SB), R4        \
+	VLD1   (R4), [V24.B16]           \
+	MOVD   $oddMask<>(SB), R4        \
+	VLD1   (R4), [V25.B16]           \
+	MOVD   $evenMask<>(SB), R4       \
+	VLD1   (R4), [V26.B16]
+
+// One 16-byte step: split nibbles (V1: n0 even / n2 odd; V2: n1 even /
+// n3 odd), then accumulate the eight table contributions into V7 in the
+// order T0lo[n0] T0hi[n0] T2lo[n2] T2hi[n2] T1lo[n1] T1hi[n1] T3lo[n3]
+// T3hi[n3] — *lo lookups landing in even lanes, *hi in odd lanes.
+#define GF65536_STEP \
+	VLD1.P 16(R1), [V0.B16]          \
+	VAND   V24.B16, V0.B16, V1.B16   \
+	VUSHR  $4, V0.B16, V2.B16        \
+	VAND   V24.B16, V2.B16, V2.B16   \
+	VORR   V25.B16, V1.B16, V3.B16   \
+	VTBL   V3.B16, [V16.B16], V7.B16 \
+	VSHL   $8, V1.H8, V3.H8          \
+	VORR   V26.B16, V3.B16, V3.B16   \
+	VTBL   V3.B16, [V17.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VUSHR  $8, V1.H8, V3.H8          \
+	VORR   V25.B16, V3.B16, V3.B16   \
+	VTBL   V3.B16, [V20.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VORR   V26.B16, V1.B16, V3.B16   \
+	VTBL   V3.B16, [V21.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VORR   V25.B16, V2.B16, V3.B16   \
+	VTBL   V3.B16, [V18.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VSHL   $8, V2.H8, V3.H8          \
+	VORR   V26.B16, V3.B16, V3.B16   \
+	VTBL   V3.B16, [V19.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VUSHR  $8, V2.H8, V3.H8          \
+	VORR   V25.B16, V3.B16, V3.B16   \
+	VTBL   V3.B16, [V22.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16    \
+	VORR   V26.B16, V2.B16, V3.B16   \
+	VTBL   V3.B16, [V23.B16], V4.B16 \
+	VEOR   V4.B16, V7.B16, V7.B16
+
+// func mulSlice65536NEON(dst, src *byte, n int, tab *[128]byte)
+// n is a positive multiple of 16 (and of the 2-byte symbol size).
+TEXT ·mulSlice65536NEON(SB), NOSPLIT, $0-32
+	GF65536_PROLOGUE
+
+mul65536loop:
+	GF65536_STEP
+	VST1.P [V7.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    mul65536loop
+	RET
+
+// func addMulSlice65536NEON(dst, src *byte, n int, tab *[128]byte)
+// dst ^= product; n is a positive multiple of 16.
+TEXT ·addMulSlice65536NEON(SB), NOSPLIT, $0-32
+	GF65536_PROLOGUE
+
+addmul65536loop:
+	GF65536_STEP
+	VLD1   (R0), [V5.B16]
+	VEOR   V5.B16, V7.B16, V7.B16
+	VST1.P [V7.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    addmul65536loop
+	RET

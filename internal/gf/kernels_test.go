@@ -388,3 +388,25 @@ func BenchmarkAddMulCoeff256(b *testing.B) {
 		F256.AddMulCoeff(dst, src, 0x57)
 	}
 }
+
+// TestTab65536CacheStable pins the cross-call amortization contract of the
+// GF(2^16) nibble-table cache: a second request for the same coefficient
+// returns the same (immutable) table, and every cached table matches a
+// fresh build.
+func TestTab65536CacheStable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, c := range coeffsFor(F65536, r) {
+		if c == 0 {
+			continue
+		}
+		first := tab65536For(c)
+		if again := tab65536For(c); again != first {
+			t.Fatalf("c=%#x: second lookup returned a different table pointer", c)
+		}
+		var want [128]byte
+		buildNibTab65536(c, &want)
+		if *first != want {
+			t.Fatalf("c=%#x: cached table differs from fresh build", c)
+		}
+	}
+}

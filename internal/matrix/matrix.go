@@ -171,15 +171,12 @@ func (m *Matrix) MulVec(v []uint16) []uint16 {
 	return out
 }
 
-// scaleRow multiplies row i by c through the field's bulk kernel.
-func (m *Matrix) scaleRow(i int, c uint16) {
-	m.f.MulCoeff(m.Row(i), c)
-}
-
-// addMulRow adds c times row src to row dst through the field's bulk
-// kernel.
-func (m *Matrix) addMulRow(dst, src int, c uint16) {
-	m.f.AddMulCoeff(m.Row(dst), m.Row(src), c)
+// addMulRowFrom adds c times row src to row dst through the field's bulk
+// kernel, starting at column from. Elimination always knows the columns
+// left of the pivot are zero in both rows, so operating on the suffix
+// keeps row updates proportional to the live part of the row.
+func (m *Matrix) addMulRowFrom(dst, src, from int, c uint16) {
+	m.f.AddMulCoeff(m.Row(dst)[from:], m.Row(src)[from:], c)
 }
 
 // swapRows exchanges rows i and j.
@@ -193,9 +190,13 @@ func (m *Matrix) swapRows(i, j int) {
 	}
 }
 
-// RREF reduces the matrix in place to reduced row-echelon form and returns
-// the rank and the pivot column of each of the first rank rows.
-func (m *Matrix) RREF() (rank int, pivots []int) {
+// REF reduces the matrix in place to (unreduced) row-echelon form and
+// returns the rank and the pivot column of each of the first rank rows.
+// Only rows below the pivot row are eliminated, and every row update runs
+// on the suffix starting at the pivot column, so forward elimination does
+// roughly half the work of full RREF maintenance; pair with BackSub when
+// the reduced form is needed.
+func (m *Matrix) REF() (rank int, pivots []int) {
 	pivots = make([]int, 0, min(m.rows, m.cols))
 	r := 0
 	for c := 0; c < m.cols && r < m.rows; c++ {
@@ -212,17 +213,42 @@ func (m *Matrix) RREF() (rank int, pivots []int) {
 		}
 		m.swapRows(r, p)
 		if v := m.At(r, c); v != 1 {
-			m.scaleRow(r, m.f.Inv(v))
+			m.f.MulCoeff(m.Row(r)[c:], m.f.Inv(v))
 		}
-		for i := 0; i < m.rows; i++ {
-			if i != r && m.At(i, c) != 0 {
-				m.addMulRow(i, r, m.At(i, c))
+		for i := r + 1; i < m.rows; i++ {
+			if v := m.At(i, c); v != 0 {
+				m.addMulRowFrom(i, r, c, v)
 			}
 		}
 		pivots = append(pivots, c)
 		r++
 	}
 	return r, pivots
+}
+
+// BackSub back-substitutes a matrix left in row-echelon form by REF,
+// completing the reduction to RREF. pivots must be REF's return value.
+// Pivot rows are processed bottom-up, so each source row is already fully
+// reduced when it is used to clear its pivot column above — the same
+// deferred schedule the rlnc decode engine runs when a generation closes
+// rank.
+func (m *Matrix) BackSub(pivots []int) {
+	for r := len(pivots) - 1; r > 0; r-- {
+		c := pivots[r]
+		for i := 0; i < r; i++ {
+			if v := m.At(i, c); v != 0 {
+				m.addMulRowFrom(i, r, c, v)
+			}
+		}
+	}
+}
+
+// RREF reduces the matrix in place to reduced row-echelon form and returns
+// the rank and the pivot column of each of the first rank rows.
+func (m *Matrix) RREF() (rank int, pivots []int) {
+	rank, pivots = m.REF()
+	m.BackSub(pivots)
+	return rank, pivots
 }
 
 // Rank returns the rank of the matrix without modifying it.

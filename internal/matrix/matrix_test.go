@@ -250,3 +250,62 @@ func BenchmarkInverse32(b *testing.B) {
 		}
 	}
 }
+
+// TestREFBackSubMatchesRREF checks the split pipeline (REF then BackSub)
+// produces exactly the canonical reduced form, across fields, shapes, and
+// rank-deficient inputs.
+func TestREFBackSubMatchesRREF(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, f := range []gf.Field{gf.F2, gf.F256, gf.F65536} {
+		for trial := 0; trial < 30; trial++ {
+			rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+			m := Random(f, rows, cols, r)
+			if trial%3 == 0 && rows > 1 {
+				// Force rank deficiency: duplicate a random row.
+				copy(m.Row(r.Intn(rows-1)+1), m.Row(0))
+			}
+			split := m.Clone()
+			rank, pivots := split.REF()
+			// REF invariants: unit pivots, zeros below each pivot.
+			for ri, c := range pivots {
+				if split.At(ri, c) != 1 {
+					t.Fatalf("%s: REF pivot (%d,%d) = %d, want 1", f.Name(), ri, c, split.At(ri, c))
+				}
+				for i := ri + 1; i < rows; i++ {
+					if split.At(i, c) != 0 {
+						t.Fatalf("%s: REF nonzero below pivot at (%d,%d)", f.Name(), i, c)
+					}
+				}
+			}
+			split.BackSub(pivots)
+			wantRank, wantPivots := m.RREF()
+			if rank != wantRank {
+				t.Fatalf("%s: REF rank %d, RREF rank %d", f.Name(), rank, wantRank)
+			}
+			if len(pivots) != len(wantPivots) {
+				t.Fatalf("%s: pivots %v vs %v", f.Name(), pivots, wantPivots)
+			}
+			for i := range pivots {
+				if pivots[i] != wantPivots[i] {
+					t.Fatalf("%s: pivots %v vs %v", f.Name(), pivots, wantPivots)
+				}
+			}
+			if !split.Equal(m) {
+				t.Fatalf("%s: REF+BackSub != RREF\nsplit:\n%srref:\n%s", f.Name(), split, m)
+			}
+		}
+	}
+}
+
+// BenchmarkREF64 measures forward elimination alone on the same shape as
+// BenchmarkRREF64, exposing the cost split with BackSub.
+func BenchmarkREF64(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	src := Random(gf.F256, 64, 64, r)
+	m := New(gf.F256, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(m.data, src.data)
+		m.REF()
+	}
+}

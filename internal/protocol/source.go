@@ -42,6 +42,15 @@ type Source struct {
 	// is emitted with a trace context that nodes propagate and report.
 	// 0 disables sampling.
 	TraceRate int
+	// Systematic makes the source emit each generation's h source packets
+	// uncoded (and flagged) before switching to random coding, so
+	// loss-free receivers hit the decoder's identity fast path and only
+	// the repair tail pays Gaussian cost. Ignored in layered mode. Set
+	// before Run.
+	Systematic bool
+	// sysSent counts, per generation, how many systematic packets have
+	// been emitted; only Run touches it.
+	sysSent []uint16
 }
 
 // NewSource wraps content for broadcasting on k threads.
@@ -185,7 +194,19 @@ func (s *Source) Run(ctx context.Context) error {
 			if s.le != nil {
 				p, err = s.le.Packet(s.rng)
 			} else {
-				p, err = s.fe.Packet((round+th)%gens, s.rng)
+				g := (round + th) % gens
+				if s.Systematic {
+					if s.sysSent == nil {
+						s.sysSent = make([]uint16, gens)
+					}
+					if sent := int(s.sysSent[g]); sent < s.params.GenSize {
+						p, err = s.fe.Systematic(g, sent)
+						s.sysSent[g]++
+					}
+				}
+				if p == nil && err == nil {
+					p, err = s.fe.Packet(g, s.rng)
+				}
 			}
 			if err != nil {
 				return err

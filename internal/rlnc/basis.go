@@ -13,11 +13,15 @@ import (
 // reaches h the coefficient matrix is the identity and the payload rows
 // are the decoded source packets.
 type basis struct {
-	f     gf.Field
-	h     int // generation size: coefficient vector length
-	size  int // payload length in bytes
-	rows  []basisRow
-	pivot map[int]int // pivot column -> index in rows
+	f    gf.Field
+	h    int // generation size: coefficient vector length
+	size int // payload length in bytes
+	rows []basisRow
+	// pivot maps pivot column -> index in rows, -1 when the column has no
+	// pivot yet. A dense slice instead of a map: the elimination inner
+	// loop probes it once per nonzero coefficient, and at h=16 the map
+	// hash dominated the probe.
+	pivot []int
 }
 
 type basisRow struct {
@@ -33,12 +37,16 @@ func newBasis(f gf.Field, h, size int) (*basis, error) {
 	if size <= 0 || size%f.SymbolSize() != 0 {
 		return nil, fmt.Errorf("rlnc: payload size %d invalid for %s", size, f.Name())
 	}
+	pivot := make([]int, h)
+	for i := range pivot {
+		pivot[i] = -1
+	}
 	return &basis{
 		f:     f,
 		h:     h,
 		size:  size,
 		rows:  make([]basisRow, 0, h),
-		pivot: make(map[int]int, h),
+		pivot: pivot,
 	}, nil
 }
 
@@ -67,8 +75,8 @@ func (b *basis) add(coeff []uint16, payload []byte) (bool, error) {
 		if coeff[c] == 0 {
 			continue
 		}
-		ri, ok := b.pivot[c]
-		if !ok {
+		ri := b.pivot[c]
+		if ri < 0 {
 			if newPivot < 0 {
 				newPivot = c
 			}
@@ -80,6 +88,26 @@ func (b *basis) add(coeff []uint16, payload []byte) (bool, error) {
 		return false, nil // fully eliminated: not innovative
 	}
 	b.install(newPivot, coeff, payload)
+	return true, nil
+}
+
+// addSys absorbs a systematic packet: coeff MUST be the unit vector for
+// column idx (callers construct it rather than trusting the wire). When
+// the column is still open the row installs with no elimination at all —
+// the loss-free fast path, whose only payload work is the caller's copy
+// into the staging buffer. A filled column falls back to general
+// elimination, which handles duplicates and mixed arrivals.
+func (b *basis) addSys(idx int, coeff []uint16, payload []byte) (bool, error) {
+	if idx < 0 || idx >= b.h {
+		return false, fmt.Errorf("rlnc: systematic index %d out of range [0,%d)", idx, b.h)
+	}
+	if len(payload) != b.size {
+		return false, fmt.Errorf("rlnc: payload length %d, want %d", len(payload), b.size)
+	}
+	if b.pivot[idx] >= 0 {
+		return b.add(coeff, payload)
+	}
+	b.install(idx, coeff, payload)
 	return true, nil
 }
 
@@ -122,4 +150,13 @@ func (b *basis) source() ([][]byte, error) {
 		out[i] = b.rows[b.pivot[i]].payload
 	}
 	return out, nil
+}
+
+// addPacket routes a packet's staged buffers to the systematic install
+// path or general elimination.
+func (b *basis) addPacket(sys bool, sysIdx uint16, coeff []uint16, payload []byte) (bool, error) {
+	if sys {
+		return b.addSys(int(sysIdx), coeff, payload)
+	}
+	return b.add(coeff, payload)
 }

@@ -20,16 +20,17 @@ type codecObs struct {
 	done    bool
 }
 
-// addObserved runs b.add under o's timing. o may be nil.
-func addObserved(b *basis, o *codecObs, coeff []uint16, payload []byte) (bool, error) {
+// addObserved runs the basis add under o's timing, routing systematic
+// packets to the fast install path. o may be nil.
+func addObserved(b *basis, o *codecObs, sys bool, sysIdx uint16, coeff []uint16, payload []byte) (bool, error) {
 	if o == nil {
-		return b.add(coeff, payload)
+		return b.addPacket(sys, sysIdx, coeff, payload)
 	}
 	if o.firstAt.IsZero() {
 		o.firstAt = time.Now()
 	}
 	start := time.Now()
-	innovative, err := b.add(coeff, payload)
+	innovative, err := b.addPacket(sys, sysIdx, coeff, payload)
 	o.m.GaussNanos.ObserveSince(start)
 	if err == nil && !o.done && b.complete() {
 		o.done = true
@@ -97,6 +98,7 @@ func (e *Encoder) Systematic(i int) (*Packet, error) {
 	}
 	p := getPacket(e.gen, len(e.src), e.size)
 	p.Coeff[i] = 1
+	p.Sys, p.SysIdx = true, uint16(i)
 	copy(p.Payload, e.src[i])
 	return p, nil
 }
@@ -112,13 +114,23 @@ type scratch struct {
 }
 
 // stage copies the packet into the scratch buffers, reusing their capacity.
+// For systematic packets the coefficient vector is reconstructed as the
+// unit vector of SysIdx rather than copied, so the basis fast path's
+// precondition holds even for hand-built packets with stale Coeff.
 func (s *scratch) stage(p *Packet) ([]uint16, []byte) {
 	if cap(s.coeff) >= len(p.Coeff) {
 		s.coeff = s.coeff[:len(p.Coeff)]
 	} else {
 		s.coeff = make([]uint16, len(p.Coeff))
 	}
-	copy(s.coeff, p.Coeff)
+	if p.Sys {
+		clear(s.coeff)
+		if int(p.SysIdx) < len(s.coeff) {
+			s.coeff[p.SysIdx] = 1
+		}
+	} else {
+		copy(s.coeff, p.Coeff)
+	}
 	if cap(s.payload) >= len(p.Payload) {
 		s.payload = s.payload[:len(p.Payload)]
 	} else {
@@ -176,7 +188,7 @@ func (d *Decoder) Add(p *Packet) (innovative bool, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	coeff, payload := d.s.stage(p)
-	innovative, err = addObserved(d.b, d.obs, coeff, payload)
+	innovative, err = addObserved(d.b, d.obs, p.Sys, p.SysIdx, coeff, payload)
 	if innovative {
 		d.s.donate()
 	}
@@ -249,7 +261,7 @@ func (rc *Recoder) Add(p *Packet) (innovative bool, err error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	coeff, payload := rc.s.stage(p)
-	innovative, err = addObserved(rc.b, rc.obs, coeff, payload)
+	innovative, err = addObserved(rc.b, rc.obs, p.Sys, p.SysIdx, coeff, payload)
 	if innovative {
 		rc.s.donate()
 	}

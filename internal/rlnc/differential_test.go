@@ -1,0 +1,280 @@
+package rlnc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ncast/internal/gf"
+)
+
+// The differential suite pins the one property the decode-engine overhaul
+// must not bend: for any packet schedule that completes, the parallel
+// decoder's output is byte-identical to the serial FileDecoder's (and to
+// the original content). Schedules are seeded and deterministic, and span
+// loss, duplication, stale traffic for completed generations, systematic
+// and coded mixes, and every worker count the bench matrix uses. The
+// whole file also runs under -race via `make race`, which is what makes
+// the worker-pool handoff itself part of the contract.
+
+// diffSchedule builds one deterministic packet feed for the scenario.
+// Returned packets are owned by the caller.
+type diffScenario struct {
+	name     string
+	field    gf.Field
+	genSize  int
+	pktSize  int
+	schedule func(t *testing.T, fe *FileEncoder, params Params, gens int, r *rand.Rand) []*Packet
+}
+
+// codedOnly emits random combinations round-robin until every generation
+// has a comfortable surplus.
+func codedOnly(t *testing.T, fe *FileEncoder, params Params, gens int, r *rand.Rand) []*Packet {
+	var pkts []*Packet
+	for round := 0; round < params.GenSize+4; round++ {
+		for g := 0; g < gens; g++ {
+			p, err := fe.Packet(g, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts = append(pkts, p)
+		}
+	}
+	return pkts
+}
+
+// systematicLossFree sends exactly the source packets, flagged, in order
+// — the fast-path steady state.
+func systematicLossFree(t *testing.T, fe *FileEncoder, params Params, gens int, r *rand.Rand) []*Packet {
+	var pkts []*Packet
+	for g := 0; g < gens; g++ {
+		for i := 0; i < params.GenSize; i++ {
+			p, err := fe.Systematic(g, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts = append(pkts, p)
+		}
+	}
+	return pkts
+}
+
+// systematicWithLoss drops ~30% of the systematic pass and repairs with
+// coded packets, mirroring the paper's systematic-plus-repair source.
+func systematicWithLoss(t *testing.T, fe *FileEncoder, params Params, gens int, r *rand.Rand) []*Packet {
+	var pkts []*Packet
+	for g := 0; g < gens; g++ {
+		for i := 0; i < params.GenSize; i++ {
+			if r.Intn(10) < 3 {
+				continue // lost
+			}
+			p, err := fe.Systematic(g, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts = append(pkts, p)
+		}
+	}
+	for round := 0; round < params.GenSize/2+4; round++ {
+		for g := 0; g < gens; g++ {
+			p, err := fe.Packet(g, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts = append(pkts, p)
+		}
+	}
+	return pkts
+}
+
+// duplicatesAndStale interleaves systematic and coded packets, sends
+// every third packet twice, and appends a stale tail of traffic for
+// generation 0 after it is long complete.
+func duplicatesAndStale(t *testing.T, fe *FileEncoder, params Params, gens int, r *rand.Rand) []*Packet {
+	var pkts []*Packet
+	add := func(p *Packet, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+		if len(pkts)%3 == 0 {
+			pkts = append(pkts, p.Clone())
+		}
+	}
+	for g := 0; g < gens; g++ {
+		for i := 0; i < params.GenSize; i++ {
+			if i%2 == 0 {
+				add(fe.Systematic(g, i))
+			} else {
+				add(fe.Packet(g, r))
+			}
+		}
+	}
+	for round := 0; round < params.GenSize/2+4; round++ {
+		for g := 0; g < gens; g++ {
+			add(fe.Packet(g, r))
+		}
+	}
+	for i := 0; i < 2*params.GenSize; i++ {
+		add(fe.Packet(0, r)) // stale: generation 0 finished long ago
+	}
+	return pkts
+}
+
+func TestParallelMatchesSerialDifferential(t *testing.T) {
+	t.Parallel()
+	scenarios := []diffScenario{
+		{"coded-only/GF256", gf.F256, 8, 128, codedOnly},
+		{"coded-only/GF65536", gf.F65536, 8, 128, codedOnly},
+		{"coded-only/GF2", gf.F2, 16, 64, codedOnly},
+		{"systematic-loss-free/GF256", gf.F256, 8, 128, systematicLossFree},
+		{"systematic-loss/GF256", gf.F256, 8, 128, systematicWithLoss},
+		{"systematic-loss/GF65536", gf.F65536, 8, 128, systematicWithLoss},
+		{"duplicates-stale/GF256", gf.F256, 8, 128, duplicatesAndStale},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			params := Params{Field: sc.field, GenSize: sc.genSize, PacketSize: sc.pktSize}
+			const gens = 5
+			// Ragged final generation: content stops mid-packet.
+			contentLen := (gens-1)*params.genBytes() + params.genBytes()/2 + 3
+			r := rand.New(rand.NewSource(1234))
+			content := make([]byte, contentLen)
+			r.Read(content)
+			fe, err := NewFileEncoder(params, content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts := sc.schedule(t, fe, params, gens, r)
+
+			fd, err := NewFileDecoder(params, contentLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				if _, err := fd.Add(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			serial, err := fd.Bytes()
+			if err != nil {
+				t.Fatalf("serial decode: %v", err)
+			}
+			if !bytes.Equal(serial, content) {
+				t.Fatal("serial output differs from content")
+			}
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				pd, err := NewParallelFileDecoder(params, contentLen, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range pkts {
+					if err := pd.Add(p.ClonePooled()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pd.Close()
+				parallel, err := pd.Bytes()
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(parallel, serial) {
+					t.Fatalf("workers=%d: parallel output differs from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeHotPathAllocs pins the decode-side allocation budget: with
+// warm pools and settled engines, redundant packets — the flood steady
+// state — are absorbed by both decoders without allocating.
+func TestDecodeHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	r := rand.New(rand.NewSource(17))
+	params := Params{Field: gf.F256, GenSize: 16, PacketSize: 1024}
+	contentLen := 4 * params.genBytes()
+	content := make([]byte, contentLen)
+	r.Read(content)
+	fe, err := NewFileEncoder(params, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial Decoder: complete a generation, then hammer it.
+	dec, err := NewDecoder(params.Field, 0, params.GenSize, params.PacketSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !dec.Complete() {
+		p, _ := fe.Packet(0, r)
+		if _, err := dec.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	redundant, _ := fe.Packet(0, r)
+	defer redundant.Release()
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := dec.Add(redundant); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("redundant Decoder.Add: %v allocs/op, want 0", n)
+	}
+
+	// Batch engine: same steady state, measured through the genDecoder
+	// the worker pool runs.
+	e := newGenDecoder(params.Field, params.GenSize, params.PacketSize)
+	for !e.complete() {
+		p, _ := fe.Packet(1, r)
+		if _, err := e.add(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	stale, _ := fe.Packet(1, r)
+	defer stale.Release()
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := e.add(stale); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("redundant genDecoder.add: %v allocs/op, want 0", n)
+	}
+
+	// Systematic fast path on a fresh engine: install must cost only the
+	// arena copy, never an allocation.
+	sysPkts := make([]*Packet, params.GenSize)
+	for i := range sysPkts {
+		sysPkts[i], _ = fe.Systematic(2, i)
+	}
+	defer func() {
+		for _, p := range sysPkts {
+			p.Release()
+		}
+	}()
+	engines := make([]*genDecoder, 0, 101)
+	engines = append(engines, newGenDecoder(params.Field, params.GenSize, params.PacketSize))
+	for range 100 {
+		engines = append(engines, newGenDecoder(params.Field, params.GenSize, params.PacketSize))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		e := engines[i]
+		i++
+		for _, p := range sysPkts {
+			if _, err := e.add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.reduce()
+	}); n != 0 {
+		t.Errorf("systematic generation decode: %v allocs/op, want 0", n)
+	}
+}

@@ -106,6 +106,17 @@ func (fe *FileEncoder) Packet(g int, r *rand.Rand) (*Packet, error) {
 	return fe.gens[g].Packet(r), nil
 }
 
+// Systematic emits source packet i of generation g uncoded, flagged for
+// the decoder's systematic fast path. Sources send each generation's h
+// source packets once this way before switching to random coding, so a
+// loss-free receiver decodes at copy speed.
+func (fe *FileEncoder) Systematic(g, i int) (*Packet, error) {
+	if g < 0 || g >= len(fe.gens) {
+		return nil, fmt.Errorf("rlnc: generation %d out of range [0,%d)", g, len(fe.gens))
+	}
+	return fe.gens[g].Systematic(i)
+}
+
 // FileDecoder reassembles a content blob from coded packets spanning
 // multiple generations.
 type FileDecoder struct {

@@ -36,10 +36,22 @@ type Packet struct {
 	// Gen identifies the generation this packet belongs to.
 	Gen uint32
 	// Coeff holds the h coefficients of the combination, one per source
-	// packet of the generation, as field elements.
+	// packet of the generation, as field elements. Systematic packets
+	// carry the unit vector for SysIdx here so every in-memory consumer
+	// sees an ordinary coded packet.
 	Coeff []uint16
 	// Payload is the combined data, len = generation symbol size.
 	Payload []byte
+	// Sys marks a systematic packet: Payload is source packet SysIdx
+	// verbatim and Coeff is its unit vector. The zero value means coded,
+	// so packets built by struct literal keep their prior meaning. On the
+	// wire a systematic packet replaces the coefficient vector with a
+	// 2-byte source index (see AppendTo), and decoders use the flag to
+	// skip elimination entirely.
+	Sys bool
+	// SysIdx is the source-packet index of a systematic packet;
+	// meaningless unless Sys is set.
+	SysIdx uint16
 }
 
 // Clone returns a deep copy of the packet.
@@ -48,7 +60,20 @@ func (p *Packet) Clone() *Packet {
 		Gen:     p.Gen,
 		Coeff:   append([]uint16(nil), p.Coeff...),
 		Payload: append([]byte(nil), p.Payload...),
+		Sys:     p.Sys,
+		SysIdx:  p.SysIdx,
 	}
+}
+
+// ClonePooled returns a deep copy drawn from the shared packet pool —
+// the copy to hand to an ownership-taking sink (ParallelFileDecoder.Add)
+// when the original must stay usable. Release applies as usual.
+func (p *Packet) ClonePooled() *Packet {
+	q := getPacket(p.Gen, len(p.Coeff), len(p.Payload))
+	copy(q.Coeff, p.Coeff)
+	copy(q.Payload, p.Payload)
+	q.Sys, q.SysIdx = p.Sys, p.SysIdx
+	return q
 }
 
 // IsZero reports whether every coefficient is zero (a useless packet).
@@ -65,8 +90,21 @@ func (p *Packet) IsZero() bool {
 // count, 4B payload length.
 const packetHeaderLen = 4 + 2 + 4
 
+// sysFlag is set in the payload-length header word of a systematic
+// packet. Payload lengths are far below 2^31, so the bit is otherwise
+// always zero and pre-flag decoders were never sent it: coded-packet
+// encodings are byte-for-byte unchanged.
+const sysFlag = 1 << 31
+
+// sysIdxWireLen replaces the coefficient vector on the wire for
+// systematic packets: a 2-byte big-endian source index.
+const sysIdxWireLen = 2
+
 // WireSize returns the marshalled size of the packet over field f.
 func (p *Packet) WireSize(f gf.Field) int {
+	if p.Sys {
+		return packetHeaderLen + sysIdxWireLen + len(p.Payload)
+	}
 	return packetHeaderLen + coeffWireLen(f, len(p.Coeff)) + len(p.Payload)
 }
 
@@ -92,8 +130,16 @@ func (p *Packet) AppendTo(buf []byte, f gf.Field) []byte {
 	var hdr [packetHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:], p.Gen)
 	binary.BigEndian.PutUint16(hdr[4:], uint16(len(p.Coeff)))
-	binary.BigEndian.PutUint32(hdr[6:], uint32(len(p.Payload)))
+	plen := uint32(len(p.Payload))
+	if p.Sys {
+		plen |= sysFlag
+	}
+	binary.BigEndian.PutUint32(hdr[6:], plen)
 	buf = append(buf, hdr[:]...)
+	if p.Sys {
+		buf = append(buf, byte(p.SysIdx>>8), byte(p.SysIdx))
+		return append(buf, p.Payload...)
+	}
 	switch f.Bits() {
 	case 1:
 		var acc byte
@@ -137,7 +183,22 @@ func Unmarshal(f gf.Field, data []byte) (*Packet, error) {
 	}
 	gen := binary.BigEndian.Uint32(data[0:])
 	n := int(binary.BigEndian.Uint16(data[4:]))
-	plen := int(binary.BigEndian.Uint32(data[6:]))
+	plenWord := binary.BigEndian.Uint32(data[6:])
+	plen := int(plenWord &^ sysFlag)
+	if plenWord&sysFlag != 0 {
+		if len(data) != packetHeaderLen+sysIdxWireLen+plen {
+			return nil, fmt.Errorf("%w: length %d, want %d", ErrPacketFormat, len(data), packetHeaderLen+sysIdxWireLen+plen)
+		}
+		idx := binary.BigEndian.Uint16(data[packetHeaderLen:])
+		if int(idx) >= n {
+			return nil, fmt.Errorf("%w: systematic index %d out of range for %d coefficients", ErrPacketFormat, idx, n)
+		}
+		p := getPacket(gen, n, plen)
+		p.Sys, p.SysIdx = true, idx
+		p.Coeff[idx] = 1
+		copy(p.Payload, data[packetHeaderLen+sysIdxWireLen:])
+		return p, nil
+	}
 	clen := coeffWireLen(f, n)
 	if len(data) != packetHeaderLen+clen+plen {
 		return nil, fmt.Errorf("%w: length %d, want %d", ErrPacketFormat, len(data), packetHeaderLen+clen+plen)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ncast/internal/obs"
 )
@@ -12,18 +13,33 @@ import (
 // worker pool. Generations are independent linear systems, so their
 // Gaussian eliminations parallelise perfectly: packets are sharded to
 // workers by generation id (gen % workers), which keeps every
-// generation's elimination on a single worker — no decoder ever sees
-// concurrent Adds — while distinct generations decode concurrently.
+// generation's elimination on a single worker — no engine ever sees
+// concurrent adds — while distinct generations decode concurrently.
+//
+// The pool is built for throughput rather than per-packet latency:
+//
+//   - Packets travel in batches. Add accumulates up to batchSize packets
+//     per worker before one channel send, so the per-packet cost of the
+//     hand-off is a slice append, and a worker wakeup pays for a whole
+//     batch of eliminations.
+//   - Each generation runs a lock-free genDecoder (engine.go) with
+//     contiguous rows, coefficient-first elimination, and deferred
+//     back-substitution — see that file for why redundant packets are
+//     near-free.
+//   - Generation engines allocate lazily on the first packet that
+//     reaches them, so a decoder for a large blob does not front-load
+//     O(generations * GenSize * PacketSize) memory.
 //
 // Add is asynchronous: it enqueues and returns immediately, applying
 // backpressure only when the owning worker's queue is full. Progress is
-// observed through Complete/Done (cheap atomics); Close stops the pool
-// and must be called before Bytes so worker writes are flushed.
+// observed through Complete/Done (cheap atomics); Close flushes pending
+// batches, stops the pool, and must be called before Bytes.
 type ParallelFileDecoder struct {
 	params  Params
 	length  int
-	decs    []*Decoder
-	queues  []chan *Packet
+	engines []*genDecoder
+	queues  []chan *[]*Packet
+	pending []*[]*Packet
 	wg      sync.WaitGroup
 	done    atomic.Int64 // completed generations
 	closed  bool
@@ -31,16 +47,26 @@ type ParallelFileDecoder struct {
 	rankSum atomic.Int64
 }
 
-// queueDepth bounds each worker's backlog. Deep enough to ride out a
-// burst, shallow enough that a stalled worker exerts backpressure on the
-// producer instead of buffering unbounded packets.
-const queueDepth = 64
+// batchSize is how many packets Add accumulates per worker before one
+// channel send. Big enough to amortize the hand-off and wakeup, small
+// enough that Complete() trails a live feed by at most a few packets
+// per worker.
+const batchSize = 32
+
+// queueDepth bounds each worker's backlog, in batches. Deep enough to
+// ride out a burst, shallow enough that a stalled worker exerts
+// backpressure on the producer instead of buffering unbounded packets.
+const queueDepth = 8
+
+// batchPool recycles batch slices between Add and the workers so the
+// steady-state feed path allocates nothing.
+var batchPool = sync.Pool{New: func() any { s := make([]*Packet, 0, batchSize); return &s }}
 
 // NewParallelFileDecoder prepares decoding of a contentLen-byte blob with
 // the given worker count; workers <= 0 selects one worker per generation
-// up to 4. m optionally instruments every generation's decoder (the
-// metrics bundle is internally synchronized). Callers feed packets with
-// Add from any single goroutine, then Close before reading Bytes.
+// up to 4. m optionally instruments the decode (the metrics bundle is
+// internally synchronized). Callers feed packets with Add from any
+// single goroutine, then Close before reading Bytes.
 func NewParallelFileDecoder(params Params, contentLen, workers int, m *obs.CodecMetrics) (*ParallelFileDecoder, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -56,66 +82,120 @@ func NewParallelFileDecoder(params Params, contentLen, workers int, m *obs.Codec
 		workers = n
 	}
 	pd := &ParallelFileDecoder{
-		params: params,
-		length: contentLen,
-		decs:   make([]*Decoder, n),
-		queues: make([]chan *Packet, workers),
-		obs:    m,
-	}
-	for g := range pd.decs {
-		dec, err := NewDecoder(params.Field, uint32(g), params.GenSize, params.PacketSize)
-		if err != nil {
-			return nil, err
-		}
-		dec.Instrument(m)
-		pd.decs[g] = dec
+		params:  params,
+		length:  contentLen,
+		engines: make([]*genDecoder, n),
+		queues:  make([]chan *[]*Packet, workers),
+		pending: make([]*[]*Packet, workers),
+		obs:     m,
 	}
 	for w := range pd.queues {
-		pd.queues[w] = make(chan *Packet, queueDepth)
+		pd.queues[w] = make(chan *[]*Packet, queueDepth)
 		pd.wg.Add(1)
 		go pd.worker(pd.queues[w])
 	}
 	return pd, nil
 }
 
-// worker drains one shard's queue. Because sharding is by generation id,
-// this worker is the only goroutine ever adding to its generations.
-func (pd *ParallelFileDecoder) worker(queue <-chan *Packet) {
+// worker drains one shard's queue batch by batch. Because sharding is by
+// generation id, this worker is the only goroutine ever touching its
+// generations' engines — including their lazy construction.
+func (pd *ParallelFileDecoder) worker(queue <-chan *[]*Packet) {
 	defer pd.wg.Done()
-	for p := range queue {
-		dec := pd.decs[p.Gen]
-		wasComplete := dec.Complete()
-		innovative, err := dec.Add(p)
-		p.Release()
-		if err != nil {
+	for batch := range queue {
+		pd.runBatch(*batch)
+		*batch = (*batch)[:0]
+		batchPool.Put(batch)
+	}
+}
+
+// runBatch eliminates a batch of packets. When instrumented, elimination
+// time is observed once per batch (per-packet clock reads are exactly the
+// kind of orchestration overhead the batch path exists to remove).
+func (pd *ParallelFileDecoder) runBatch(batch []*Packet) {
+	var start time.Time
+	if pd.obs != nil {
+		start = time.Now()
+	}
+	for _, p := range batch {
+		g := int(p.Gen)
+		e := pd.engines[g]
+		if e == nil {
+			e = newGenDecoder(pd.params.Field, pd.params.GenSize, pd.params.PacketSize)
+			if pd.obs != nil {
+				e.firstAt = time.Now()
+			}
+			pd.engines[g] = e
+		}
+		if e.reduced {
+			p.Release() // generation already decoded: drop without field work
 			continue
 		}
-		if innovative {
-			pd.rankSum.Add(1)
+		innovative, err := e.add(p)
+		p.Release()
+		if err != nil || !innovative {
+			continue
 		}
-		if !wasComplete && dec.Complete() {
+		pd.rankSum.Add(1)
+		if e.complete() {
+			e.reduce()
 			pd.done.Add(1)
+			if pd.obs != nil {
+				pd.obs.GenLatency.ObserveSince(e.firstAt)
+				pd.obs.GensComplete.Inc()
+			}
 		}
+	}
+	if pd.obs != nil {
+		pd.obs.GaussNanos.ObserveSince(start)
 	}
 }
 
 // Add enqueues a coded packet for decoding, taking ownership: the packet
-// is released back to the packet pool once absorbed. It blocks only when
-// the target generation's worker queue is full and errors only on
-// out-of-range generations or after Close.
+// is released back to the packet pool once absorbed. Packets are staged
+// into per-worker batches, so a packet may sit unprocessed until
+// batchSize generation-mates follow it or Close flushes; poll Complete
+// between feeds rather than after a fixed count. Add blocks only when
+// the target worker's queue is full and errors only on out-of-range
+// generations or after Close.
 func (pd *ParallelFileDecoder) Add(p *Packet) error {
-	if int(p.Gen) >= len(pd.decs) {
-		return fmt.Errorf("rlnc: packet generation %d out of range [0,%d)", p.Gen, len(pd.decs))
+	if int(p.Gen) >= len(pd.engines) {
+		return fmt.Errorf("rlnc: packet generation %d out of range [0,%d)", p.Gen, len(pd.engines))
 	}
 	if pd.closed {
 		return fmt.Errorf("rlnc: add after close")
 	}
-	pd.queues[int(p.Gen)%len(pd.queues)] <- p
+	w := int(p.Gen) % len(pd.queues)
+	buf := pd.pending[w]
+	if buf == nil {
+		buf = batchPool.Get().(*[]*Packet)
+		pd.pending[w] = buf
+	}
+	*buf = append(*buf, p)
+	if len(*buf) >= batchSize {
+		pd.pending[w] = nil
+		pd.queues[w] <- buf
+	}
 	return nil
 }
 
+// Flush pushes any partially-filled batches to the workers without
+// closing the pool. Call it when pausing a feed to let Complete()
+// converge on everything added so far.
+func (pd *ParallelFileDecoder) Flush() {
+	if pd.closed {
+		return
+	}
+	for w, buf := range pd.pending {
+		if buf != nil && len(*buf) > 0 {
+			pd.pending[w] = nil
+			pd.queues[w] <- buf
+		}
+	}
+}
+
 // NumGenerations returns the generation count.
-func (pd *ParallelFileDecoder) NumGenerations() int { return len(pd.decs) }
+func (pd *ParallelFileDecoder) NumGenerations() int { return len(pd.engines) }
 
 // Workers returns the pool size.
 func (pd *ParallelFileDecoder) Workers() int { return len(pd.queues) }
@@ -124,23 +204,24 @@ func (pd *ParallelFileDecoder) Workers() int { return len(pd.queues) }
 func (pd *ParallelFileDecoder) Done() int { return int(pd.done.Load()) }
 
 // Complete reports whether every generation has been decoded. It may
-// trail an in-flight Add by the queue depth; poll it between feeds.
+// trail in-flight and batched Adds; poll it between feeds.
 func (pd *ParallelFileDecoder) Complete() bool {
-	return int(pd.done.Load()) == len(pd.decs)
+	return int(pd.done.Load()) == len(pd.engines)
 }
 
 // Progress returns the fraction of total rank gathered, in [0,1].
 func (pd *ParallelFileDecoder) Progress() float64 {
-	return float64(pd.rankSum.Load()) / float64(len(pd.decs)*pd.params.GenSize)
+	return float64(pd.rankSum.Load()) / float64(len(pd.engines)*pd.params.GenSize)
 }
 
-// Close stops the workers and waits for queued packets to drain. It must
-// be called (from the feeding goroutine) before Bytes; Add errors
-// afterwards. Close is idempotent.
+// Close flushes pending batches, stops the workers, and waits for queued
+// packets to drain. It must be called (from the feeding goroutine)
+// before Bytes; Add errors afterwards. Close is idempotent.
 func (pd *ParallelFileDecoder) Close() {
 	if pd.closed {
 		return
 	}
+	pd.Flush()
 	pd.closed = true
 	for _, q := range pd.queues {
 		close(q)
@@ -155,11 +236,11 @@ func (pd *ParallelFileDecoder) Bytes() ([]byte, error) {
 		return nil, fmt.Errorf("rlnc: Bytes before Close")
 	}
 	if !pd.Complete() {
-		return nil, fmt.Errorf("%w: %d of %d generations decoded", ErrIncomplete, pd.Done(), len(pd.decs))
+		return nil, fmt.Errorf("%w: %d of %d generations decoded", ErrIncomplete, pd.Done(), len(pd.engines))
 	}
 	out := make([]byte, 0, pd.length)
-	for _, d := range pd.decs {
-		src, err := d.Source()
+	for _, e := range pd.engines {
+		src, err := e.source()
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,7 @@ var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 func getPacket(gen uint32, h, size int) *Packet {
 	p := packetPool.Get().(*Packet)
 	p.Gen = gen
+	p.Sys, p.SysIdx = false, 0
 	if cap(p.Coeff) >= h {
 		p.Coeff = p.Coeff[:h]
 		clear(p.Coeff)

@@ -544,3 +544,215 @@ func BenchmarkRecodePacket(b *testing.B) {
 		rc.Packet(r)
 	}
 }
+
+func TestSystematicWireRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, f := range fields {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 20; trial++ {
+				h := 1 + r.Intn(40)
+				size := f.SymbolSize() * (1 + r.Intn(64))
+				idx := uint16(r.Intn(h))
+				p := &Packet{
+					Gen:     uint32(r.Intn(1000)),
+					Coeff:   make([]uint16, h),
+					Payload: make([]byte, size),
+					Sys:     true,
+					SysIdx:  idx,
+				}
+				p.Coeff[idx] = 1
+				r.Read(p.Payload)
+				wire := p.Marshal(f)
+				if len(wire) != p.WireSize(f) {
+					t.Fatalf("wire length %d, WireSize %d", len(wire), p.WireSize(f))
+				}
+				// The systematic form is field-independent and never longer
+				// than the coded form's coefficient vector.
+				if want := packetHeaderLen + 2 + size; len(wire) != want {
+					t.Fatalf("systematic wire length %d, want %d", len(wire), want)
+				}
+				q, err := Unmarshal(f, wire)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !q.Sys || q.SysIdx != idx || q.Gen != p.Gen || !bytes.Equal(q.Payload, p.Payload) {
+					t.Fatalf("round-trip mismatch: sys=%v idx=%d gen=%d", q.Sys, q.SysIdx, q.Gen)
+				}
+				if len(q.Coeff) != h {
+					t.Fatalf("coeff len %d, want %d", len(q.Coeff), h)
+				}
+				for i, c := range q.Coeff {
+					want := uint16(0)
+					if i == int(idx) {
+						want = 1
+					}
+					if c != want {
+						t.Fatalf("coeff %d = %d, want unit vector at %d", i, c, idx)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSystematicWireMalformed(t *testing.T) {
+	t.Parallel()
+	p := &Packet{Gen: 1, Coeff: make([]uint16, 4), Payload: []byte{1, 2, 3, 4}, Sys: true, SysIdx: 2}
+	p.Coeff[2] = 1
+	wire := p.Marshal(gf.F256)
+	if _, err := Unmarshal(gf.F256, wire[:len(wire)-1]); err == nil {
+		t.Error("truncated systematic packet accepted")
+	}
+	// Index >= coefficient count must be rejected.
+	bad := append([]byte(nil), wire...)
+	bad[packetHeaderLen], bad[packetHeaderLen+1] = 0, 9
+	if _, err := Unmarshal(gf.F256, bad); err == nil {
+		t.Error("out-of-range systematic index accepted")
+	}
+}
+
+// TestCodedWireGolden pins the coded-packet encoding byte-for-byte: the
+// systematic flag lives in a header bit that was always zero before, so
+// non-systematic frames must be unchanged across the feature.
+func TestCodedWireGolden(t *testing.T) {
+	t.Parallel()
+	p := &Packet{Gen: 0x01020304, Coeff: []uint16{0xAA, 0, 0x0B}, Payload: []byte{0xDE, 0xAD}}
+	want := []byte{
+		0x01, 0x02, 0x03, 0x04, // generation
+		0x00, 0x03, // coefficient count
+		0x00, 0x00, 0x00, 0x02, // payload length, bit 31 clear
+		0xAA, 0x00, 0x0B, // coefficients, 1B each over GF(2^8)
+		0xDE, 0xAD, // payload
+	}
+	if got := p.Marshal(gf.F256); !bytes.Equal(got, want) {
+		t.Fatalf("coded wire encoding changed:\n got %x\nwant %x", got, want)
+	}
+	sys := &Packet{Gen: 0x01020304, Coeff: []uint16{0, 1, 0}, Payload: []byte{0xDE, 0xAD}, Sys: true, SysIdx: 1}
+	wantSys := []byte{
+		0x01, 0x02, 0x03, 0x04, // generation
+		0x00, 0x03, // coefficient count
+		0x80, 0x00, 0x00, 0x02, // payload length with systematic flag
+		0x00, 0x01, // source index
+		0xDE, 0xAD, // payload
+	}
+	if got := sys.Marshal(gf.F256); !bytes.Equal(got, wantSys) {
+		t.Fatalf("systematic wire encoding:\n got %x\nwant %x", got, wantSys)
+	}
+}
+
+// TestSystematicFastPathMixed drives a decoder with every arrival mix the
+// fast path must survive: systematic-first (the loss-free case), coded
+// rows before their systematic duplicates (slot-filled fallback), repeated
+// systematic packets, and a hand-built packet whose stale Coeff disagrees
+// with SysIdx (stage must trust the index, not the vector).
+func TestSystematicFastPathMixed(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(21))
+	const h, size = 8, 64
+	src := make([][]byte, h)
+	for i := range src {
+		src[i] = make([]byte, size)
+		r.Read(src[i])
+	}
+	enc, err := NewEncoder(gf.F256, 7, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("loss-free", func(t *testing.T) {
+		dec, _ := NewDecoder(gf.F256, 7, h, size)
+		for i := 0; i < h; i++ {
+			p, _ := enc.Systematic(i)
+			inn, err := dec.Add(p)
+			p.Release()
+			if err != nil || !inn {
+				t.Fatalf("systematic %d: innovative=%v err=%v", i, inn, err)
+			}
+		}
+		got, err := dec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				t.Fatalf("source %d mismatch", i)
+			}
+		}
+	})
+
+	t.Run("coded-then-systematic", func(t *testing.T) {
+		dec, _ := NewDecoder(gf.F256, 7, h, size)
+		for dec.Rank() < h/2 {
+			p := enc.Packet(r)
+			if _, err := dec.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			p.Release()
+		}
+		for i := 0; i < h; i++ {
+			p, _ := enc.Systematic(i)
+			if _, err := dec.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			p.Release()
+			// Duplicate systematic must be absorbed as redundant.
+			q, _ := enc.Systematic(i)
+			inn, err := dec.Add(q)
+			q.Release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inn {
+				t.Fatalf("duplicate systematic %d reported innovative", i)
+			}
+		}
+		got, err := dec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				t.Fatalf("source %d mismatch", i)
+			}
+		}
+	})
+
+	t.Run("stale-coeff-ignored", func(t *testing.T) {
+		dec, _ := NewDecoder(gf.F256, 7, h, size)
+		p := &Packet{Gen: 7, Coeff: make([]uint16, h), Payload: append([]byte(nil), src[3]...), Sys: true, SysIdx: 3}
+		p.Coeff[0] = 0xAA // lies; stage must rebuild the unit vector from SysIdx
+		if inn, err := dec.Add(p); err != nil || !inn {
+			t.Fatalf("innovative=%v err=%v", inn, err)
+		}
+		for i := 0; i < h; i++ {
+			if i == 3 {
+				continue
+			}
+			q, _ := enc.Systematic(i)
+			if _, err := dec.Add(q); err != nil {
+				t.Fatal(err)
+			}
+			q.Release()
+		}
+		got, err := dec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				t.Fatalf("source %d mismatch", i)
+			}
+		}
+	})
+
+	t.Run("out-of-range-idx", func(t *testing.T) {
+		dec, _ := NewDecoder(gf.F256, 7, h, size)
+		p := &Packet{Gen: 7, Coeff: make([]uint16, h), Payload: make([]byte, size), Sys: true, SysIdx: h}
+		if _, err := dec.Add(p); err == nil {
+			t.Fatal("out-of-range systematic index accepted")
+		}
+	})
+}

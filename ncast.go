@@ -130,6 +130,13 @@ type Config struct {
 	// stays single-threaded. 0 or 1 decodes inline on the receive loop;
 	// values above 1 help multi-generation sessions on multi-core hosts.
 	DecodeWorkers int
+	// Systematic makes the source emit each generation's GenSize source
+	// packets uncoded (flagged on the wire) before switching to random
+	// coding. Receivers install such packets without any Gaussian
+	// elimination, so on loss-free paths decode runs at copy speed and
+	// only the repair tail pays field arithmetic. Ignored in layered
+	// mode.
+	Systematic bool
 	// TraceRate enables dissemination tracing: the source samples roughly
 	// one generation in TraceRate (1 = every generation) and stamps its
 	// frames with a trace context that nodes propagate through recoding
@@ -156,6 +163,7 @@ func DefaultConfig() Config {
 		Seed:             1,
 		SourceInterval:   200 * time.Microsecond,
 		StatsInterval:    time.Second,
+		Systematic:       true,
 	}
 }
 
@@ -290,6 +298,13 @@ func WithDecodeWorkers(n int) Option {
 // sampling rate (see Config.TraceRate; 0 disables).
 func WithTraceRate(n int) Option {
 	return func(c *Config) { c.TraceRate = n }
+}
+
+// WithSystematic toggles systematic seeding: each generation's source
+// packets are sent once uncoded before random coding begins (see
+// Config.Systematic; on by default).
+func WithSystematic(on bool) Option {
+	return func(c *Config) { c.Systematic = on }
 }
 
 // newSource builds the flat or layered data source for cfg.

@@ -111,6 +111,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	source.RoundInterval = cfg.SourceInterval
 	source.Obs = obs.NewSourceMetrics(reg)
 	source.TraceRate = cfg.TraceRate
+	source.Systematic = cfg.Systematic
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
 	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)

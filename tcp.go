@@ -44,6 +44,7 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	source.RoundInterval = cfg.SourceInterval
 	source.Obs = obs.NewSourceMetrics(reg)
 	source.TraceRate = cfg.TraceRate
+	source.Systematic = cfg.Systematic
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
 	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)
