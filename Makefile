@@ -6,9 +6,9 @@ RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc 
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build crossbuild vet fmt lint test purego race churn fuzz allocguard bench-gate scale bench
+.PHONY: check build crossbuild vet fmt lint test purego race churn lossy fuzz allocguard bench-gate scale bench
 
-check: vet fmt lint build crossbuild test purego race churn fuzz allocguard bench-gate
+check: vet fmt lint build crossbuild test purego race churn lossy fuzz allocguard bench-gate
 
 build:
 	$(GO) build ./...
@@ -49,12 +49,20 @@ race:
 churn:
 	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot|TraceLive' ./internal/protocol ./internal/transport .
 
-# Short deterministic fuzz budgets over the wire decoders; go's fuzzer
-# accepts one -fuzz pattern per invocation, so each target runs alone.
+# Datagram-plane suite under the race detector: the UDP endpoint and its
+# batched I/O, same-port dual-plane binding, and the end-to-end broadcasts
+# that run at 5% injected datagram loss (the loss-as-normal regime).
+lossy:
+	$(GO) test -race -run 'UDP|SamePort|Dual|Datagram|SplitSender|Lossy' ./internal/transport ./internal/protocol .
+
+# Short deterministic fuzz budgets over the wire decoders and the stream
+# framing; go's fuzzer accepts one -fuzz pattern per invocation, so each
+# target runs alone.
 fuzz:
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeControl -fuzztime 10s
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeData -fuzztime 10s
 	$(GO) test ./internal/protocol -run xxx -fuzz FuzzDecodeKeepalive -fuzztime 5s
+	$(GO) test ./internal/transport -run xxx -fuzz FuzzSplitSender -fuzztime 5s
 
 # Allocation guards: with sampling off, the traced emit/receive hot path
 # must allocate nothing beyond the untraced baseline, and the decode

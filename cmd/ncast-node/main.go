@@ -30,6 +30,9 @@ func main() {
 	stay := flag.Duration("stay", 10*time.Second, "how long to keep seeding after completion")
 	timeout := flag.Duration("timeout", 5*time.Minute, "download timeout")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "recoding seed")
+	datagram := flag.Bool("datagram", false, "receive coded data frames over UDP on the listen port (must match the server)")
+	mtu := flag.Int("mtu", 0, "datagram payload budget in bytes (0 = 1452 default; must match the server)")
+	dataLoss := flag.Float64("data-loss", 0, "inject seeded random loss on outbound datagrams (chaos testing)")
 	flag.Parse()
 
 	if *server == "" || *out == "" {
@@ -41,6 +44,13 @@ func main() {
 	cfg.ComplaintTimeout = time.Second
 	cfg.Seed = *seed
 	cfg.TraceCap = *traceCap
+	if *datagram {
+		ncast.WithDatagramData()(&cfg)
+	}
+	if *mtu > 0 {
+		ncast.WithDatagramMTU(*mtu)(&cfg)
+	}
+	cfg.DataLoss = *dataLoss
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

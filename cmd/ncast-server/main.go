@@ -36,6 +36,8 @@ func main() {
 	layers := flag.Int("layers", 0, "priority layers (0 = flat broadcast)")
 	interval := flag.Duration("interval", time.Millisecond, "source pump round interval")
 	seed := flag.Int64("seed", 1, "server seed")
+	datagram := flag.Bool("datagram", false, "serve coded data frames over UDP on the listen port (control stays on TCP)")
+	mtu := flag.Int("mtu", 0, "datagram payload budget in bytes (0 = 1452 default; caps -pkt)")
 	flag.Parse()
 
 	if *file == "" {
@@ -56,6 +58,12 @@ func main() {
 	cfg.TraceCap = *traceCap
 	cfg.StatsInterval = *statsEvery
 	cfg.TraceRate = *traceRate
+	if *datagram {
+		ncast.WithDatagramData()(&cfg)
+	}
+	if *mtu > 0 {
+		ncast.WithDatagramMTU(*mtu)(&cfg)
+	}
 	if *insert == "random" {
 		cfg.Insert = ncast.InsertRandom
 	}

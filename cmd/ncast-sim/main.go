@@ -44,6 +44,7 @@ func main() {
 	nodes := flag.Int("nodes", 6, "broadcast mode: receiver count")
 	bytesFlag := flag.Int("bytes", 65536, "broadcast mode: content size")
 	loss := flag.Float64("loss", 0, "broadcast mode: per-frame loss probability")
+	datagram := flag.Bool("datagram", false, "broadcast mode: split planes — loss hits only the datagram data fabric, control stays reliable")
 	timeline := flag.String("timeline", "", "broadcast mode: write generation-lifecycle events as JSONL to this file (\"-\" = stdout)")
 	trace := flag.String("trace", "", "broadcast mode: trace every generation and write assembled dissemination trees as JSONL to this file (\"-\" = stdout)")
 	waitFor := flag.Duration("wait", 2*time.Minute, "broadcast mode: completion deadline")
@@ -67,7 +68,7 @@ func main() {
 		return
 	}
 	if *mode == "broadcast" {
-		runBroadcast(*k, *d, *nodes, *bytesFlag, *loss, *timeline, *trace, *waitFor, *seed)
+		runBroadcast(*k, *d, *nodes, *bytesFlag, *loss, *datagram, *timeline, *trace, *waitFor, *seed)
 		return
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -161,7 +162,7 @@ func printHealth(curtain *core.Curtain, k, d, step int) {
 // generation-lifecycle transition — first packet, rank quartiles, decode
 // with end-to-end delay — as one JSON line per event, and/or the assembled
 // per-generation dissemination trees (one JSON line per traced generation).
-func runBroadcast(k, d, nodes, size int, loss float64, timeline, trace string, wait time.Duration, seed int64) {
+func runBroadcast(k, d, nodes, size int, loss float64, datagram bool, timeline, trace string, wait time.Duration, seed int64) {
 	content := make([]byte, size)
 	rng := rand.New(rand.NewSource(seed))
 	rng.Read(content)
@@ -174,6 +175,9 @@ func runBroadcast(k, d, nodes, size int, loss float64, timeline, trace string, w
 	if trace != "" {
 		cfg.TraceRate = 1
 		cfg.StatsInterval = 100 * time.Millisecond
+	}
+	if datagram {
+		ncast.WithDatagramData()(&cfg)
 	}
 
 	var sessionOpts []ncast.SessionOption

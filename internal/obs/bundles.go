@@ -16,22 +16,39 @@ type TransportMetrics struct {
 	BytesRecv  *Counter
 	Drops      *Counter
 	SendNanos  *Histogram
+	// SendBatch and RecvBatch record datagrams coalesced per vectorized
+	// syscall on batching transports (UDP); nil elsewhere.
+	SendBatch *Histogram
+	RecvBatch *Histogram
 }
 
 // NewTransportMetrics registers the transport family labeled with the
 // endpoint's address.
 func NewTransportMetrics(r *Registry, endpoint string) *TransportMetrics {
+	return NewTransportMetricsKind(r, endpoint, "")
+}
+
+// NewTransportMetricsKind registers the transport family labeled with the
+// endpoint's address and its transport kind ("tcp", "udp", "mem"), so a
+// dual-plane session can tell control traffic from data traffic in the
+// same scrape. An empty kind omits the label.
+func NewTransportMetricsKind(r *Registry, endpoint, kind string) *TransportMetrics {
 	if r == nil {
 		return nil
 	}
-	l := Label{Key: "endpoint", Value: endpoint}
+	labels := []Label{{Key: "endpoint", Value: endpoint}}
+	if kind != "" {
+		labels = append(labels, Label{Key: "transport", Value: kind})
+	}
 	return &TransportMetrics{
-		FramesSent: r.Counter("ncast_transport_frames_sent_total", "Frames sent by the endpoint.", l),
-		FramesRecv: r.Counter("ncast_transport_frames_recv_total", "Frames delivered to the endpoint.", l),
-		BytesSent:  r.Counter("ncast_transport_bytes_sent_total", "Payload bytes sent by the endpoint.", l),
-		BytesRecv:  r.Counter("ncast_transport_bytes_recv_total", "Payload bytes delivered to the endpoint.", l),
-		Drops:      r.Counter("ncast_transport_frames_dropped_total", "Frames dropped (loss, dead peer, clogged queue, send error).", l),
-		SendNanos:  r.Histogram("ncast_transport_send_nanos", "Per-frame send latency in nanoseconds.", LatencyBuckets(), l),
+		FramesSent: r.Counter("ncast_transport_frames_sent_total", "Frames sent by the endpoint.", labels...),
+		FramesRecv: r.Counter("ncast_transport_frames_recv_total", "Frames delivered to the endpoint.", labels...),
+		BytesSent:  r.Counter("ncast_transport_bytes_sent_total", "Payload bytes sent by the endpoint.", labels...),
+		BytesRecv:  r.Counter("ncast_transport_bytes_recv_total", "Payload bytes delivered to the endpoint.", labels...),
+		Drops:      r.Counter("ncast_transport_frames_dropped_total", "Frames dropped (loss, dead peer, clogged queue, send error).", labels...),
+		SendNanos:  r.Histogram("ncast_transport_send_nanos", "Per-frame send latency in nanoseconds.", LatencyBuckets(), labels...),
+		SendBatch:  r.Histogram("ncast_transport_send_batch_size", "Datagrams coalesced per vectorized send.", BatchBuckets(), labels...),
+		RecvBatch:  r.Histogram("ncast_transport_recv_batch_size", "Datagrams drained per vectorized receive.", BatchBuckets(), labels...),
 	}
 }
 
@@ -76,6 +93,22 @@ func (m *TransportMetrics) ObserveSend(start time.Time) {
 		return
 	}
 	m.SendNanos.ObserveSince(start)
+}
+
+// ObserveSendBatch records the size of one vectorized send.
+func (m *TransportMetrics) ObserveSendBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.SendBatch.Observe(float64(n))
+}
+
+// ObserveRecvBatch records the size of one vectorized receive.
+func (m *TransportMetrics) ObserveRecvBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.RecvBatch.Observe(float64(n))
 }
 
 // TrackerMetrics instruments the curtain authority: §3 hello/good-bye/

@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ncast/internal/gf"
+	"ncast/internal/rlnc"
+	"ncast/internal/transport"
+)
+
+// dualLossyEndpoint builds a split-plane endpoint on a fresh 127.0.0.1
+// port: control over TCP, coded data and keepalives over UDP on the same
+// port, with seeded random loss injected on outbound datagrams. The
+// returned Faulty lets the test verify loss actually fired.
+func dualLossyEndpoint(t *testing.T, loss float64, seed int64) (transport.Endpoint, *transport.Faulty) {
+	t.Helper()
+	tcp, udp, err := transport.ListenSamePort("127.0.0.1:0", transport.UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := transport.NewFaulty(udp, transport.FaultConfig{SendLoss: loss, Seed: seed})
+	return transport.NewDual(tcp, faulty, DataPlaneFrame), faulty
+}
+
+// TestBroadcastOverDatagramWithLoss runs the full protocol over real
+// sockets with the planes split: hello/repair/stats on TCP, coded frames
+// on UDP, and 5% of every participant's outbound datagrams dropped on the
+// floor. The rateless code must carry the broadcast to completion with no
+// TCP fallback for data — lost datagrams are simply never retransmitted.
+func TestBroadcastOverDatagramWithLoss(t *testing.T) {
+	t.Parallel()
+	content := randContent(800)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	// LIFO: cancel must run BEFORE wg.Wait so the goroutines can exit.
+	defer wg.Wait()
+	defer cancel()
+
+	trackerEP, srcFaulty := dualLossyEndpoint(t, 0.05, 11)
+	defer trackerEP.Close()
+	params := rlnc.Params{Field: gf.F256, GenSize: 8, PacketSize: 64}
+	source, err := NewSource(trackerEP, 6, params, content, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.RoundInterval = time.Millisecond
+	tracker, err := NewTracker(trackerEP, source, TrackerConfig{
+		K: 6, D: 2, Session: source.Session(), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = tracker.Run(ctx) }()
+	go func() { defer wg.Done(); _ = source.Run(ctx) }()
+
+	var nodes []*Node
+	var faults []*transport.Faulty
+	for i := 0; i < 3; i++ {
+		ep, faulty := dualLossyEndpoint(t, 0.05, int64(100+i))
+		defer ep.Close()
+		node := NewNode(ep, NodeConfig{TrackerAddr: trackerEP.Addr(), Seed: int64(i)})
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = node.Run(ctx) }()
+		select {
+		case err := <-node.Joined():
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("datagram join timeout")
+		}
+		nodes = append(nodes, node)
+		faults = append(faults, faulty)
+	}
+	for _, n := range nodes {
+		waitComplete(t, n, 30*time.Second)
+		got, err := n.Content()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch over lossy datagrams")
+		}
+	}
+	// The loss regime must actually have been exercised. A tiny broadcast
+	// can complete before any 5% coin lands, but the source keeps pumping
+	// coded frames after completion, so drops accrue — poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		dropped := srcFaulty.Stats().SendDropped
+		for _, f := range faults {
+			dropped += f.Stats().SendDropped
+		}
+		if dropped > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no datagrams were dropped: loss injection never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

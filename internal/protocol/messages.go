@@ -419,3 +419,33 @@ func DecodeKeepalive(frame []byte) (thread int, err error) {
 func IsKeepalive(frame []byte) bool {
 	return len(frame) > 0 && frame[0] == frameKeepalive
 }
+
+// DataPlaneFrame reports whether the frame belongs on the lossy datagram
+// data plane of a split-transport session: coded data frames (loss is
+// harmless — any innovative packet substitutes for any other) and
+// per-thread keepalives (periodic and idempotent; losing one costs
+// nothing, and keeping them on the data path makes them probe the exact
+// path whose liveness they vouch for). Everything else — hello, good-bye,
+// complaint, repair, lease, stats — is control state that must arrive,
+// and stays on the reliable stream transport.
+//
+// It is exported as a classifier func for transport.NewDual: the
+// transport package cannot import protocol, so the frame taxonomy is
+// injected from above.
+func DataPlaneFrame(frame []byte) bool {
+	return IsData(frame) || IsKeepalive(frame)
+}
+
+// dataFrameHeaderMax is the largest data-frame header any variant emits:
+// the traced layout's kind byte, 2-byte thread, 8-byte emission stamp,
+// 8-byte trace ID, and hop counter.
+const dataFrameHeaderMax = 1 + 2 + 8 + 8 + 1
+
+// DataFrameOverhead returns the worst-case bytes a data frame adds on top
+// of the coded payload over field f with generation size h: the traced
+// frame header plus the rlnc packet header and coefficient vector. MTU
+// budgeting uses it to size payloads so every frame variant fits in one
+// datagram.
+func DataFrameOverhead(f gf.Field, h int) int {
+	return dataFrameHeaderMax + rlnc.OverheadBytes(f, h)
+}

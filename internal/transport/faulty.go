@@ -54,6 +54,11 @@ type Faulty struct {
 	recvDropped atomic.Uint64
 	duplicated  atomic.Uint64
 	partitioned atomic.Uint64
+
+	// metrics mirrors the bundle forwarded to the inner endpoint so the
+	// faults injected HERE (which the inner endpoint never sees) still
+	// surface as ncast_transport_*_dropped.
+	metrics atomic.Pointer[obs.TransportMetrics]
 }
 
 var (
@@ -75,8 +80,14 @@ func NewFaulty(inner Endpoint, cfg FaultConfig) *Faulty {
 // Addr returns the wrapped endpoint's address.
 func (f *Faulty) Addr() string { return f.inner.Addr() }
 
-// SetMetrics forwards instrumentation to the wrapped endpoint.
-func (f *Faulty) SetMetrics(m *obs.TransportMetrics) { Instrument(f.inner, m) }
+// SetMetrics attaches the bundle locally (for injected faults) and
+// forwards it to the wrapped endpoint (for real traffic). Without the
+// local copy, injected drops never reach obs: the inner endpoint is never
+// called for a dropped frame, so nothing would increment the drop counter.
+func (f *Faulty) SetMetrics(m *obs.TransportMetrics) {
+	f.metrics.Store(m)
+	Instrument(f.inner, m)
+}
 
 // Close closes the wrapped endpoint.
 func (f *Faulty) Close() error { return f.inner.Close() }
@@ -155,10 +166,12 @@ func (f *Faulty) Send(ctx context.Context, to string, msg []byte) error {
 	f.mu.Unlock()
 	if blocked {
 		f.partitioned.Add(1)
+		f.metrics.Load().Dropped()
 		return nil
 	}
 	if f.coin(f.cfg.SendLoss) {
 		f.sendDropped.Add(1)
+		f.metrics.Load().Dropped()
 		return nil
 	}
 	if f.cfg.SendDelay > 0 {
@@ -189,14 +202,20 @@ func (f *Faulty) Recv(ctx context.Context) (string, []byte, error) {
 		f.mu.Unlock()
 		if blocked {
 			f.partitioned.Add(1)
+			f.metrics.Load().Dropped()
 			continue
 		}
 		if f.coin(f.cfg.RecvLoss) {
 			f.recvDropped.Add(1)
+			f.metrics.Load().Dropped()
 			continue
 		}
 		if f.cfg.RecvDelay > 0 {
 			if err := sleepCtx(ctx, f.cfg.RecvDelay); err != nil {
+				// The frame was consumed from the inner endpoint but never
+				// delivered to the caller: lost in flight on a dying link.
+				f.recvDropped.Add(1)
+				f.metrics.Load().Dropped()
 				return "", nil, err
 			}
 		}

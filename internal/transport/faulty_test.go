@@ -2,8 +2,11 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
+
+	"ncast/internal/obs"
 )
 
 // faultyPair builds two in-memory endpoints with a Faulty wrapper on a.
@@ -159,5 +162,84 @@ func TestFaultyPartitionPerDirectionAndHeal(t *testing.T) {
 	}
 	if a.Stats().Partitioned == 0 {
 		t.Fatal("partition counter never fired")
+	}
+}
+
+func TestFaultyInjectedDropsReachMetrics(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{SendLoss: 1, Seed: 5})
+	reg := obs.NewRegistry()
+	m := obs.NewTransportMetricsKind(reg, "a", "mem")
+	Instrument(a, m)
+	ctx := context.Background()
+
+	// A coin-dropped send never reaches the inner endpoint, so only the
+	// wrapper can record it.
+	if err := a.Send(ctx, "b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Drops.Value() != 1 {
+		t.Fatalf("Drops after SendLoss = %d, want 1", m.Drops.Value())
+	}
+
+	// Partition drops count too, in both directions.
+	a.Heal()
+	a.Partition("b")
+	if err := a.Send(ctx, "b", []byte("walled")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Drops.Value() != 2 {
+		t.Fatalf("Drops after partitioned send = %d, want 2", m.Drops.Value())
+	}
+	if err := b.Send(ctx, "a", []byte("walled")); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.Recv(rctx); err == nil {
+		t.Fatal("partitioned inbound frame delivered")
+	}
+	if m.Drops.Value() != 3 {
+		t.Fatalf("Drops after partitioned recv = %d, want 3", m.Drops.Value())
+	}
+	// The real-traffic counters stayed on the inner endpoint untouched by
+	// injection (nothing was actually delivered).
+	if m.FramesSent.Value() != 0 {
+		t.Fatalf("FramesSent = %d for fully dropped traffic", m.FramesSent.Value())
+	}
+}
+
+func TestFaultyRecvDelayCancelCountsLostFrame(t *testing.T) {
+	t.Parallel()
+	a, b, _ := faultyPair(t, FaultConfig{RecvDelay: time.Second})
+	reg := obs.NewRegistry()
+	m := obs.NewTransportMetricsKind(reg, "a", "mem")
+	Instrument(a, m)
+	ctx := context.Background()
+	if err := b.Send(ctx, "a", []byte("in flight")); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is consumed from the inner endpoint, then the context
+	// dies during the injected delay: the frame is gone for good and must
+	// be accounted as a drop, not silently vanish.
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.Recv(rctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv = %v, want deadline exceeded", err)
+	}
+	if got := a.Stats().RecvDropped; got != 1 {
+		t.Fatalf("RecvDropped = %d, want 1", got)
+	}
+	if m.Drops.Value() != 1 {
+		t.Fatalf("metrics Drops = %d, want 1", m.Drops.Value())
+	}
+	// The link still works once the consumer stops cancelling early.
+	if err := b.Send(ctx, "a", []byte("retry")); err != nil {
+		t.Fatal(err)
+	}
+	rctx2, cancel2 := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel2()
+	if _, msg, err := a.Recv(rctx2); err != nil || string(msg) != "retry" {
+		t.Fatalf("post-cancel recv: %q, %v", msg, err)
 	}
 }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// The stdlib syscall table on linux/amd64 predates sendmmsg, so the
+// numbers are pinned here (they are ABI-frozen per arch).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// ABI-frozen syscall numbers for linux/arm64.
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

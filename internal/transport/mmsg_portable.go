@@ -1,0 +1,42 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// Portable fallback for platforms without the vectorized mmsg syscalls:
+// one WriteToUDP/ReadFromUDP per datagram through the net package, with
+// semantics identical to mmsg_linux.go (sendBatch may return a partial
+// count with the failing datagram at index n; recvBatch blocks for one
+// datagram). Batching still amortizes channel wakeups on the send side
+// even though each datagram costs its own syscall here.
+
+type loopIO struct {
+	conn *net.UDPConn
+}
+
+func newBatchIO(conn *net.UDPConn, _ int) (udpBatchIO, error) {
+	return &loopIO{conn: conn}, nil
+}
+
+// destSockaddr is nil on the portable path: sends go through the net
+// package, which resolves the *net.UDPAddr itself.
+func (io *loopIO) destSockaddr(*net.UDPAddr) ([]byte, error) { return nil, nil }
+
+func (io *loopIO) sendBatch(batch []outDatagram) (int, error) {
+	for i := range batch {
+		if _, err := io.conn.WriteToUDP(batch[i].b, batch[i].dest.ua); err != nil {
+			return i, err
+		}
+	}
+	return len(batch), nil
+}
+
+func (io *loopIO) recvBatch(bufs [][]byte, lens []int) (int, error) {
+	n, _, err := io.conn.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	lens[0] = n
+	return 1, nil
+}

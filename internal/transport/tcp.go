@@ -110,10 +110,13 @@ func (e *TCPEndpoint) readLoop(c *Conn) {
 
 func splitSender(frame []byte) (string, []byte, error) {
 	if len(frame) < 4 {
-		return "", nil, errors.New("transport: short tcp frame")
+		return "", nil, errors.New("transport: short sender-prefixed frame")
 	}
 	n := binary.BigEndian.Uint32(frame)
-	if int(n) > len(frame)-4 {
+	// Compare in uint64 space: a peer-controlled length near MaxUint32
+	// converted with int(n) goes negative on 32-bit platforms, slips past
+	// a signed bounds check, and panics on the slice below.
+	if uint64(n) > uint64(len(frame)-4) {
 		return "", nil, errors.New("transport: bad sender length")
 	}
 	return string(frame[4 : 4+n]), frame[4+n:], nil

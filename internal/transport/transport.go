@@ -255,7 +255,13 @@ func (e *memEndpoint) Close() error {
 	e.net.mu.Lock()
 	defer e.net.mu.Unlock()
 	e.closeLocked()
-	delete(e.net.endpoints, e.addr)
+	// Unregister only if the address still maps to this endpoint: after a
+	// crash simulated via Network.CloseEndpoint plus a rejoin that
+	// re-registered the same address, closing the old endpoint must not
+	// evict its successor.
+	if e.net.endpoints[e.addr] == e {
+		delete(e.net.endpoints, e.addr)
+	}
 	return nil
 }
 

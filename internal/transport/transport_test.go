@@ -168,6 +168,39 @@ func TestSendToClosedEndpointDropsFrame(t *testing.T) {
 	_ = b
 }
 
+func TestCrashThenRejoinSurvivesOldClose(t *testing.T) {
+	t.Parallel()
+	n := NewNetwork()
+	defer n.Close()
+	old, _ := n.Endpoint("node")
+	b, _ := n.Endpoint("b")
+
+	// Crash: the network force-closes and unregisters the endpoint, but
+	// the protocol layer still holds the old handle (its Run loop winds
+	// down asynchronously and calls Close later).
+	if !n.CloseEndpoint("node") {
+		t.Fatal("CloseEndpoint found nothing")
+	}
+	// Rejoin re-registers the same address.
+	fresh, err := n.Endpoint("node")
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	// The straggling close of the crashed endpoint must not evict the
+	// successor from the fabric.
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(context.Background(), "node", []byte("post-rejoin")); err != nil {
+		t.Fatalf("send to rejoined node: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, msg, err := fresh.Recv(ctx); err != nil || string(msg) != "post-rejoin" {
+		t.Fatalf("rejoined endpoint unreachable: %q, %v", msg, err)
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	t.Parallel()
 	var buf bytes.Buffer

@@ -137,6 +137,23 @@ type Config struct {
 	// only the repair tail pays field arithmetic. Ignored in layered
 	// mode.
 	Systematic bool
+	// DatagramData splits the session's transport into two planes: control
+	// messages (hello/goodbye/repair/stats/leases) stay on the reliable
+	// transport, while coded data frames and keepalives move to lossy
+	// datagrams (UDP for socket sessions, a second in-memory fabric for
+	// NewSession). RLNC makes datagram loss harmless by construction, and
+	// dropping TCP from the data path removes head-of-line blocking and
+	// per-connection state — the paper's operating regime.
+	DatagramData bool
+	// MTU bounds one datagram's payload when DatagramData is set (0 means
+	// the 1452-byte default). Validate rejects configurations whose
+	// worst-case data frame cannot fit; see MaxPacketSize.
+	MTU int
+	// DataLoss, with DatagramData, injects seeded random loss on the data
+	// plane (socket sessions; NewSession uses the fabric's own loss knob).
+	// It exists so the loss-as-normal regime is reproducible in tests and
+	// demos without a misbehaving network. Zero injects nothing.
+	DataLoss float64
 	// TraceRate enables dissemination tracing: the source samples roughly
 	// one generation in TraceRate (1 = every generation) and stamps its
 	// frames with a trace context that nodes propagate through recoding
@@ -191,7 +208,45 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.DataLoss < 0 || c.DataLoss >= 1 {
+		return fmt.Errorf("ncast: data loss %v outside [0,1)", c.DataLoss)
+	}
+	if c.DatagramData {
+		if maxPkt := MaxPacketSize(c.mtu(), c.Field, c.GenSize); c.PacketSize > maxPkt {
+			return fmt.Errorf("ncast: packet size %d exceeds %d, the largest fitting a %d-byte datagram (shrink packets or raise the MTU)",
+				c.PacketSize, maxPkt, c.mtu())
+		}
+	}
 	return nil
+}
+
+// mtu returns the effective datagram payload budget.
+func (c Config) mtu() int {
+	if c.MTU > 0 {
+		return c.MTU
+	}
+	return transport.DefaultMTU
+}
+
+// senderPrefixBudget reserves datagram room for the transport's
+// [4B len][sender addr] prefix: 4 bytes plus a host:port of up to 64
+// characters (an IPv6 literal with brackets and port fits).
+const senderPrefixBudget = 4 + 64
+
+// MaxPacketSize returns the largest coded-packet payload whose worst-case
+// data frame (traced header, packet header, coefficient vector, sender
+// prefix) still fits one datagram of the given MTU, for a session over
+// the given field and generation size. It returns 0 for an unknown field.
+func MaxPacketSize(mtu int, field Field, genSize int) int {
+	f, err := field.field()
+	if err != nil {
+		return 0
+	}
+	n := mtu - senderPrefixBudget - protocol.DataFrameOverhead(f, genSize)
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 func (c Config) params() (rlnc.Params, error) {
@@ -305,6 +360,37 @@ func WithTraceRate(n int) Option {
 // Config.Systematic; on by default).
 func WithSystematic(on bool) Option {
 	return func(c *Config) { c.Systematic = on }
+}
+
+// WithDatagramData moves coded data frames and keepalives onto a lossy
+// datagram data plane, keeping control traffic on the reliable transport
+// (see Config.DatagramData). It also clamps the packet size to what the
+// MTU admits, so the default configuration stays valid out of the box.
+func WithDatagramData() Option {
+	return func(c *Config) {
+		c.DatagramData = true
+		if maxPkt := MaxPacketSize(c.mtu(), c.Field, c.GenSize); maxPkt > 0 && c.PacketSize > maxPkt {
+			c.PacketSize = maxPkt
+		}
+	}
+}
+
+// WithDatagramMTU sets the datagram payload budget (see Config.MTU) and
+// re-clamps the packet size to fit it. Apply after WithGeneration and
+// WithField so the clamp sees the final coding parameters.
+func WithDatagramMTU(mtu int) Option {
+	return func(c *Config) {
+		c.MTU = mtu
+		if maxPkt := MaxPacketSize(c.mtu(), c.Field, c.GenSize); maxPkt > 0 && c.PacketSize > maxPkt {
+			c.PacketSize = maxPkt
+		}
+	}
+}
+
+// WithDataLoss injects seeded random loss on the datagram data plane of
+// socket sessions (see Config.DataLoss).
+func WithDataLoss(p float64) Option {
+	return func(c *Config) { c.DataLoss = p }
 }
 
 // newSource builds the flat or layered data source for cfg.

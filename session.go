@@ -16,8 +16,12 @@ import (
 // Sessions are the unit of the examples and of churn simulations; the same
 // protocol runs over TCP via ListenAndServe / Dial.
 type Session struct {
-	cfg          Config
-	net          *transport.Network
+	cfg Config
+	net *transport.Network
+	// dataNet is the second fabric of a datagram-mode session (see
+	// Config.DatagramData): data frames ride it with the session's loss,
+	// control stays on the loss-free net. Nil in single-fabric sessions.
+	dataNet      *transport.Network
 	tracker      *protocol.Tracker
 	source       *protocol.Source
 	obs          *obs.Registry
@@ -85,27 +89,41 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 		o(&settings)
 	}
 	netOpts := []transport.NetworkOption{transport.WithSeed(settings.netSeed)}
-	if settings.loss > 0 {
-		netOpts = append(netOpts, transport.WithLoss(settings.loss))
-	}
 	if settings.latency > 0 {
 		netOpts = append(netOpts, transport.WithLatency(settings.latency))
 	}
-	net := transport.NewNetwork(netOpts...)
-
-	ep, err := net.Endpoint("server")
-	if err != nil {
-		net.Close()
-		return nil, err
+	// In datagram mode the loss knob models the data plane only: control
+	// rides a loss-free fabric, like TCP under a dual-plane socket
+	// session. Single-fabric sessions keep the historical behavior of
+	// loss on everything.
+	var dataNet *transport.Network
+	if cfg.DatagramData {
+		dataOpts := append(append([]transport.NetworkOption(nil), netOpts...),
+			transport.WithLoss(settings.loss))
+		dataNet = transport.NewNetwork(dataOpts...)
+	} else if settings.loss > 0 {
+		netOpts = append(netOpts, transport.WithLoss(settings.loss))
 	}
+	net := transport.NewNetwork(netOpts...)
+	closeNets := func() {
+		net.Close()
+		if dataNet != nil {
+			dataNet.Close()
+		}
+	}
+
 	var reg *obs.Registry
 	if !cfg.DisableObs {
 		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
-	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
+	ep, err := sessionEndpoint(net, dataNet, "server", reg)
+	if err != nil {
+		closeNets()
+		return nil, err
+	}
 	source, err := cfg.newSource(ep, content)
 	if err != nil {
-		net.Close()
+		closeNets()
 		return nil, err
 	}
 	source.RoundInterval = cfg.SourceInterval
@@ -118,7 +136,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	obs.NewRuntimeMetrics(reg)
 	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
-		net.Close()
+		closeNets()
 		return nil, err
 	}
 
@@ -127,6 +145,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	s := &Session{
 		cfg:          cfg,
 		net:          net,
+		dataNet:      dataNet,
 		tracker:      tracker,
 		source:       source,
 		obs:          reg,
@@ -255,7 +274,7 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 		o(&settings)
 	}
 
-	ep, err := s.net.Endpoint(addr)
+	ep, err := sessionEndpoint(s.net, s.dataNet, addr, s.obs)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +282,6 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 	if sink == nil {
 		sink = s.genSink
 	}
-	transport.Instrument(ep, obs.NewTransportMetrics(s.obs, addr))
 	node := protocol.NewNode(ep, protocol.NodeConfig{
 		TrackerAddr:      "server",
 		Degree:           settings.degree,
@@ -315,8 +333,34 @@ func (s *Session) Close() error {
 	}
 	s.cancel()
 	s.net.Close()
+	if s.dataNet != nil {
+		s.dataNet.Close()
+	}
 	s.wg.Wait()
 	return nil
+}
+
+// sessionEndpoint registers addr on the session fabric(s): a plain
+// instrumented endpoint, or — in datagram mode — a Dual splitting data
+// frames onto the lossy data fabric, each plane instrumented as its own
+// transport kind.
+func sessionEndpoint(ctrlNet, dataNet *transport.Network, addr string, reg *obs.Registry) (transport.Endpoint, error) {
+	ctrl, err := ctrlNet.Endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	if dataNet == nil {
+		transport.Instrument(ctrl, obs.NewTransportMetrics(reg, addr))
+		return ctrl, nil
+	}
+	data, err := dataNet.Endpoint(addr)
+	if err != nil {
+		ctrl.Close()
+		return nil, err
+	}
+	transport.Instrument(ctrl, obs.NewTransportMetricsKind(reg, addr, "ctrl"))
+	transport.Instrument(data, obs.NewTransportMetricsKind(reg, addr, "data"))
+	return transport.NewDual(ctrl, data, protocol.DataPlaneFrame), nil
 }
 
 // Client is one overlay node of a session.
@@ -372,6 +416,9 @@ func (c *Client) Leave(ctx context.Context) error {
 func (c *Client) Crash() {
 	c.cancel()
 	c.session.net.CloseEndpoint(c.addr)
+	if c.session.dataNet != nil {
+		c.session.dataNet.CloseEndpoint(c.addr)
+	}
 	c.session.detach(c)
 }
 

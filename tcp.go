@@ -10,15 +10,54 @@ import (
 	"ncast/internal/transport"
 )
 
-// Server is a TCP-facing broadcast server: the tracker (overlay authority)
-// and the data source bound to one listening address.
+// Server is a socket-facing broadcast server: the tracker (overlay
+// authority) and the data source bound to one listening address. With
+// Config.DatagramData the address serves two planes — control over TCP,
+// coded data over UDP on the same port.
 type Server struct {
-	ep      *transport.TCPEndpoint
+	ep      transport.Endpoint
 	tracker *protocol.Tracker
 	source  *protocol.Source
 	obs     *obs.Registry
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+}
+
+// listenEndpoint builds the session transport bound to addr: plain TCP,
+// or — with cfg.DatagramData — a dual-plane endpoint whose control half
+// is TCP and whose data half is UDP on the same port, each instrumented
+// as its own transport kind so scrapes can tell the planes apart.
+// metricsName labels the endpoint in obs; empty means the bound address.
+func listenEndpoint(addr, metricsName string, cfg Config, reg *obs.Registry) (transport.Endpoint, error) {
+	if !cfg.DatagramData {
+		ep, err := transport.ListenTCP(addr)
+		if err != nil {
+			return nil, err
+		}
+		if metricsName == "" {
+			metricsName = ep.Addr()
+		}
+		// Single-plane sessions keep the historical label set (endpoint
+		// only); the transport kind label exists to tell two planes apart.
+		transport.Instrument(ep, obs.NewTransportMetrics(reg, metricsName))
+		return ep, nil
+	}
+	tcp, udp, err := transport.ListenSamePort(addr, transport.UDPConfig{MTU: cfg.mtu()})
+	if err != nil {
+		return nil, err
+	}
+	if metricsName == "" {
+		metricsName = tcp.Addr()
+	}
+	// The chaos wrapper goes under the instrumentation so injected drops
+	// land on the same per-kind bundle real UDP losses do.
+	var data transport.Endpoint = udp
+	if cfg.DataLoss > 0 {
+		data = transport.NewFaulty(udp, transport.FaultConfig{SendLoss: cfg.DataLoss, Seed: cfg.Seed})
+	}
+	transport.Instrument(tcp, obs.NewTransportMetricsKind(reg, metricsName, "tcp"))
+	transport.Instrument(data, obs.NewTransportMetricsKind(reg, metricsName, "udp"))
+	return transport.NewDual(tcp, data, protocol.DataPlaneFrame), nil
 }
 
 // ListenAndServe starts a broadcast server for content on addr
@@ -27,15 +66,14 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ep, err := transport.ListenTCP(addr)
-	if err != nil {
-		return nil, err
-	}
 	var reg *obs.Registry
 	if !cfg.DisableObs {
 		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
-	transport.Instrument(ep, obs.NewTransportMetrics(reg, "server"))
+	ep, err := listenEndpoint(addr, "server", cfg, reg)
+	if err != nil {
+		return nil, err
+	}
 	source, err := cfg.newSource(ep, content)
 	if err != nil {
 		ep.Close()
@@ -113,10 +151,10 @@ func (s *Server) Close() error {
 	return err
 }
 
-// RemoteClient is a TCP-connected overlay node.
+// RemoteClient is a socket-connected overlay node.
 type RemoteClient struct {
 	node   *protocol.Node
-	ep     *transport.TCPEndpoint
+	ep     transport.Endpoint
 	obs    *obs.Registry
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -130,15 +168,14 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 	for _, o := range opts {
 		o(&settings)
 	}
-	ep, err := transport.ListenTCP(listenAddr)
-	if err != nil {
-		return nil, err
-	}
 	var reg *obs.Registry
 	if !cfg.DisableObs {
 		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
-	transport.Instrument(ep, obs.NewTransportMetrics(reg, ep.Addr()))
+	ep, err := listenEndpoint(listenAddr, "", cfg, reg)
+	if err != nil {
+		return nil, err
+	}
 	node := protocol.NewNode(ep, protocol.NodeConfig{
 		TrackerAddr:      serverAddr,
 		Degree:           settings.degree,
