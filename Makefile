@@ -50,10 +50,11 @@ churn:
 	$(GO) test -race -run 'Churn|Lease|Stalled|Faulty|Goodbye|SendDeadline|LeafCrash|Telemetry|Timeline|ClusterSnapshot|TraceLive' ./internal/protocol ./internal/transport .
 
 # Datagram-plane suite under the race detector: the UDP endpoint and its
-# batched I/O, same-port dual-plane binding, and the end-to-end broadcasts
-# that run at 5% injected datagram loss (the loss-as-normal regime).
+# batched I/O, same-port dual-plane binding, the end-to-end broadcasts
+# that run at 5% injected datagram loss (the loss-as-normal regime), and
+# the link-telemetry drill that must localize a 10%-lossy peer to ±3pp.
 lossy:
-	$(GO) test -race -run 'UDP|SamePort|Dual|Datagram|SplitSender|Lossy' ./internal/transport ./internal/protocol .
+	$(GO) test -race -run 'UDP|SamePort|Dual|Datagram|SplitSender|Lossy|Link' ./internal/transport ./internal/protocol ./internal/obs .
 
 # Short deterministic fuzz budgets over the wire decoders and the stream
 # framing; go's fuzzer accepts one -fuzz pattern per invocation, so each
@@ -70,6 +71,7 @@ fuzz:
 # zero-alloc.
 allocguard:
 	$(GO) test ./internal/protocol -run TestTracedHotPathAllocs -count=1
+	$(GO) test ./internal/protocol -run TestLinkHotPathAllocs -count=1
 	$(GO) test ./internal/rlnc -run TestDecodeHotPathAllocs -count=1
 
 # Perf regression gate: emit paths stay zero-alloc and the parallel

@@ -91,13 +91,14 @@ func main() {
 		hs, err := obs.Serve(*obsAddr, srv.Observability(), srv.Snapshot,
 			obs.WithClusterSnapshot(srv.ClusterSnapshot),
 			obs.WithTraceSnapshot(srv.TraceSnapshot),
+			obs.WithLinkSnapshot(srv.LinkSnapshot),
 			obs.WithProfiling(*obsPprof))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer hs.Close()
-		fmt.Printf("observability on http://%s/metrics, /debug/overlay, /debug/cluster, /debug/trace\n", hs.Addr())
+		fmt.Printf("observability on http://%s/metrics, /debug/overlay, /debug/cluster, /debug/trace, /debug/links\n", hs.Addr())
 		if *obsPprof {
 			fmt.Printf("profiling on http://%s/debug/pprof/\n", hs.Addr())
 		}

@@ -251,10 +251,22 @@ func runBroadcast(k, d, nodes, size int, loss float64, datagram bool, timeline, 
 		time.Duration(snap.FleetDelayP90Nanos).Round(time.Microsecond),
 		time.Duration(snap.FleetDelayP99Nanos).Round(time.Microsecond))
 	if timeline != "" {
+		// One row per reported overlay link, after the lifecycle events, so
+		// the lossy-peer drill is replayable offline: each line carries the
+		// edge's loss estimate, RTT/jitter EWMAs, innovation rate and
+		// goodput as the tracker last saw them.
+		links := sess.LinkSnapshot()
 		outMu.Lock()
+		enc := json.NewEncoder(out)
+		for _, e := range links.Edges {
+			_ = enc.Encode(struct { //nolint:errcheck // diagnostics stream
+				Kind string       `json:"kind"`
+				Link obs.LinkEdge `json:"link"`
+			}{Kind: "link", Link: e})
+		}
 		n := events
 		outMu.Unlock()
-		fmt.Printf("timeline: %d lifecycle events\n", n)
+		fmt.Printf("timeline: %d lifecycle events, %d link rows\n", n, len(links.Edges))
 	}
 	if trace != "" {
 		dumpTrace(ctx, sess, trace)

@@ -82,6 +82,10 @@ type ClusterSnapshot struct {
 	// hop) when trace sampling is on and at least one generation has been
 	// assembled; see /debug/trace for the full trees.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Links digests the fleet link matrix (worst lossy edges, worst peer,
+	// slowest RTT) when link scorecards have been reported; see
+	// /debug/links for every edge.
+	Links *LinkSummary `json:"links,omitempty"`
 }
 
 // Node returns the report for the given overlay id, or nil.

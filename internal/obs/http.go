@@ -15,6 +15,7 @@ type HandlerOption func(*handlerSettings)
 type handlerSettings struct {
 	cluster   func() ClusterSnapshot
 	trace     func() TraceSnapshot
+	links     func() LinkSnapshot
 	profiling bool
 }
 
@@ -30,6 +31,13 @@ func WithClusterSnapshot(fn func() ClusterSnapshot) HandlerOption {
 // hop-depth distribution) as JSON. Only tracker processes have one.
 func WithTraceSnapshot(fn func() TraceSnapshot) HandlerOption {
 	return func(s *handlerSettings) { s.trace = fn }
+}
+
+// WithLinkSnapshot mounts /debug/links, serving the tracker's fleet link
+// matrix (per-edge loss/RTT/innovation/goodput scorecards and the
+// worst-links digest) as JSON. Only tracker processes have one.
+func WithLinkSnapshot(fn func() LinkSnapshot) HandlerOption {
+	return func(s *handlerSettings) { s.links = fn }
 }
 
 // WithProfiling(true) mounts the net/http/pprof handlers under
@@ -78,6 +86,12 @@ func Handler(r *Registry, snapshot func() OverlaySnapshot, opts ...HandlerOption
 		trace := settings.trace
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, trace())
+		})
+	}
+	if settings.links != nil {
+		links := settings.links
+		mux.HandleFunc("/debug/links", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, links())
 		})
 	}
 	if settings.profiling {

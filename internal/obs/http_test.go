@@ -53,6 +53,22 @@ func traceFixture() TraceSnapshot {
 	return c.Snapshot()
 }
 
+// linkFixture is a deterministic LinkSnapshot source used by the endpoint
+// and golden tests: two reporters, one lossy edge, one RTT-bearing edge.
+func linkFixture() LinkSnapshot {
+	c := NewLinkCollector(4, nil)
+	c.Ingest(1, "n1", []LinkReport{
+		{Peer: "n2", Frames: 100, Bytes: 10_000, Expected: 100, Received: 90,
+			LossPermille: 100, RTTEwmaNanos: 2_000_000, JitterNanos: 250_000,
+			RTTSamples: 5, Innovative: 80, Redundant: 10, InnovationPermille: 888},
+	})
+	c.Ingest(2, "n2", []LinkReport{
+		{Peer: "n1", Frames: 50, Bytes: 5_000, Expected: 50, Received: 50,
+			Innovative: 50, InnovationPermille: 1000},
+	})
+	return c.Snapshot(time.Minute, map[string]uint64{"n1": 1, "n2": 2})
+}
+
 // TestHTTPConcurrentScrapes hammers every endpoint from concurrent
 // goroutines while metrics keep changing — the scrape path must be
 // race-free (this test earns its keep under -race).
@@ -61,7 +77,8 @@ func TestHTTPConcurrentScrapes(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("scrape_hits_total", "hits")
 	srv, err := Serve("127.0.0.1:0", r, nil,
-		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture))
+		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture),
+		WithLinkSnapshot(linkFixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +102,7 @@ func TestHTTPConcurrentScrapes(t *testing.T) {
 
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
-		for _, path := range []string{"/metrics", "/debug/overlay", "/debug/cluster", "/debug/trace"} {
+		for _, path := range []string{"/metrics", "/debug/overlay", "/debug/cluster", "/debug/trace", "/debug/links"} {
 			wg.Add(1)
 			go func(path string) {
 				defer wg.Done()
@@ -114,7 +131,8 @@ func TestHTTPContentTypes(t *testing.T) {
 	t.Parallel()
 	r := NewRegistry()
 	srv, err := Serve("127.0.0.1:0", r, nil,
-		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture))
+		WithClusterSnapshot(clusterFixture), WithTraceSnapshot(traceFixture),
+		WithLinkSnapshot(linkFixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,6 +142,7 @@ func TestHTTPContentTypes(t *testing.T) {
 		"/debug/overlay": "application/json",
 		"/debug/cluster": "application/json",
 		"/debug/trace":   "application/json",
+		"/debug/links":   "application/json",
 	} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
@@ -301,6 +320,69 @@ func TestTraceSnapshotGolden(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unmounted /debug/trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLinkSnapshotGolden pins the /debug/links JSON schema: field names
+// are API, consumed by dashboards and the ncast-sim -timeline link rows.
+func TestLinkSnapshotGolden(t *testing.T) {
+	t.Parallel()
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil, WithLinkSnapshot(linkFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	var snap LinkSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(snap.Edges) != 2 || snap.StaleAfterMillis != 60_000 {
+		t.Fatalf("round trip = %+v", snap)
+	}
+	e := snap.Edges[0]
+	if e.Reporter != 1 || e.Peer != "n2" || e.PeerID != 2 || !e.Fresh ||
+		e.LossPermille != 100 || e.RTTEwmaNanos != 2_000_000 || e.RTTSamples != 5 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if snap.Worst == nil || snap.Worst.FreshEdges != 2 ||
+		snap.Worst.WorstPeer != "n1" || snap.Worst.WorstPeerID != 1 ||
+		snap.Worst.WorstPeerLossPermille != 100 {
+		t.Fatalf("worst digest = %+v", snap.Worst)
+	}
+	for _, key := range []string{
+		`"stale_after_ms"`, `"reporter"`, `"reporter_addr"`, `"peer"`, `"peer_id"`,
+		`"loss_permille"`, `"rtt_ewma_ns"`, `"jitter_ns"`, `"rtt_samples"`,
+		`"innovation_permille"`, `"worst"`, `"worst_peer"`, `"worst_edges"`,
+		`"max_rtt_peer"`, `"age_ms"`, `"fresh"`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("links JSON missing %s:\n%s", key, raw)
+		}
+	}
+	// Without the option the endpoint stays unmounted.
+	bare, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	resp, err = http.Get("http://" + bare.Addr() + "/debug/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted /debug/links: status %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -9,11 +9,13 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"reflect"
 	"testing"
 
 	"ncast/internal/gf"
+	"ncast/internal/obs"
 	"ncast/internal/rlnc"
 )
 
@@ -130,17 +132,47 @@ func FuzzDecodeData(f *testing.F) {
 		f.Add(sel, EncodeData(fld, 9, 123456789, p))
 		f.Add(sel, EncodeDataTraced(fld, 9, 123456789, TraceContext{ID: 0xfeedface, Hop: 2}, p))
 		f.Add(sel, EncodeDataTraced(fld, 9, 0, TraceContext{ID: 1, Hop: 255}, p))
+		f.Add(sel, EncodeDataSeq(fld, 9, 0, 0, TraceContext{}, p))
+		f.Add(sel, EncodeDataSeq(fld, 9, SeqMod-1, 123456789, TraceContext{}, p))
+		f.Add(sel, EncodeDataSeq(fld, 9, 7, 123456789, TraceContext{ID: 0xfeedface, Hop: 2}, p))
 	}
 	f.Add(uint8(1), []byte{0, 0, 1})                              // header only
 	f.Add(uint8(1), []byte{3, 0, 1, 1, 2, 3})                     // stamped, truncated stamp
 	f.Add(uint8(1), []byte{4, 0, 1, 1, 2, 3})                     // traced, truncated context
 	f.Add(uint8(1), append([]byte{4, 0, 1}, make([]byte, 17)...)) // traced, zero id
+	f.Add(uint8(1), []byte{0, 0x80, 1, 9})                        // seq flag, truncated seq
 	f.Fuzz(func(t *testing.T, sel uint8, frame []byte) {
 		fld := fuzzField(sel)
 		thread, stamp, tc, p, err := DecodeDataTraced(fld, frame)
 		if err != nil {
+			// The seq-aware decoder must agree that the frame is bad.
+			if _, _, _, _, _, err2 := DecodeDataSeq(fld, frame); err2 == nil {
+				t.Fatalf("DecodeDataSeq accepted a frame DecodeDataTraced rejects")
+			}
 			return
 		}
+		// The seq-aware decoder accepts everything the traced one does and
+		// agrees on every shared field; the seq itself round-trips through
+		// the seq-stamped encoder.
+		thS, seq, stampS, tcS, pS, err := DecodeDataSeq(fld, frame)
+		if err != nil {
+			t.Fatalf("DecodeDataSeq rejected a frame DecodeDataTraced accepts: %v", err)
+		}
+		if thS != thread || stampS != stamp || tcS != tc {
+			t.Fatalf("decoders disagree: thread %d/%d stamp %d/%d tc %+v/%+v",
+				thread, thS, stamp, stampS, tc, tcS)
+		}
+		if seq < -1 || seq >= SeqMod {
+			t.Fatalf("seq %d outside [-1, %d)", seq, SeqMod)
+		}
+		if seq >= 0 {
+			againSeq := EncodeDataSeq(fld, thS, seq, stampS, tcS, pS)
+			_, seq2, _, _, _, err := DecodeDataSeq(fld, againSeq)
+			if err != nil || seq2 != seq {
+				t.Fatalf("seq round trip: %d -> %d, err %v", seq, seq2, err)
+			}
+		}
+		pS.Release()
 		// Header fields must not have conjured state beyond the input:
 		// everything in the packet was carried by the frame itself.
 		if p.WireSize(fld) > len(frame) {
@@ -189,18 +221,40 @@ func equalCoeff(a, b []uint16) bool {
 }
 
 // FuzzDecodeKeepalive covers the third frame kind; it must never panic
-// and must round-trip the thread index for every frame it accepts.
+// and must round-trip the thread index for every frame it accepts. The
+// echo extension decoder must accept exactly the same frames and agree on
+// the thread, round-tripping the timestamp pair through the echo encoder.
 func FuzzDecodeKeepalive(f *testing.F) {
 	f.Add(EncodeKeepalive(0))
 	f.Add(EncodeKeepalive(65535))
 	f.Add([]byte{2})
+	f.Add(EncodeKeepaliveEcho(3, 123456789, 0, 0))              // probe
+	f.Add(EncodeKeepaliveEcho(3, 0, 123456789, 42))             // echo
+	f.Add(append(EncodeKeepalive(1), 0xde, 0xad))               // trailing bytes: tolerated
+	f.Add(append(EncodeKeepaliveEcho(1, 1, 0, 0), 0xbe))        // over-long echo: tolerated
+	f.Add(EncodeKeepaliveEcho(9, 1, 0, 0)[:keepaliveEchoLen-1]) // truncated extension
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		thread, err := DecodeKeepalive(frame)
 		if err != nil {
+			if _, err2 := DecodeKeepaliveEcho(frame); err2 == nil {
+				t.Fatalf("echo decoder accepted a frame DecodeKeepalive rejects")
+			}
 			return
 		}
 		if got, err := DecodeKeepalive(EncodeKeepalive(thread)); err != nil || got != thread {
 			t.Fatalf("keepalive round trip: thread %d -> %d, err %v", thread, got, err)
+		}
+		ki, err := DecodeKeepaliveEcho(frame)
+		if err != nil {
+			t.Fatalf("echo decoder rejected a frame DecodeKeepalive accepts: %v", err)
+		}
+		if ki.Thread != thread {
+			t.Fatalf("decoders disagree on thread: %d vs %d", thread, ki.Thread)
+		}
+		again := EncodeKeepaliveEcho(ki.Thread, ki.TxNanos, ki.EchoNanos, ki.HoldNanos)
+		ki2, err := DecodeKeepaliveEcho(again)
+		if err != nil || ki2 != ki {
+			t.Fatalf("echo round trip: %+v -> %+v, err %v", ki, ki2, err)
 		}
 	})
 }
@@ -326,6 +380,183 @@ func TestTracedHotPathAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, hot); allocs != 0 {
 		t.Fatalf("untraced hot path allocates %.1f objects per emit+receive, want 0", allocs)
+	}
+}
+
+// TestDataRoundTripSeq pins the seq-stamped variant across the three
+// fields and all three kind combinations (plain, stamped, traced): the
+// sequence number survives exactly, including the wrap-point extremes, and
+// seq < 0 delegates to the legacy encoder byte for byte.
+func TestDataRoundTripSeq(t *testing.T) {
+	t.Parallel()
+	for _, fld := range []gf.Field{gf.F2, gf.F256, gf.F65536} {
+		p := &rlnc.Packet{Gen: 7, Coeff: []uint16{1, 0, 1, 1}, Payload: []byte("seq-payload")}
+		for _, seq := range []int32{0, 1, 1 << 12, SeqMod - 1} {
+			for _, stamp := range []int64{0, 42} {
+				for _, tc := range []TraceContext{{}, {ID: 0xabc, Hop: 3}} {
+					frame := EncodeDataSeq(fld, 5, seq, stamp, tc, p)
+					th, gotSeq, gotStamp, gotTC, q, err := DecodeDataSeq(fld, frame)
+					if err != nil {
+						t.Fatalf("field %d seq=%d stamp=%d tc=%+v: %v", fld.Bits(), seq, stamp, tc, err)
+					}
+					if th != 5 || gotSeq != seq || gotStamp != stamp || gotTC != tc {
+						t.Fatalf("field %d: got th=%d seq=%d stamp=%d tc=%+v, want 5/%d/%d/%+v",
+							fld.Bits(), th, gotSeq, gotStamp, gotTC, seq, stamp, tc)
+					}
+					if q.Gen != p.Gen || !equalCoeff(q.Coeff, p.Coeff) || !bytes.Equal(q.Payload, p.Payload) {
+						t.Fatalf("field %d seq=%d: packet mismatch", fld.Bits(), seq)
+					}
+					// The legacy decoders must accept the stamped frame too,
+					// dropping only the seq.
+					th2, stamp2, tc2, _, err := DecodeDataTraced(fld, frame)
+					if err != nil || th2 != 5 || stamp2 != stamp || tc2 != tc {
+						t.Fatalf("field %d: DecodeDataTraced on seq frame: th=%d stamp=%d tc=%+v err=%v",
+							fld.Bits(), th2, stamp2, tc2, err)
+					}
+				}
+			}
+		}
+		// seq < 0 must produce the exact legacy encoding — the flag bit
+		// stays clear and not one byte differs.
+		for _, tc := range []TraceContext{{}, {ID: 9, Hop: 1}} {
+			for _, stamp := range []int64{0, 99} {
+				legacy := EncodeDataTraced(fld, 5, stamp, tc, p)
+				seqless := EncodeDataSeq(fld, 5, -1, stamp, tc, p)
+				if !bytes.Equal(legacy, seqless) {
+					t.Fatalf("field %d stamp=%d tc=%+v: seq<0 encoding diverged from legacy", fld.Bits(), stamp, tc)
+				}
+				if legacy[1]&0x80 != 0 {
+					t.Fatalf("field %d: legacy frame has the seq flag set", fld.Bits())
+				}
+			}
+		}
+		// A seq-flagged frame whose body ends before the 3 seq bytes is
+		// malformed, not mis-read as an unstamped frame.
+		if _, _, _, _, _, err := DecodeDataSeq(fld, []byte{0, 0x80, 5, 1, 2}); err == nil {
+			t.Fatalf("field %d: truncated seq frame accepted", fld.Bits())
+		}
+	}
+}
+
+// TestDataFrameGoldenLayout pins the exact byte layout of every data-frame
+// header variant. These bytes are the wire protocol: a mixed-version fleet
+// only works if they never shift.
+func TestDataFrameGoldenLayout(t *testing.T) {
+	t.Parallel()
+	fld := gf.F256
+	p := &rlnc.Packet{Gen: 3, Coeff: []uint16{1, 2, 3}, Payload: []byte("hi")}
+	body := p.AppendTo(nil, fld)
+
+	stamp8 := make([]byte, 8)
+	binary.BigEndian.PutUint64(stamp8, 99)
+	id8 := make([]byte, 8)
+	binary.BigEndian.PutUint64(id8, 0xabc)
+
+	join := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, part := range parts {
+			out = append(out, part...)
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  []byte
+	}{
+		{"plain", EncodeData(fld, 9, 0, p), join([]byte{0, 0, 9}, body)},
+		{"stamped", EncodeData(fld, 9, 99, p), join([]byte{3, 0, 9}, stamp8, body)},
+		{"traced", EncodeDataTraced(fld, 9, 99, TraceContext{ID: 0xabc, Hop: 2}, p),
+			join([]byte{4, 0, 9}, stamp8, id8, []byte{2}, body)},
+		{"seq-plain", EncodeDataSeq(fld, 9, 0x010203, 0, TraceContext{}, p),
+			join([]byte{0, 0x80, 9, 1, 2, 3}, body)},
+		{"seq-stamped", EncodeDataSeq(fld, 9, 0x010203, 99, TraceContext{}, p),
+			join([]byte{3, 0x80, 9, 1, 2, 3}, stamp8, body)},
+		{"seq-traced", EncodeDataSeq(fld, 9, 0x010203, 99, TraceContext{ID: 0xabc, Hop: 2}, p),
+			join([]byte{4, 0x80, 9, 1, 2, 3}, stamp8, id8, []byte{2}, body)},
+		{"keepalive", EncodeKeepalive(0x1234), []byte{2, 0x12, 0x34}},
+		{"keepalive-echo", EncodeKeepaliveEcho(0x1234, 99, 0, 0),
+			join([]byte{2, 0x12, 0x34}, stamp8, make([]byte, 16))},
+	}
+	for _, c := range cases {
+		if !bytes.Equal(c.frame, c.want) {
+			t.Errorf("%s layout:\n got %x\nwant %x", c.name, c.frame, c.want)
+		}
+	}
+}
+
+// TestKeepaliveMixedVersions is the version-skew regression: an old node's
+// 3-byte keepalive and a new node's 27-byte echo keepalive must each be
+// accepted by the other side's decoder. Before this fix DecodeKeepalive
+// hard-failed on any frame != 3 bytes, so one extended keepalive from an
+// upgraded peer silently killed the link's liveness signal.
+func TestKeepaliveMixedVersions(t *testing.T) {
+	t.Parallel()
+	// New → old: the legacy decoder reads the thread and ignores the
+	// trailing timestamps.
+	probe := EncodeKeepaliveEcho(7, 123456789, 0, 0)
+	if th, err := DecodeKeepalive(probe); err != nil || th != 7 {
+		t.Fatalf("legacy decode of echo keepalive: th=%d err=%v", th, err)
+	}
+	// Old → new: the echo decoder reads a legacy frame as
+	// timestamp-free — neither a probe nor an echo, so no RTT math runs.
+	ki, err := DecodeKeepaliveEcho(EncodeKeepalive(7))
+	if err != nil || ki.Thread != 7 || ki.IsProbe() || ki.IsEcho() {
+		t.Fatalf("echo decode of legacy keepalive: %+v err=%v", ki, err)
+	}
+	// Future extensions: trailing bytes beyond either layout are ignored.
+	long := append(EncodeKeepaliveEcho(7, 1, 2, 3), 0xff, 0xee)
+	if th, err := DecodeKeepalive(long); err != nil || th != 7 {
+		t.Fatalf("legacy decode of over-long keepalive: th=%d err=%v", th, err)
+	}
+	if ki, err := DecodeKeepaliveEcho(long); err != nil || ki.TxNanos != 1 || ki.EchoNanos != 2 || ki.HoldNanos != 3 {
+		t.Fatalf("echo decode of over-long keepalive: %+v err=%v", ki, err)
+	}
+	// Truncated frames are still malformed.
+	if _, err := DecodeKeepalive([]byte{2, 0}); err == nil {
+		t.Fatal("2-byte keepalive accepted")
+	}
+	// Probe/echo classification.
+	if ki, _ := DecodeKeepaliveEcho(probe); !ki.IsProbe() || ki.IsEcho() {
+		t.Fatalf("probe misclassified: %+v", ki)
+	}
+	echo := EncodeKeepaliveEcho(7, 0, 123456789, 42)
+	if ki, _ := DecodeKeepaliveEcho(echo); ki.IsProbe() || !ki.IsEcho() {
+		t.Fatalf("echo misclassified: %+v", ki)
+	}
+}
+
+// TestLinkHotPathAllocs is the link-telemetry overhead guard: the full
+// per-frame accounting path — pooled seq-stamped emit, decode, sequence
+// ledger, innovation verdict — must not allocate in the steady state, or
+// enabling telemetry would tax every datagram.
+func TestLinkHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates on instrumented paths")
+	}
+	fld := gf.F256
+	links := obs.NewLinkTracker(0)
+	src := &rlnc.Packet{Gen: 1, Coeff: []uint16{3, 1, 4, 1}, Payload: make([]byte, 256)}
+	seq := int32(0)
+	hot := func() {
+		buf := rlnc.GetFrameBuf()
+		*buf = AppendDataSeq(*buf, fld, 2, seq, 12345, TraceContext{}, src)
+		th, gotSeq, _, _, p, err := DecodeDataSeq(fld, *buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links.ObserveFrame("parent", th, gotSeq, len(*buf), 12345)
+		links.ObservePacket("parent", true)
+		p.Release()
+		rlnc.PutFrameBuf(buf)
+		seq = (seq + 1) % SeqMod
+	}
+	// Warm the pools and the per-peer ledger outside the measured runs.
+	for i := 0; i < 16; i++ {
+		hot()
+	}
+	if allocs := testing.AllocsPerRun(200, hot); allocs != 0 {
+		t.Fatalf("link-accounting hot path allocates %.1f objects per frame, want 0", allocs)
 	}
 }
 

@@ -79,6 +79,19 @@ const (
 	frameDataTraced byte = 4
 )
 
+// seqFlag marks a data frame whose header carries a per-(sender, thread)
+// 24-bit sequence number right after the thread word. It lives in the
+// top bit of the thread field — threads are bounded far below 2^15, so
+// the bit is always zero in legacy frames (the same spare-bit trick the
+// systematic flag uses in the rlnc length word), which keeps unstamped
+// encodings byte-identical.
+const seqFlag uint16 = 1 << 15
+
+// SeqMod is the sequence-number space of the per-(sender, thread)
+// datagram counter: 24 bits, wrapping (mirrors obs.SeqMod, which owns
+// the gap-ledger arithmetic).
+const SeqMod = 1 << 24
+
 // TraceContext is the dissemination-trace context a traced data frame
 // carries: the trace ID the source assigned to the sampled generation and
 // the hop count — the overlay depth of the sender, so a receiver learns
@@ -253,6 +266,12 @@ type StatsReport struct {
 	// and traced frames arrived); the tracker's TraceCollector assembles
 	// them into per-generation dissemination trees.
 	TraceHops []obs.TraceHop `json:"trace_hops,omitempty"`
+
+	// Links are the node's per-peer link scorecards (loss from sequence
+	// gaps, RTT/jitter EWMAs, innovation rate); the tracker's
+	// LinkCollector assembles them into the fleet link matrix served at
+	// /debug/links.
+	Links []obs.LinkReport `json:"links,omitempty"`
 }
 
 // ThreadDropped confirms a degree reduction.
@@ -334,6 +353,36 @@ func AppendDataTraced(buf []byte, f gf.Field, thread int, emitNanos int64, tc Tr
 	return p.AppendTo(buf, f)
 }
 
+// AppendDataSeq appends a data frame stamped with a per-(sender, thread)
+// sequence number in [0, SeqMod), from which receivers estimate per-peer
+// loss, reordering, and duplication on the lossy datagram plane. A
+// negative seq delegates to AppendDataTraced, so senders on reliable
+// transports emit exactly the frames they always did — same bytes, zero
+// extra allocations. The sequence rides in 3 bytes between the thread
+// word (whose top bit flags its presence) and the variant's stamp/trace
+// fields, in every data-frame variant.
+func AppendDataSeq(buf []byte, f gf.Field, thread int, seq int32, emitNanos int64, tc TraceContext, p *rlnc.Packet) []byte {
+	if seq < 0 {
+		return AppendDataTraced(buf, f, thread, emitNanos, tc, p)
+	}
+	kind := frameData
+	if tc.Traced() {
+		kind = frameDataTraced
+	} else if emitNanos > 0 {
+		kind = frameDataTS
+	}
+	tw := uint16(thread) | seqFlag
+	buf = append(buf, kind, byte(tw>>8), byte(tw), byte(seq>>16), byte(seq>>8), byte(seq))
+	if kind != frameData {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(emitNanos))
+	}
+	if kind == frameDataTraced {
+		buf = binary.BigEndian.AppendUint64(buf, tc.ID)
+		buf = append(buf, tc.Hop)
+	}
+	return p.AppendTo(buf, f)
+}
+
 // EncodeData marshals a data frame into a fresh buffer.
 func EncodeData(f gf.Field, thread int, emitNanos int64, p *rlnc.Packet) []byte {
 	return AppendData(make([]byte, 0, 11+p.WireSize(f)), f, thread, emitNanos, p)
@@ -345,6 +394,12 @@ func EncodeDataTraced(f gf.Field, thread int, emitNanos int64, tc TraceContext, 
 	return AppendDataTraced(make([]byte, 0, 20+p.WireSize(f)), f, thread, emitNanos, tc, p)
 }
 
+// EncodeDataSeq marshals a (possibly sequence-stamped, possibly traced)
+// data frame into a fresh buffer.
+func EncodeDataSeq(f gf.Field, thread int, seq int32, emitNanos int64, tc TraceContext, p *rlnc.Packet) []byte {
+	return AppendDataSeq(make([]byte, 0, dataFrameHeaderMax+p.WireSize(f)), f, thread, seq, emitNanos, tc, p)
+}
+
 // DecodeData unmarshals a data frame of any variant; emitNanos is 0 for
 // unstamped frames. Trace context, if present, is dropped — receivers
 // that care use DecodeDataTraced.
@@ -354,39 +409,59 @@ func DecodeData(f gf.Field, frame []byte) (thread int, emitNanos int64, p *rlnc.
 }
 
 // DecodeDataTraced unmarshals a data frame of any variant, returning the
-// trace context for traced frames (zero otherwise). A malformed trace
-// header is an error, never a silent fallback to another variant.
+// trace context for traced frames (zero otherwise). The sequence number,
+// if present, is dropped — receivers that account per-peer loss use
+// DecodeDataSeq.
 func DecodeDataTraced(f gf.Field, frame []byte) (thread int, emitNanos int64, tc TraceContext, p *rlnc.Packet, err error) {
+	thread, _, emitNanos, tc, p, err = DecodeDataSeq(f, frame)
+	return thread, emitNanos, tc, p, err
+}
+
+// DecodeDataSeq unmarshals a data frame of any variant, returning the
+// per-(sender, thread) sequence number for seq-stamped frames (-1
+// otherwise) and the trace context for traced frames (zero otherwise). A
+// malformed header is an error, never a silent fallback to another
+// variant.
+func DecodeDataSeq(f gf.Field, frame []byte) (thread int, seq int32, emitNanos int64, tc TraceContext, p *rlnc.Packet, err error) {
 	if len(frame) < 3 ||
 		(frame[0] != frameData && frame[0] != frameDataTS && frame[0] != frameDataTraced) {
-		return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: not a data frame")
+		return 0, 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: not a data frame")
 	}
-	thread = int(binary.BigEndian.Uint16(frame[1:3]))
+	tw := binary.BigEndian.Uint16(frame[1:3])
+	thread = int(tw &^ seqFlag)
 	body := frame[3:]
+	seq = -1
+	if tw&seqFlag != 0 {
+		if len(body) < 3 {
+			return 0, 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: seq-stamped data frame truncated")
+		}
+		seq = int32(body[0])<<16 | int32(body[1])<<8 | int32(body[2])
+		body = body[3:]
+	}
 	switch frame[0] {
 	case frameDataTS:
 		if len(body) < 8 {
-			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: stamped data frame truncated")
+			return 0, 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: stamped data frame truncated")
 		}
 		emitNanos = int64(binary.BigEndian.Uint64(body[:8]))
 		body = body[8:]
 	case frameDataTraced:
 		if len(body) < 17 {
-			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame truncated")
+			return 0, 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame truncated")
 		}
 		emitNanos = int64(binary.BigEndian.Uint64(body[:8]))
 		tc.ID = binary.BigEndian.Uint64(body[8:16])
 		tc.Hop = body[16]
 		body = body[17:]
 		if !tc.Traced() {
-			return 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame with zero trace id")
+			return 0, 0, 0, TraceContext{}, nil, fmt.Errorf("protocol: traced data frame with zero trace id")
 		}
 	}
 	p, err = rlnc.Unmarshal(f, body)
 	if err != nil {
-		return 0, 0, TraceContext{}, nil, err
+		return 0, 0, 0, TraceContext{}, nil, err
 	}
-	return thread, emitNanos, tc, p, nil
+	return thread, seq, emitNanos, tc, p, nil
 }
 
 // IsData reports whether the frame is a data frame (any variant).
@@ -407,12 +482,71 @@ func EncodeKeepalive(thread int) []byte {
 	return out[:]
 }
 
-// DecodeKeepalive unmarshals a keepalive frame.
+// DecodeKeepalive unmarshals a keepalive frame. Trailing bytes beyond
+// the 3-byte core are ignored — they belong to extensions (the echo
+// timestamp pair) that a peer from a newer version may send; rejecting
+// them would kill the link on any version skew.
 func DecodeKeepalive(frame []byte) (thread int, err error) {
-	if len(frame) != 3 || frame[0] != frameKeepalive {
+	if len(frame) < 3 || frame[0] != frameKeepalive {
 		return 0, fmt.Errorf("protocol: not a keepalive frame")
 	}
-	return int(binary.BigEndian.Uint16(frame[1:])), nil
+	return int(binary.BigEndian.Uint16(frame[1:3])), nil
+}
+
+// keepaliveEchoLen is the extended keepalive layout: the 3-byte core
+// plus the echo timestamp pair (transmit time, echoed time, hold time —
+// 8 bytes each).
+const keepaliveEchoLen = 3 + 8 + 8 + 8
+
+// KeepaliveInfo is the decoded form of a keepalive frame, including the
+// echo extension when present. The exchange measures RTT over the path
+// data actually takes: a sender stamps TxNanos on its periodic
+// keepalives (a probe); the receiver answers with EchoNanos = the
+// received TxNanos and HoldNanos = its local processing delay; the
+// original sender computes RTT = now − EchoNanos − HoldNanos. An echo
+// carries TxNanos 0, so echoes are never themselves echoed. Legacy
+// 3-byte keepalives decode with all timestamps zero.
+type KeepaliveInfo struct {
+	Thread    int
+	TxNanos   int64
+	EchoNanos int64
+	HoldNanos int64
+}
+
+// IsProbe reports whether the keepalive asks to be echoed.
+func (k KeepaliveInfo) IsProbe() bool { return k.TxNanos > 0 && k.EchoNanos == 0 }
+
+// IsEcho reports whether the keepalive answers a probe.
+func (k KeepaliveInfo) IsEcho() bool { return k.EchoNanos > 0 }
+
+// EncodeKeepaliveEcho marshals a keepalive carrying the echo timestamp
+// pair: a probe (tx set, echo/hold zero) or an echo reply (tx zero, echo
+// = the probe's tx, hold = local processing delay).
+func EncodeKeepaliveEcho(thread int, txNanos, echoNanos, holdNanos int64) []byte {
+	var out [keepaliveEchoLen]byte
+	out[0] = frameKeepalive
+	binary.BigEndian.PutUint16(out[1:3], uint16(thread))
+	binary.BigEndian.PutUint64(out[3:11], uint64(txNanos))
+	binary.BigEndian.PutUint64(out[11:19], uint64(echoNanos))
+	binary.BigEndian.PutUint64(out[19:27], uint64(holdNanos))
+	return out[:]
+}
+
+// DecodeKeepaliveEcho unmarshals a keepalive of either layout. Frames
+// shorter than the full echo extension (legacy peers) decode with zero
+// timestamps; trailing bytes beyond the known layout are ignored.
+func DecodeKeepaliveEcho(frame []byte) (KeepaliveInfo, error) {
+	thread, err := DecodeKeepalive(frame)
+	if err != nil {
+		return KeepaliveInfo{}, err
+	}
+	ki := KeepaliveInfo{Thread: thread}
+	if len(frame) >= keepaliveEchoLen {
+		ki.TxNanos = int64(binary.BigEndian.Uint64(frame[3:11]))
+		ki.EchoNanos = int64(binary.BigEndian.Uint64(frame[11:19]))
+		ki.HoldNanos = int64(binary.BigEndian.Uint64(frame[19:27]))
+	}
+	return ki, nil
 }
 
 // IsKeepalive reports whether the frame is a keepalive.
@@ -437,9 +571,9 @@ func DataPlaneFrame(frame []byte) bool {
 }
 
 // dataFrameHeaderMax is the largest data-frame header any variant emits:
-// the traced layout's kind byte, 2-byte thread, 8-byte emission stamp,
-// 8-byte trace ID, and hop counter.
-const dataFrameHeaderMax = 1 + 2 + 8 + 8 + 1
+// the traced layout's kind byte, 2-byte thread, 3-byte sequence number,
+// 8-byte emission stamp, 8-byte trace ID, and hop counter.
+const dataFrameHeaderMax = 1 + 2 + 3 + 8 + 8 + 1
 
 // DataFrameOverhead returns the worst-case bytes a data frame adds on top
 // of the coded payload over field f with generation size h: the traced

@@ -56,6 +56,12 @@ type NodeConfig struct {
 	// decode in parallel. 0 or 1 absorbs packets inline on the receive
 	// loop (the prior behavior).
 	DecodeWorkers int
+	// LinkSeq turns on link telemetry's wire stamping: outbound data
+	// frames carry per-(sender, thread) sequence numbers and keepalives
+	// become RTT echo probes. Off (the default) keeps every emitted frame
+	// byte-identical to the legacy encodings; inbound accounting is
+	// always on, so a node still scores peers that stamp.
+	LinkSeq bool
 	// Obs carries optional instrumentation; nil leaves the node (and its
 	// codecs) uninstrumented at zero cost.
 	Obs *obs.NodeMetrics
@@ -95,6 +101,11 @@ type Node struct {
 	innovative int
 	received   int
 	hbGen      int
+	// seqOf is the next outbound sequence number per thread (LinkSeq
+	// only); links scores every inbound peer — loss from sequence gaps,
+	// RTT from keepalive echoes, innovation per parent.
+	seqOf map[int]uint32
+	links *obs.LinkTracker
 	// traceOf holds, per generation, the dissemination-trace context this
 	// node first received for a sampled generation: the trace ID and the
 	// node's own hop depth (max over received frames of the same trace,
@@ -144,6 +155,7 @@ type Node struct {
 type decodeJob struct {
 	f    gf.Field
 	th   int
+	from string
 	emit int64
 	tc   TraceContext
 	rc   *rlnc.Recoder
@@ -164,6 +176,10 @@ type traceState struct {
 const (
 	hopLogCap             = 4096
 	maxTraceHopsPerReport = 256
+	// maxLinksPerReport bounds the link scorecards shipped per stats
+	// report; degree is small, so the cap only matters for a node that
+	// heard from many transient peers.
+	maxLinksPerReport = 64
 )
 
 // NewNode creates a node bound to ep.
@@ -178,6 +194,8 @@ func NewNode(ep transport.Endpoint, cfg NodeConfig) *Node {
 		childOf:    make(map[int]string),
 		parentOf:   make(map[int]string),
 		lastRecv:   make(map[int]time.Time),
+		seqOf:      make(map[int]uint32),
+		links:      obs.NewLinkTracker(0),
 		joinedCh:   make(chan error, 1),
 		completeCh: make(chan struct{}),
 		leftCh:     make(chan struct{}),
@@ -388,6 +406,9 @@ func (n *Node) Run(ctx context.Context) error {
 	if n.cfg.ComplaintTimeout > 0 {
 		go n.complaintLoop(ctx)
 		go n.heartbeatLoop(ctx)
+		if n.cfg.LinkSeq {
+			go n.probeLoop(ctx)
+		}
 	}
 	// The lease and stats loops idle until a welcome announces intervals.
 	go n.leaseLoop(ctx)
@@ -417,7 +438,7 @@ func (n *Node) Run(ctx context.Context) error {
 			return fmt.Errorf("protocol: node recv: %w", err)
 		}
 		if IsKeepalive(frame) {
-			n.handleKeepalive(from, frame)
+			n.handleKeepalive(ctx, from, frame)
 			continue
 		}
 		if IsData(frame) {
@@ -639,8 +660,8 @@ func (n *Node) applyRedirect(ctx context.Context, r Redirect) {
 			continue
 		}
 		if p := n.emitPacketLocked(g, rc); p != nil {
-			bursts = append(bursts, burst{frame: EncodeDataTraced(n.field, r.Thread,
-				n.lifecycle.EmitStamp(g), n.forwardTraceLocked(g), p)})
+			bursts = append(bursts, burst{frame: EncodeDataSeq(n.field, r.Thread,
+				n.nextSeqLocked(r.Thread), n.lifecycle.EmitStamp(g), n.forwardTraceLocked(g), p)})
 			p.Release()
 		}
 	}
@@ -657,11 +678,16 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 		n.mu.Unlock()
 		return
 	}
-	th, emit, tc, p, err := DecodeDataTraced(n.field, frame)
+	th, seq, emit, tc, p, err := DecodeDataSeq(n.field, frame)
 	if err != nil {
 		n.mu.Unlock()
 		return
 	}
+	now := time.Now()
+	// Score the link before any protocol-level gating: loss estimation is
+	// about what the wire delivered, and a frame for a foreign generation
+	// still proves the link carried it.
+	n.links.ObserveFrame(from, th, seq, len(frame), now.UnixNano())
 	if !n.genSet[p.Gen] {
 		n.mu.Unlock()
 		p.Release()
@@ -672,7 +698,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 	if m != nil {
 		m.Received.Inc()
 	}
-	n.lastRecv[th] = time.Now()
+	n.lastRecv[th] = now
 	n.parentOf[th] = from
 	rc, ok := n.recoders[p.Gen]
 	if !ok {
@@ -691,11 +717,11 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 	n.mu.Unlock()
 
 	if n.decodeQ == nil {
-		n.absorb(ctx, f, th, emit, tc, rc, p)
+		n.absorb(ctx, f, th, from, emit, tc, rc, p)
 		return
 	}
 	select {
-	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, emit: emit, tc: tc, rc: rc, p: p}:
+	case n.decodeQ[int(p.Gen)%len(n.decodeQ)] <- decodeJob{f: f, th: th, from: from, emit: emit, tc: tc, rc: rc, p: p}:
 	default:
 		// A saturated decode worker behaves like a congested link: the
 		// packet is dropped, which RLNC absorbs by design.
@@ -707,7 +733,7 @@ func (n *Node) handleData(ctx context.Context, from string, frame []byte) {
 func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 	defer n.decodeWG.Done()
 	for j := range q {
-		n.absorb(ctx, j.f, j.th, j.emit, j.tc, j.rc, j.p)
+		n.absorb(ctx, j.f, j.th, j.from, j.emit, j.tc, j.rc, j.p)
 	}
 }
 
@@ -716,7 +742,7 @@ func (n *Node) decodeWorker(ctx context.Context, q <-chan decodeJob) {
 // then re-locks for node bookkeeping and forwards one packet of the same
 // generation down the node's own thread, preserving unit flow per
 // thread. It consumes p (released back to the packet pool).
-func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, tc TraceContext, rc *rlnc.Recoder, p *rlnc.Packet) {
+func (n *Node) absorb(ctx context.Context, f gf.Field, th int, from string, emit int64, tc TraceContext, rc *rlnc.Recoder, p *rlnc.Packet) {
 	m := n.cfg.Obs
 	// Stamp the arrival before the Gaussian elimination so the hop span
 	// measures propagation, not local decode work. Untraced frames (the
@@ -740,6 +766,7 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, tc Tr
 	lc := n.lifecycle
 	n.mu.Unlock()
 	lc.Observe(p.Gen, emit, rc.Rank())
+	n.links.ObservePacket(from, innovative)
 	n.mu.Lock()
 	if innovative {
 		n.innovative++
@@ -806,8 +833,10 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, tc Tr
 			EmitNanos:    emit,
 		})
 	}
+	fwdSeq := int32(-1)
 	if out != nil {
 		fwdTC = n.forwardTraceLocked(out.Gen)
+		fwdSeq = n.nextSeqLocked(th)
 	}
 	id := n.id
 	n.mu.Unlock()
@@ -828,7 +857,7 @@ func (n *Node) absorb(ctx context.Context, f gf.Field, th int, emit int64, tc Tr
 			stamp = s
 		}
 		buf := rlnc.GetFrameBuf()
-		*buf = AppendDataTraced(*buf, f, th, stamp, fwdTC, out)
+		*buf = AppendDataSeq(*buf, f, th, fwdSeq, stamp, fwdTC, out)
 		out.Release()
 		n.sendData(ctx, child, *buf)
 		rlnc.PutFrameBuf(buf)
@@ -849,6 +878,20 @@ func (n *Node) forwardTraceLocked(gen uint32) TraceContext {
 		hop++
 	}
 	return TraceContext{ID: ts.id, Hop: hop}
+}
+
+// nextSeqLocked returns the next outbound sequence number for thread th,
+// advancing the per-thread counter (wrapping in 24-bit space), or -1
+// when LinkSeq stamping is off — which makes every Append/EncodeDataSeq
+// call site fall back to the byte-identical legacy encodings. Callers
+// hold n.mu.
+func (n *Node) nextSeqLocked(th int) int32 {
+	if !n.cfg.LinkSeq {
+		return -1
+	}
+	s := n.seqOf[th]
+	n.seqOf[th] = (s + 1) % SeqMod
+	return int32(s)
 }
 
 // emitPacketLocked produces the packet this node forwards for generation
@@ -885,19 +928,79 @@ func (n *Node) sendData(ctx context.Context, to string, frame []byte) {
 	_ = n.ep.Send(sendCtx, to, frame) //nolint:errcheck // lossy data plane
 }
 
-// handleKeepalive refreshes the liveness clock of the sending parent.
-func (n *Node) handleKeepalive(from string, frame []byte) {
-	th, err := DecodeKeepalive(frame)
+// handleKeepalive refreshes the liveness clock of the sending parent and
+// runs the RTT echo exchange: probes are answered with an echo of their
+// transmit stamp, echoes close the loop into the peer's RTT EWMA.
+func (n *Node) handleKeepalive(ctx context.Context, from string, frame []byte) {
+	ki, err := DecodeKeepaliveEcho(frame)
 	if err != nil {
 		return
 	}
+	th := ki.Thread
+	now := time.Now()
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if !n.joined {
+		n.mu.Unlock()
 		return
 	}
-	n.lastRecv[th] = time.Now()
-	n.parentOf[th] = from
+	// A probe can also arrive from this node's own child (children probe
+	// the parents they measure); only a frame from upstream may refresh
+	// the thread's liveness clock, or a probing child would mask its
+	// parent's death from the complaint protocol.
+	if n.childOf[th] != from {
+		n.lastRecv[th] = now
+		n.parentOf[th] = from
+	}
+	if ki.IsEcho() {
+		if rtt := now.UnixNano() - ki.EchoNanos - ki.HoldNanos; rtt > 0 {
+			n.links.ObserveRTT(from, rtt)
+		}
+	}
+	n.mu.Unlock()
+	if ki.IsProbe() {
+		// Answer immediately, so HoldNanos (the receiver's processing
+		// delay) is negligible and reported as zero.
+		n.sendData(ctx, from, EncodeKeepaliveEcho(th, 0, ki.TxNanos, 0))
+	}
+}
+
+// probeLoop measures RTT over the data path: it periodically sends an
+// echo probe to each current parent, on the same plane coded frames ride
+// (LinkSeq sessions only). The parent's echo closes the loop in
+// handleKeepalive. All behaviors probe — a probe reveals nothing about
+// the prober's output threads, and even an attacker's scorecards keep
+// the fleet matrix honest about link quality.
+func (n *Node) probeLoop(ctx context.Context) {
+	interval := n.cfg.ComplaintTimeout / 4
+	if interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		type probe struct {
+			th     int
+			parent string
+		}
+		probes := make([]probe, 0, len(n.parentOf))
+		if n.joined {
+			for th, parent := range n.parentOf {
+				if parent != "" {
+					probes = append(probes, probe{th: th, parent: parent})
+				}
+			}
+		}
+		n.mu.Unlock()
+		for _, pr := range probes {
+			n.sendData(ctx, pr.parent, EncodeKeepaliveEcho(pr.th, time.Now().UnixNano(), 0, 0))
+		}
+	}
 }
 
 // heartbeatLoop proves this node's liveness to its children on threads
@@ -940,14 +1043,19 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 				g := n.genIDs[(n.hbGen+th)%len(n.genIDs)]
 				if rc, ok := n.recoders[g]; ok && rc.Rank() > 0 {
 					if p := n.emitPacketLocked(g, rc); p != nil {
-						b.frame = EncodeDataTraced(n.field, th,
+						b.frame = EncodeDataSeq(n.field, th, n.nextSeqLocked(th),
 							n.lifecycle.EmitStamp(g), n.forwardTraceLocked(g), p)
 						p.Release()
 					}
 				}
 			}
 			if b.frame == nil {
-				b.frame = EncodeKeepalive(th)
+				if n.cfg.LinkSeq {
+					// Double as an RTT probe down the same path.
+					b.frame = EncodeKeepaliveEcho(th, time.Now().UnixNano(), 0, 0)
+				} else {
+					b.frame = EncodeKeepalive(th)
+				}
 			}
 			beats = append(beats, b)
 		}
@@ -1066,6 +1174,7 @@ func (n *Node) buildStatsReport() StatsReport {
 	// aggregates them per (trace, generation, hop) cell so the report
 	// stays bounded however many traced frames arrived.
 	r.TraceHops = hl.Compact(maxTraceHopsPerReport)
+	r.Links = n.links.Compact(maxLinksPerReport)
 	if lc != nil {
 		if d := lc.Delays(); len(d) > 0 {
 			r.DelayP50Nanos = int64(obs.Quantile(d, 0.50))

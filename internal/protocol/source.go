@@ -48,9 +48,17 @@ type Source struct {
 	// the repair tail pays Gaussian cost. Ignored in layered mode. Set
 	// before Run.
 	Systematic bool
+	// LinkSeq stamps every emitted frame with a per-thread sequence
+	// number so direct children can estimate loss on their source links.
+	// Off keeps the wire byte-identical to the legacy encodings. Set
+	// before Run.
+	LinkSeq bool
 	// sysSent counts, per generation, how many systematic packets have
 	// been emitted; only Run touches it.
 	sysSent []uint16
+	// seq is the next per-thread sequence number (LinkSeq only); only
+	// Run touches it.
+	seq []uint32
 }
 
 // NewSource wraps content for broadcasting on k threads.
@@ -213,7 +221,17 @@ func (s *Source) Run(ctx context.Context) error {
 			}
 			// Direct children of the source sit at hop depth 1.
 			tc := TraceContext{ID: s.traceID(p.Gen), Hop: 1}
-			frame := EncodeDataTraced(s.params.Field, th, s.emitStamp(p.Gen), tc, p)
+			seq := int32(-1)
+			if s.LinkSeq {
+				if s.seq == nil {
+					s.seq = make([]uint32, len(children))
+				}
+				if th < len(s.seq) {
+					seq = int32(s.seq[th])
+					s.seq[th] = (s.seq[th] + 1) % SeqMod
+				}
+			}
+			frame := EncodeDataSeq(s.params.Field, th, seq, s.emitStamp(p.Gen), tc, p)
 			sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 			err = s.ep.Send(sendCtx, child, frame)
 			cancel()

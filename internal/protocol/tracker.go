@@ -52,6 +52,10 @@ type TrackerConfig struct {
 	// Independent of Obs because the trace family is tracker-wide while
 	// TrackerMetrics carries the per-tracker control-plane series.
 	TraceObs *obs.TraceMetrics
+	// LinkObs, when non-nil, feeds the ncast_link_* histogram family (loss,
+	// RTT, jitter, innovation ratio, goodput) as link scorecards arrive on
+	// stats reports.
+	LinkObs *obs.LinkMetrics
 }
 
 // Tracker is the §3 "server (or some other centralized authority)": it
@@ -75,6 +79,9 @@ type Tracker struct {
 	// traces assembles hop reports into dissemination trees; it locks
 	// itself, so ingest and snapshot run outside t.mu.
 	traces *obs.TraceCollector
+	// links aggregates per-peer scorecards into the fleet link matrix; like
+	// traces it locks itself, so ingest and snapshot run outside t.mu.
+	links *obs.LinkCollector
 
 	// outMu guards the per-peer control outboxes (see sendControl).
 	outMu    sync.Mutex
@@ -125,6 +132,7 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 		reports:   make(map[core.NodeID]nodeReport),
 		genIDs:    genIDs,
 		traces:    obs.NewTraceCollector(0, cfg.TraceObs),
+		links:     obs.NewLinkCollector(0, cfg.LinkObs),
 		outboxes:  make(map[string]chan []byte),
 		events:    make(chan TrackerEvent, 1024),
 	}, nil
@@ -266,8 +274,15 @@ func (t *Tracker) Run(ctx context.Context) error {
 // flush; anything else flushes the queue and dispatches immediately so
 // message effects stay in arrival order.
 func (t *Tracker) ingest(ctx context.Context, from string, frame []byte, pending []pendingHello) []pendingHello {
-	if IsData(frame) || IsKeepalive(frame) {
-		return pending // trackers do not carry data or heartbeats
+	if IsData(frame) {
+		return pending // trackers do not carry data
+	}
+	if IsKeepalive(frame) {
+		// A probe keepalive aimed at the server means the prober's parent
+		// on that thread is the source itself; echo it back so children of
+		// server-owned threads measure RTT over the data path too.
+		t.echoProbe(ctx, from, frame)
+		return pending
 	}
 	typ, payload, err := DecodeControl(frame)
 	if err != nil {
@@ -461,6 +476,7 @@ func (t *Tracker) ClusterSnapshot() obs.ClusterSnapshot {
 		snap.FleetDelayP99Nanos = int64(obs.Quantile(medians, 0.99))
 	}
 	snap.Trace = t.traces.Summary()
+	snap.Links = t.links.Summary(staleAfter, t.addrIDs())
 	// Per-generation census over fresh reporters whose rank vector covers
 	// the session's generation list. Stragglers are named only once a
 	// majority of reporters decoded the generation — before that the
@@ -607,6 +623,20 @@ func (t *Tracker) deliver(ctx context.Context, to string, frame []byte) {
 	}
 }
 
+// echoProbe answers a link-RTT probe keepalive with an echo carrying the
+// prober's transmit stamp. Echoes and legacy keepalives are ignored. The
+// send is bounded so a clogged data plane cannot stall dispatch for long;
+// a lost echo just costs one RTT sample.
+func (t *Tracker) echoProbe(ctx context.Context, from string, frame []byte) {
+	ki, err := DecodeKeepaliveEcho(frame)
+	if err != nil || !ki.IsProbe() {
+		return
+	}
+	sendCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	_ = t.ep.Send(sendCtx, from, EncodeKeepaliveEcho(ki.Thread, 0, ki.TxNanos, 0))
+	cancel()
+}
+
 // touchLease refreshes the sender's liveness lease, if it is a known node.
 func (t *Tracker) touchLease(from string) {
 	t.mu.Lock()
@@ -649,15 +679,18 @@ func (t *Tracker) handleStatsReport(r StatsReport) {
 	}
 	id := core.NodeID(r.ID)
 	t.mu.Lock()
-	_, known := t.addrOf[id]
+	addr, known := t.addrOf[id]
 	if known {
 		t.reports[id] = nodeReport{report: r, at: time.Now()}
 	}
 	t.mu.Unlock()
-	// Hop spans ride the same report; the collector locks itself, so the
-	// assembly happens outside t.mu.
+	// Hop spans and link scorecards ride the same report; both collectors
+	// lock themselves, so the assembly happens outside t.mu.
 	if known && len(r.TraceHops) > 0 {
 		t.traces.Ingest(r.ID, r.TraceHops)
+	}
+	if known && len(r.Links) > 0 {
+		t.links.Ingest(r.ID, addr, r.Links)
 	}
 }
 
@@ -666,6 +699,26 @@ func (t *Tracker) handleStatsReport(r StatsReport) {
 // Serve it at /debug/trace via obs.WithTraceSnapshot.
 func (t *Tracker) TraceSnapshot() obs.TraceSnapshot {
 	return t.traces.Snapshot()
+}
+
+// LinkSnapshot assembles the fleet link matrix: every reported (reporter,
+// peer) edge with loss, RTT, innovation and goodput, plus the worst-links
+// digest. Serve it at /debug/links via obs.WithLinkSnapshot. The staleness
+// horizon matches ClusterSnapshot's: three missed reporting intervals.
+func (t *Tracker) LinkSnapshot() obs.LinkSnapshot {
+	return t.links.Snapshot(3*t.cfg.StatsInterval, t.addrIDs())
+}
+
+// addrIDs copies the addr→id map so link snapshots can attribute peer
+// addresses to node ids without holding t.mu during assembly.
+func (t *Tracker) addrIDs() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[string]uint64, len(t.idOf))
+	for addr, id := range t.idOf {
+		m[addr] = uint64(id)
+	}
+	return m
 }
 
 // handleLease renews a node's lease. A lease from an unknown id means the
@@ -937,6 +990,9 @@ func (t *Tracker) spliceOut(ctx context.Context, id core.NodeID, remove func() e
 	delete(t.lastSeen, id)
 	delete(t.reports, id)
 	t.mu.Unlock()
+	// Its link edges go with it too, or the matrix would accumulate ghost
+	// reporters under churn. The collector locks itself.
+	t.links.Remove(uint64(id))
 
 	for i, th := range threads {
 		t.redirect(ctx, parents[i], th, childAddrs[i])

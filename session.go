@@ -116,7 +116,7 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	if !cfg.DisableObs {
 		reg = obs.NewRegistry(obs.WithTraceCapacity(cfg.TraceCap))
 	}
-	ep, err := sessionEndpoint(net, dataNet, "server", reg)
+	ep, err := sessionEndpoint(net, dataNet, "server", reg, nil)
 	if err != nil {
 		closeNets()
 		return nil, err
@@ -130,9 +130,11 @@ func NewSession(content []byte, cfg Config, opts ...SessionOption) (*Session, er
 	source.Obs = obs.NewSourceMetrics(reg)
 	source.TraceRate = cfg.TraceRate
 	source.Systematic = cfg.Systematic
+	source.LinkSeq = cfg.DatagramData
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
 	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)
+	trackerCfg.LinkObs = obs.NewLinkMetrics(reg)
 	obs.NewRuntimeMetrics(reg)
 	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
@@ -215,14 +217,27 @@ func (s *Session) TraceSnapshot() obs.TraceSnapshot {
 	return s.tracker.TraceSnapshot()
 }
 
+// LinkSnapshot returns the aggregated fleet link matrix: every reported
+// (reporter, peer) edge with its loss estimate, RTT/jitter EWMAs,
+// innovation rate and goodput, plus the worst-links digest. Edges appear
+// only when Config.StatsInterval is positive; loss and RTT need
+// Config.DatagramData (sequence stamping and probe keepalives ride the
+// datagram encodings). Pass it to obs.WithLinkSnapshot to serve it at
+// /debug/links.
+func (s *Session) LinkSnapshot() obs.LinkSnapshot {
+	return s.tracker.LinkSnapshot()
+}
+
 // ClientOption configures one client.
 type ClientOption func(*clientSettings)
 
 type clientSettings struct {
-	degree   int
-	seed     int64
-	behavior protocol.Behavior
-	genSink  GenSink
+	degree    int
+	seed      int64
+	behavior  protocol.Behavior
+	genSink   GenSink
+	dataLoss  float64
+	dataDelay time.Duration
 }
 
 // WithClientGenEvents subscribes sink to this client's generation-
@@ -258,6 +273,23 @@ func WithBehavior(b protocol.Behavior) ClientOption {
 	return func(c *clientSettings) { c.behavior = b }
 }
 
+// WithClientDataLoss drops each of this client's inbound data-plane frames
+// with probability p — one-way loss localized to exactly this peer, the
+// lossy-peer drill behind the link-telemetry estimators. Datagram-mode
+// sessions only; single-fabric sessions ignore it (use WithLoss there).
+func WithClientDataLoss(p float64) ClientOption {
+	return func(c *clientSettings) { c.dataLoss = p }
+}
+
+// WithClientDataDelay adds d to each of this client's inbound data-plane
+// frame deliveries, so its keepalive-probe RTT EWMAs reflect a slow link.
+// The delay is applied serially on the receive path — keep the inbound
+// frame rate well under 1/d or the injection itself becomes the
+// bottleneck. Datagram-mode sessions only.
+func WithClientDataDelay(d time.Duration) ClientOption {
+	return func(c *clientSettings) { c.dataDelay = d }
+}
+
 // AddClient joins a new client to the session and waits for the tracker to
 // accept it.
 func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client, error) {
@@ -274,7 +306,15 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 		o(&settings)
 	}
 
-	ep, err := sessionEndpoint(s.net, s.dataNet, addr, s.obs)
+	var fault *transport.FaultConfig
+	if settings.dataLoss > 0 || settings.dataDelay > 0 {
+		fault = &transport.FaultConfig{
+			RecvLoss:  settings.dataLoss,
+			RecvDelay: settings.dataDelay,
+			Seed:      settings.seed,
+		}
+	}
+	ep, err := sessionEndpoint(s.net, s.dataNet, addr, s.obs, fault)
 	if err != nil {
 		return nil, err
 	}
@@ -289,6 +329,7 @@ func (s *Session) AddClient(ctx context.Context, opts ...ClientOption) (*Client,
 		Behavior:         settings.behavior,
 		Seed:             settings.seed,
 		DecodeWorkers:    s.cfg.DecodeWorkers,
+		LinkSeq:          s.cfg.DatagramData,
 		Obs:              obs.NewNodeMetrics(s.obs, addr),
 		GenSink:          sink,
 	})
@@ -343,8 +384,10 @@ func (s *Session) Close() error {
 // sessionEndpoint registers addr on the session fabric(s): a plain
 // instrumented endpoint, or — in datagram mode — a Dual splitting data
 // frames onto the lossy data fabric, each plane instrumented as its own
-// transport kind.
-func sessionEndpoint(ctrlNet, dataNet *transport.Network, addr string, reg *obs.Registry) (transport.Endpoint, error) {
+// transport kind. A non-nil fault plan wraps the data plane only, so
+// per-client loss/delay injection never touches control traffic (exactly
+// like real UDP loss under a TCP control channel).
+func sessionEndpoint(ctrlNet, dataNet *transport.Network, addr string, reg *obs.Registry, fault *transport.FaultConfig) (transport.Endpoint, error) {
 	ctrl, err := ctrlNet.Endpoint(addr)
 	if err != nil {
 		return nil, err
@@ -358,9 +401,13 @@ func sessionEndpoint(ctrlNet, dataNet *transport.Network, addr string, reg *obs.
 		ctrl.Close()
 		return nil, err
 	}
+	var dataEP transport.Endpoint = data
+	if fault != nil {
+		dataEP = transport.NewFaulty(data, *fault)
+	}
 	transport.Instrument(ctrl, obs.NewTransportMetricsKind(reg, addr, "ctrl"))
-	transport.Instrument(data, obs.NewTransportMetricsKind(reg, addr, "data"))
-	return transport.NewDual(ctrl, data, protocol.DataPlaneFrame), nil
+	transport.Instrument(dataEP, obs.NewTransportMetricsKind(reg, addr, "data"))
+	return transport.NewDual(ctrl, dataEP, protocol.DataPlaneFrame), nil
 }
 
 // Client is one overlay node of a session.

@@ -83,9 +83,11 @@ func ListenAndServe(addr string, content []byte, cfg Config) (*Server, error) {
 	source.Obs = obs.NewSourceMetrics(reg)
 	source.TraceRate = cfg.TraceRate
 	source.Systematic = cfg.Systematic
+	source.LinkSeq = cfg.DatagramData
 	trackerCfg := cfg.trackerConfig(source.Session())
 	trackerCfg.Obs = obs.NewTrackerMetrics(reg)
 	trackerCfg.TraceObs = obs.NewTraceMetrics(reg)
+	trackerCfg.LinkObs = obs.NewLinkMetrics(reg)
 	obs.NewRuntimeMetrics(reg)
 	tracker, err := protocol.NewTracker(ep, source, trackerCfg)
 	if err != nil {
@@ -143,6 +145,13 @@ func (s *Server) TraceSnapshot() obs.TraceSnapshot {
 	return s.tracker.TraceSnapshot()
 }
 
+// LinkSnapshot returns the aggregated fleet link matrix (see
+// Session.LinkSnapshot). Pass it to obs.WithLinkSnapshot to serve it at
+// /debug/links.
+func (s *Server) LinkSnapshot() obs.LinkSnapshot {
+	return s.tracker.LinkSnapshot()
+}
+
 // Close stops the server.
 func (s *Server) Close() error {
 	s.cancel()
@@ -182,6 +191,7 @@ func Dial(ctx context.Context, serverAddr, listenAddr string, cfg Config, opts .
 		ComplaintTimeout: cfg.ComplaintTimeout,
 		Seed:             settings.seed,
 		DecodeWorkers:    cfg.DecodeWorkers,
+		LinkSeq:          cfg.DatagramData,
 		Obs:              obs.NewNodeMetrics(reg, ep.Addr()),
 		GenSink:          settings.genSink,
 	})

@@ -28,6 +28,7 @@ func TestMetricNameLint(t *testing.T) {
 	nm := obs.NewNodeMetrics(reg, "lint-node")
 	obs.NewTransportMetrics(reg, "lint-ep")
 	obs.NewTraceMetrics(reg)
+	obs.NewLinkMetrics(reg)
 	obs.NewRuntimeMetrics(reg)
 	// The lifecycle tracker registers the decode-delay and overhead
 	// histograms lazily on the first decode; force both.
@@ -55,6 +56,8 @@ func TestMetricNameLint(t *testing.T) {
 		"ncast_tracker_stats_reports_total",
 		"ncast_trace_hop_depth",
 		"ncast_trace_innovation_ratio",
+		"ncast_link_loss_permille",
+		"ncast_link_rtt_nanos",
 		"ncast_runtime_heap_bytes",
 		"ncast_runtime_goroutines",
 	} {
@@ -285,6 +288,88 @@ func TestTimelineEvents(t *testing.T) {
 	gens := 4
 	if want := len(clients) * gens; len(sawDecoded) != want {
 		t.Fatalf("decoded streams = %d, want %d", len(sawDecoded), want)
+	}
+}
+
+// TestLossyPeerLinkDrill is the link-telemetry acceptance drill: in a
+// six-client datagram session with 10% one-way inbound loss injected on
+// exactly one client (plus a 1ms receive delay), the fleet link matrix
+// must localize the fault — the lossy client's aggregated inbound loss
+// estimate converges within ±30‰ of the injected rate, the cluster
+// digest names it as the worst peer, and its RTT EWMAs reflect the
+// injected delay.
+func TestLossyPeerLinkDrill(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.StatsInterval = 100 * time.Millisecond
+	// Slow the pump so the serialized 1ms receive delay on the faulty
+	// client stays well under the inbound inter-frame spacing.
+	cfg.SourceInterval = 20 * time.Millisecond
+	WithDatagramData()(&cfg)
+	sess, err := NewSession(testContent(4*8*64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const injected = 0.10
+	lossy, err := sess.AddClient(ctx,
+		WithClientDataLoss(injected),
+		WithClientDataDelay(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for i := 0; i < 5; i++ {
+		c, err := sess.AddClient(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range append(clients, lossy) {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The source keeps pumping after decode, so the estimators keep
+	// accumulating samples. Poll until the matrix converges on the fault.
+	lossyID := lossy.ID()
+	var lastSnap obs.LinkSnapshot
+	for {
+		snap := sess.LinkSnapshot()
+		lastSnap = snap
+		var expected, received uint64
+		maxRTT := int64(0)
+		for _, e := range snap.Edges {
+			if e.Reporter != lossyID {
+				continue
+			}
+			expected += e.Expected
+			received += e.Received
+			if e.RTTEwmaNanos > maxRTT {
+				maxRTT = e.RTTEwmaNanos
+			}
+		}
+		if expected >= 200 {
+			loss := float64(expected-received) / float64(expected)
+			digest := sess.ClusterSnapshot().Links
+			if loss >= injected-0.03 && loss <= injected+0.03 &&
+				digest != nil && digest.WorstPeerID == lossyID &&
+				maxRTT >= int64(900*time.Microsecond) {
+				if digest.WorstPeerLossPermille < 50 {
+					t.Fatalf("digest loss estimate %d‰ too low for a 10%% lossy peer", digest.WorstPeerLossPermille)
+				}
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("link matrix never localized the lossy peer (id %d): %+v", lossyID, lastSnap)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 
