@@ -1,14 +1,14 @@
 # Developer checks. `make check` is the gate every change should pass.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc ./internal/transport
+RACE_PKGS := ./internal/core ./internal/obs ./internal/protocol ./internal/rlnc ./internal/swarm ./internal/transport
 # Packages with build-tag-gated accelerated kernels; purego forces the
 # scalar reference implementations so both dispatch arms stay tested.
 PUREGO_PKGS := ./internal/gf/... ./internal/rlnc/...
 
-.PHONY: check build crossbuild vet fmt lint test purego race churn lossy fuzz allocguard bench-gate scale bench
+.PHONY: check build crossbuild vet fmt lint test purego race churn lossy fuzz allocguard bench-gate swarm scale bench
 
-check: vet fmt lint build crossbuild test purego race churn lossy fuzz allocguard bench-gate
+check: vet fmt lint build crossbuild test purego race churn lossy fuzz allocguard bench-gate swarm
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,15 @@ allocguard:
 # exists for).
 bench-gate:
 	$(GO) run ./cmd/ncast-perf -gate
+
+# Swarm harness drill matrix under the race detector: 1000 virtual
+# nodes walk all four hostile-world scenarios (flash crowd, churn with
+# rejoin, heterogeneous fleet, adversarial batch failure) against a live
+# tracker, plus the lifecycle/determinism/goroutine-footprint suite.
+# The 100k-node version of the same drills is the bench path:
+#   $(GO) run ./cmd/ncast-scale -o BENCH_control.json
+swarm:
+	$(GO) test -race -count=1 ./internal/swarm
 
 # Control-plane capacity trajectory (quick shape: small populations).
 # The committed BENCH_control.json comes from the full run:

@@ -56,6 +56,8 @@ func main() {
 		trackerOps  = flag.Int("tracker-ops", 50_000, "churn ops for the live-tracker phase")
 		tracePop    = flag.Int("trace-nodes", 24, "receivers for the dissemination-trace phase (0 skips it)")
 		traceLoss   = flag.Float64("trace-loss", 0.05, "per-frame loss for the dissemination-trace phase")
+		swarmPop    = flag.Int("swarm-nodes", 100_000, "virtual nodes for the swarm drill phase (0 skips it)")
+		swarmShards = flag.Int("swarm-shards", 16, "event-loop shards carrying the swarm phase")
 		quick       = flag.Bool("quick", false, "CI-sized smoke run (shrinks every knob)")
 		checkEveryN = flag.Int("check-every", 0, "run CheckInvariants every N core ops (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -80,6 +82,8 @@ func main() {
 		*trackerPop = 1_000
 		*trackerOps = 5_000
 		*tracePop = 12
+		*swarmPop = 2_000
+		*swarmShards = 8
 	}
 
 	insertMode := core.InsertAppend
@@ -145,6 +149,13 @@ func main() {
 		}
 		report.Trace = tr
 	}
+	// The swarm phase writes its (possibly red) results into the report
+	// before the run fails, so gate regressions still land in the JSON.
+	var swarmErr error
+	if *swarmPop > 0 {
+		log.Printf("swarm phase: %d virtual nodes on %d shards, four scenario drills", *swarmPop, *swarmShards)
+		report.Swarm, swarmErr = runSwarmPhase(*swarmPop, *swarmShards, *k, *d, *seed)
+	}
 
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -156,6 +167,9 @@ func main() {
 	}
 	fmt.Printf("%s", raw)
 	log.Printf("wrote %s", *out)
+	if swarmErr != nil {
+		log.Fatalf("swarm phase: %v", swarmErr)
+	}
 }
 
 // Report is the BENCH_control.json schema.
@@ -166,6 +180,7 @@ type Report struct {
 	P99Ratios  []P99Ratio     `json:"p99_ratios,omitempty"`
 	Tracker    *TrackerReport `json:"tracker,omitempty"`
 	Trace      *TraceReport   `json:"trace,omitempty"`
+	Swarm      *SwarmReport   `json:"swarm,omitempty"`
 }
 
 // Config echoes the knobs the run used.

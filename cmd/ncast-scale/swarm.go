@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ncast/internal/swarm"
+)
+
+// SwarmReport is the swarm phase's section of BENCH_control.json: the
+// four hostile-world drills run at full scale against a live tracker,
+// each with its gate verdicts and trend metrics.
+type SwarmReport struct {
+	Nodes     int                 `json:"nodes"`
+	Shards    int                 `json:"shards"`
+	AllPassed bool                `json:"all_passed"`
+	Drills    []swarm.DrillResult `json:"drills"`
+}
+
+// runSwarmPhase joins a 100k-class swarm of protocol-correct virtual
+// nodes against the real tracker and walks it through the four scenario
+// drills (flash crowd, churn+rejoin, heterogeneous fleet, adversarial
+// batch failure). Gate failures are recorded in the report and surfaced
+// as an error after all drills have run, so the JSON still lands for
+// trending even on a red run.
+func runSwarmPhase(nodes, shards, k, d int, seed int64) (*SwarmReport, error) {
+	// Budgets scale with the fleet: a 100k join wave is seconds of work
+	// even at full batch throughput, and the flash-crowd p99 is by
+	// construction close to the whole wave's duration (every hello is
+	// sent at t=0, so the last welcome defines the tail). The hello
+	// retry clock stretches accordingly — see DrillConfig.HelloRetry.
+	// The lease/stats cadences also stretch: every joined node renews
+	// at LeaseTimeout/4 and reports every StatsInterval, so fixed
+	// cadences would turn a 100k fleet into tens of thousands of
+	// background control messages per second, starving the very
+	// admission waves under test.
+	perNode := time.Duration(nodes) * time.Millisecond // 1ms/node of slack
+	cfg := swarm.DrillConfig{
+		N:             nodes,
+		Shards:        shards,
+		Seed:          seed,
+		K:             k,
+		D:             d,
+		LeaseTimeout:  scaleDur(10*time.Second, nodes) + time.Duration(nodes)*300*time.Microsecond,
+		StatsInterval: scaleDur(5*time.Second, nodes) + time.Duration(nodes)*150*time.Microsecond,
+		Timeout:       60*time.Second + 2*perNode,
+		AdmissionP99:  30*time.Second + perNode,
+		HelloRetry:    2*time.Second + perNode/4,
+	}
+	rep := &SwarmReport{Nodes: nodes, Shards: shards, AllPassed: true}
+	for _, phase := range []struct {
+		name string
+		run  func(swarm.DrillConfig) (swarm.DrillResult, error)
+	}{
+		{"flash-crowd", swarm.RunFlashCrowd},
+		{"churn-rejoin", swarm.RunChurnRejoin},
+		{"heterogeneous", swarm.RunHeterogeneous},
+		{"adversarial-batch", swarm.RunAdversarialBatch},
+	} {
+		log.Printf("swarm drill %s: starting (N=%d)", phase.name, nodes)
+		r, err := phase.run(cfg)
+		if err != nil {
+			return rep, fmt.Errorf("drill %s: %w", phase.name, err)
+		}
+		rep.Drills = append(rep.Drills, r)
+		if !r.Passed {
+			rep.AllPassed = false
+		}
+		for _, g := range r.Gates {
+			status := "ok"
+			if !g.Pass {
+				status = "FAIL"
+			}
+			log.Printf("swarm drill %s: gate %s %s (%s)", r.Name, g.Name, status, g.Detail)
+		}
+	}
+	if !rep.AllPassed {
+		return rep, fmt.Errorf("swarm phase: one or more drill gates failed (see report)")
+	}
+	return rep, nil
+}
+
+// scaleDur keeps sweep/telemetry cadences sane for small smoke runs:
+// full-size intervals would dominate a -quick run's wall clock, so
+// fleets under 10k get proportionally shorter clocks (floored at 1/10).
+func scaleDur(full time.Duration, nodes int) time.Duration {
+	if nodes >= 10_000 {
+		return full
+	}
+	d := full * time.Duration(nodes) / 10_000
+	if d < full/10 {
+		d = full / 10
+	}
+	return d
+}

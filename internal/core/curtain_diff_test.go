@@ -20,7 +20,10 @@ import (
 )
 
 // matrixString renders M rows in order as "id:threads[:failed]" lines —
-// the byte-identical comparison format for the differential tests.
+// the byte-identical comparison format for the differential tests. The
+// exported Curtain.MatrixString emits the same format; every differential
+// run compares the two byte-for-byte (indexedMatrix vs refMatrix), which
+// pins them together.
 func matrixString(ids []NodeID, threads func(NodeID) ([]int, error), failed func(NodeID) bool) string {
 	var b strings.Builder
 	for _, id := range ids {
@@ -39,7 +42,7 @@ func matrixString(ids []NodeID, threads func(NodeID) ([]int, error), failed func
 }
 
 func indexedMatrix(c *Curtain) string {
-	return matrixString(c.Nodes(), c.Threads, c.IsFailed)
+	return c.MatrixString()
 }
 
 func refMatrix(c *refCurtain) string {

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MatrixString renders M's rows in order as "id:threads[:failed]" lines —
+// a canonical, byte-comparable topology dump. The differential suite uses
+// it to compare the indexed curtain against the retained reference
+// implementation, and the swarm harness's seed-determinism gate compares
+// two same-seed runs' tracker topologies with it.
+func (c *Curtain) MatrixString() string {
+	var b strings.Builder
+	for _, id := range c.Nodes() {
+		ts, err := c.Threads(id)
+		if err != nil {
+			fmt.Fprintf(&b, "%d:ERR(%v)\n", id, err)
+			continue
+		}
+		fmt.Fprintf(&b, "%d:%v", id, ts)
+		if c.IsFailed(id) {
+			b.WriteString(":failed")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

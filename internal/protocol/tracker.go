@@ -38,6 +38,12 @@ type TrackerConfig struct {
 	// (write deadline on stream transports, queue wait on the in-memory
 	// fabric). Zero means the 2-second default.
 	SendDeadline time.Duration
+	// OutboxDepth bounds each per-peer control outbox (zero means the
+	// default 64). Outboxes are keyed by transport.PeerKey, so a swarm
+	// endpoint multiplexing thousands of virtual nodes shares one outbox;
+	// flash-crowd welcomes funnel through it and need a deeper queue than
+	// the one-node-per-address default.
+	OutboxDepth int
 	// StatsInterval, when positive, asks every node (via Welcome.StatsMillis)
 	// to send one MsgStatsReport per interval; the tracker aggregates the
 	// reports into the ClusterSnapshot fleet view. Zero disables telemetry
@@ -85,7 +91,15 @@ type Tracker struct {
 
 	// outMu guards the per-peer control outboxes (see sendControl).
 	outMu    sync.Mutex
-	outboxes map[string]chan []byte
+	outboxes map[string]chan outMsg
+}
+
+// outMsg is one queued control frame with its full destination address;
+// outboxes are keyed by transport.PeerKey, so one worker may serve many
+// virtual destinations behind the same transport peer.
+type outMsg struct {
+	to    string
+	frame []byte
 }
 
 // nodeReport is one node's latest telemetry report and when it arrived.
@@ -133,7 +147,7 @@ func NewTracker(ep transport.Endpoint, source *Source, cfg TrackerConfig) (*Trac
 		genIDs:    genIDs,
 		traces:    obs.NewTraceCollector(0, cfg.TraceObs),
 		links:     obs.NewLinkCollector(0, cfg.LinkObs),
-		outboxes:  make(map[string]chan []byte),
+		outboxes:  make(map[string]chan outMsg),
 		events:    make(chan TrackerEvent, 1024),
 	}, nil
 }
@@ -507,7 +521,9 @@ func (t *Tracker) ClusterSnapshot() obs.ClusterSnapshot {
 	return snap
 }
 
-// Outbox policy. Each peer gets a serial worker goroutine so per-peer
+// Outbox policy. Each transport peer (transport.PeerKey of the
+// destination, so every virtual node multiplexed behind one swarm
+// endpoint shares a worker) gets a serial worker goroutine: per-peer
 // message order is preserved while one stalled peer can never delay
 // another (or the dispatch loop). The queue is bounded and enqueueing
 // never blocks: when a peer's outbox is full the newest message is
@@ -530,24 +546,35 @@ func (t *Tracker) sendDeadline() time.Duration {
 	return 2 * time.Second
 }
 
-// sendControl marshals and enqueues a control message on the peer's
-// outbox. It never blocks: a peer with a clogged TCP buffer stalls only
-// its own worker, for at most outboxAttempts * (sendDeadline + backoff).
+// outboxCap returns the per-peer outbox depth.
+func (t *Tracker) outboxCap() int {
+	if t.cfg.OutboxDepth > 0 {
+		return t.cfg.OutboxDepth
+	}
+	return outboxDepth
+}
+
+// sendControl marshals and enqueues a control message on the destination
+// peer's outbox (keyed by transport.PeerKey, so every virtual sub-address
+// behind one transport peer shares a worker and its ordering). It never
+// blocks: a peer with a clogged TCP buffer stalls only its own worker,
+// for at most outboxAttempts * (sendDeadline + backoff).
 func (t *Tracker) sendControl(ctx context.Context, to string, typ MsgType, payload interface{}) {
 	frame, err := EncodeControl(typ, payload)
 	if err != nil {
 		return
 	}
+	key := transport.PeerKey(to)
 	t.outMu.Lock()
 	defer t.outMu.Unlock()
-	ch, ok := t.outboxes[to]
+	ch, ok := t.outboxes[key]
 	if !ok {
-		ch = make(chan []byte, outboxDepth)
-		t.outboxes[to] = ch
-		go t.outboxLoop(ctx, to, ch)
+		ch = make(chan outMsg, t.outboxCap())
+		t.outboxes[key] = ch
+		go t.outboxLoop(ctx, key, ch)
 	}
 	select {
-	case ch <- frame:
+	case ch <- outMsg{to: to, frame: frame}:
 	default:
 		// Full outbox: drop the newest rather than block dispatch.
 		if m := t.cfg.Obs; m != nil {
@@ -561,15 +588,15 @@ func (t *Tracker) sendControl(ctx context.Context, to string, typ MsgType, paylo
 // backoff. It retires after outboxIdle with an empty queue; the
 // empty-check and map delete happen under outMu, where enqueues also
 // happen, so a frame can never be stranded in a retired worker's queue.
-func (t *Tracker) outboxLoop(ctx context.Context, to string, ch chan []byte) {
+func (t *Tracker) outboxLoop(ctx context.Context, key string, ch chan outMsg) {
 	idle := time.NewTimer(outboxIdle)
 	defer idle.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case frame := <-ch:
-			t.deliver(ctx, to, frame)
+		case m := <-ch:
+			t.deliver(ctx, m.to, m.frame)
 			if !idle.Stop() {
 				select {
 				case <-idle.C:
@@ -579,8 +606,8 @@ func (t *Tracker) outboxLoop(ctx context.Context, to string, ch chan []byte) {
 			idle.Reset(outboxIdle)
 		case <-idle.C:
 			t.outMu.Lock()
-			if len(ch) == 0 && t.outboxes[to] == ch {
-				delete(t.outboxes, to)
+			if len(ch) == 0 && t.outboxes[key] == ch {
+				delete(t.outboxes, key)
 				t.outMu.Unlock()
 				return
 			}
@@ -855,7 +882,12 @@ func (t *Tracker) flushHellos(ctx context.Context, pending []pendingHello) []pen
 		if id, ok := t.idOf[addr]; ok {
 			// Duplicate hello: the node is retrying because our welcome was
 			// lost (or it is still queued behind this batch). Re-send the
-			// same welcome instead of re-joining.
+			// same welcome instead of re-joining. The retry also proves the
+			// node is alive, so refresh its lease here: touchLease keys by
+			// the transport sender and misses when Hello.Addr differs from
+			// it, and without this a joiner stuck re-helloing through a slow
+			// admission wave could be lease-expired while provably present.
+			t.lastSeen[id] = time.Now()
 			threads, err := t.curtain.Threads(id)
 			if err != nil {
 				continue
@@ -1226,6 +1258,25 @@ func (t *Tracker) handleComplete(c Complete) {
 		}
 		t.emit(TrackerEvent{Kind: "complete", ID: id, Addr: addr})
 	}
+}
+
+// MatrixDump returns the canonical byte-comparable rendering of the
+// tracker's matrix M (core.Curtain.MatrixString): one "id:threads[:failed]"
+// line per row, in row order. Two trackers with identical histories produce
+// identical dumps — the seed-determinism gate of the swarm harness.
+func (t *Tracker) MatrixDump() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.curtain.MatrixString()
+}
+
+// Topology snapshots the overlay graph for analysis (connectivity
+// measurement after a kill wave, defect counting). The snapshot is built
+// under the tracker lock but is an independent copy.
+func (t *Tracker) Topology() *core.Topology {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.curtain.Snapshot()
 }
 
 // ErrNoSuchNode is returned by administrative operations on unknown nodes.

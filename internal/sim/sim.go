@@ -15,6 +15,7 @@ import (
 
 	"ncast/internal/core"
 	"ncast/internal/defect"
+	"ncast/internal/graph"
 )
 
 // ChurnConfig describes the §4 arrival process: at every step one node
@@ -160,12 +161,49 @@ type ConnectivityStats struct {
 	MinConn int
 }
 
+// connAccum folds per-node (in-degree, connectivity) observations into
+// ConnectivityStats, capping each connectivity at the node's own d.
+type connAccum struct {
+	stats      ConnectivityStats
+	sum, sumSq float64
+}
+
+func (a *connAccum) add(d, c int) {
+	if c > d {
+		c = d
+	}
+	a.stats.Working++
+	if c >= d {
+		a.stats.FullCount++
+	}
+	if a.stats.MinConn < 0 || c < a.stats.MinConn {
+		a.stats.MinConn = c
+	}
+	loss := float64(d-c) / float64(d)
+	a.sum += loss
+	a.sumSq += loss * loss
+}
+
+func (a *connAccum) finish() ConnectivityStats {
+	stats := a.stats
+	if stats.Working > 0 {
+		stats.MeanLossFrac = a.sum / float64(stats.Working)
+		if stats.Working > 1 {
+			m := stats.MeanLossFrac
+			stats.VarLossFrac = (a.sumSq - float64(stats.Working)*m*m) / float64(stats.Working-1)
+		}
+	}
+	if stats.MinConn < 0 {
+		stats.MinConn = 0
+	}
+	return stats
+}
+
 // MeasureConnectivity computes connectivity statistics for every working
 // node of the snapshot, each capped at its in-degree (its personal d).
 func MeasureConnectivity(top *core.Topology) ConnectivityStats {
 	conns := defect.NodeConnectivity(top, -1)
-	stats := ConnectivityStats{MinConn: -1}
-	var sum, sumSq float64
+	acc := connAccum{stats: ConnectivityStats{MinConn: -1}}
 	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
 		if !top.Working[gi] {
 			continue
@@ -174,32 +212,38 @@ func MeasureConnectivity(top *core.Topology) ConnectivityStats {
 		if d == 0 {
 			continue
 		}
-		c := conns[gi]
-		if c > d {
-			c = d
-		}
-		stats.Working++
-		if c >= d {
-			stats.FullCount++
-		}
-		if stats.MinConn < 0 || c < stats.MinConn {
-			stats.MinConn = c
-		}
-		loss := float64(d-c) / float64(d)
-		sum += loss
-		sumSq += loss * loss
+		acc.add(d, conns[gi])
 	}
-	if stats.Working > 0 {
-		stats.MeanLossFrac = sum / float64(stats.Working)
-		if stats.Working > 1 {
-			m := stats.MeanLossFrac
-			stats.VarLossFrac = (sumSq - float64(stats.Working)*m*m) / float64(stats.Working-1)
+	return acc.finish()
+}
+
+// MeasureConnectivitySample computes the same statistics over a uniform
+// seeded sample of at most maxNodes working nodes. Exact measurement is
+// one max-flow per node — fine at simulation sizes, intractable over a
+// 100k-row live fleet — so the swarm drills sample. A non-positive
+// maxNodes, or a population that fits within it, falls back to the
+// exact sweep; each sampled node's flow search is capped at its own
+// in-degree, which leaves every reported statistic unchanged (the exact
+// path caps connectivity at d after the fact).
+func MeasureConnectivitySample(top *core.Topology, maxNodes int, seed int64) ConnectivityStats {
+	var nodes []int
+	for gi := 1; gi < top.Graph.NumNodes(); gi++ {
+		if top.Working[gi] && top.Graph.InDegree(gi) > 0 {
+			nodes = append(nodes, gi)
 		}
 	}
-	if stats.MinConn < 0 {
-		stats.MinConn = 0
+	if maxNodes <= 0 || len(nodes) <= maxNodes {
+		return MeasureConnectivity(top)
 	}
-	return stats
+	rng := rand.New(rand.NewSource(seed))
+	fs := graph.NewFlowSolver(top.Effective())
+	acc := connAccum{stats: ConnectivityStats{MinConn: -1}}
+	for _, j := range rng.Perm(len(nodes))[:maxNodes] {
+		gi := nodes[j]
+		d := top.Graph.InDegree(gi)
+		acc.add(d, fs.MaxFlow(0, gi, d))
+	}
+	return acc.finish()
 }
 
 // KSStatistic returns the two-sample Kolmogorov–Smirnov statistic between

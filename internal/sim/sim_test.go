@@ -115,6 +115,41 @@ func TestMeasureConnectivityFailureFree(t *testing.T) {
 	}
 }
 
+func TestMeasureConnectivitySample(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	c, err := BuildCurtain(12, 3, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FailIID(c, 0.2, rng)
+	top := c.Snapshot()
+	exact := MeasureConnectivity(top)
+
+	// A budget that covers the population must be the exact sweep.
+	if got := MeasureConnectivitySample(top, 10_000, 1); got != exact {
+		t.Fatalf("oversized sample diverged: %+v vs %+v", got, exact)
+	}
+	// A non-positive budget means "no sampling".
+	if got := MeasureConnectivitySample(top, -1, 1); got != exact {
+		t.Fatalf("negative budget diverged: %+v vs %+v", got, exact)
+	}
+
+	// A real sample measures exactly maxNodes nodes, deterministically
+	// per seed, and stays within the exact sweep's bounds.
+	s1 := MeasureConnectivitySample(top, 40, 42)
+	s2 := MeasureConnectivitySample(top, 40, 42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if s1.Working != 40 {
+		t.Fatalf("sampled %d nodes, want 40", s1.Working)
+	}
+	if s1.MinConn < exact.MinConn || s1.FullCount > s1.Working {
+		t.Fatalf("sample out of bounds: sample %+v exact %+v", s1, exact)
+	}
+}
+
 func TestKSStatistic(t *testing.T) {
 	t.Parallel()
 	same := []float64{1, 2, 3, 4, 5}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPeerKey(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tracker", "tracker"},
+		{"host:9000", "host:9000"},
+		{"swarm0!n42", "swarm0"},
+		{"swarm0!n42!deep", "swarm0"},
+		{"!leading", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PeerKey(c.in); got != c.want {
+			t.Errorf("PeerKey(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMuxPrefixRouting(t *testing.T) {
+	ctx := context.Background()
+	n := NewNetwork()
+	defer n.Close()
+	mux, err := n.MuxEndpoint("swarm0", 0)
+	if err != nil {
+		t.Fatalf("MuxEndpoint: %v", err)
+	}
+	plain, err := n.Endpoint("tracker")
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+
+	// Sub-address routes to the mux endpoint; RecvTo reports the full
+	// destination so the receiver can demultiplex.
+	if err := plain.Send(ctx, "swarm0!n42", []byte("hi")); err != nil {
+		t.Fatalf("send to sub-address: %v", err)
+	}
+	from, to, msg, err := mux.RecvTo(ctx)
+	if err != nil {
+		t.Fatalf("RecvTo: %v", err)
+	}
+	if from != "tracker" || to != "swarm0!n42" || string(msg) != "hi" {
+		t.Fatalf("RecvTo = (%q, %q, %q), want (tracker, swarm0!n42, hi)", from, to, msg)
+	}
+
+	// The base address still works, and RecvTo reports it.
+	if err := plain.Send(ctx, "swarm0", []byte("base")); err != nil {
+		t.Fatalf("send to base: %v", err)
+	}
+	if _, to, _, err = mux.RecvTo(ctx); err != nil || to != "swarm0" {
+		t.Fatalf("RecvTo base = (%q, %v), want (swarm0, nil)", to, err)
+	}
+}
+
+func TestMuxSubAddressNotRoutedToPlainEndpoint(t *testing.T) {
+	ctx := context.Background()
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Endpoint("plain"); err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = src.Send(ctx, "plain!n1", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "unknown peer") {
+		t.Fatalf("send to sub-address of plain endpoint: err = %v, want unknown peer", err)
+	}
+}
+
+func TestMuxSendAs(t *testing.T) {
+	ctx := context.Background()
+	n := NewNetwork()
+	defer n.Close()
+	mux, err := n.MuxEndpoint("swarm0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := n.Endpoint("tracker")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A virtual node originates a frame; the receiver sees the virtual
+	// address as the sender and can reply to it.
+	if err := mux.SendAs(ctx, "swarm0!n7", "tracker", []byte("hello")); err != nil {
+		t.Fatalf("SendAs: %v", err)
+	}
+	from, msg, err := tracker.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if from != "swarm0!n7" || string(msg) != "hello" {
+		t.Fatalf("Recv = (%q, %q), want (swarm0!n7, hello)", from, msg)
+	}
+	if err := tracker.Send(ctx, from, []byte("welcome")); err != nil {
+		t.Fatalf("reply to virtual sender: %v", err)
+	}
+	_, to, msg, err := mux.RecvTo(ctx)
+	if err != nil || to != "swarm0!n7" || string(msg) != "welcome" {
+		t.Fatalf("reply RecvTo = (%q, %q, %v), want (swarm0!n7, welcome, nil)", to, msg, err)
+	}
+
+	// SendAs refuses sender addresses that don't route back here.
+	if err := mux.SendAs(ctx, "other!n7", "tracker", []byte("spoof")); err == nil {
+		t.Fatal("SendAs with foreign sender succeeded, want error")
+	}
+	if err := mux.SendAs(ctx, "tracker", "tracker", []byte("spoof")); err == nil {
+		t.Fatal("SendAs impersonating another endpoint succeeded, want error")
+	}
+}
+
+func TestMuxReservedSeparatorRejected(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Endpoint("bad!addr"); err == nil {
+		t.Fatal("Endpoint accepted address with reserved separator")
+	}
+	if _, err := n.MuxEndpoint("bad!addr", 0); err == nil {
+		t.Fatal("MuxEndpoint accepted address with reserved separator")
+	}
+}
+
+func TestMuxLossAndLatencyApply(t *testing.T) {
+	ctx := context.Background()
+	n := NewNetwork(WithLoss(1.0))
+	defer n.Close()
+	mux, err := n.MuxEndpoint("swarm0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send(ctx, "swarm0!n1", []byte("x")); err != nil {
+		t.Fatalf("lossy send: %v", err)
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, _, _, err := mux.RecvTo(shortCtx); err == nil {
+		t.Fatal("frame delivered despite 100% loss")
+	}
+}
+
+func TestMuxEndpointSatisfiesEndpoint(t *testing.T) {
+	ctx := context.Background()
+	n := NewNetwork()
+	defer n.Close()
+	mux, err := n.MuxEndpoint("swarm0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ep Endpoint = mux
+	if ep.Addr() != "swarm0" {
+		t.Fatalf("Addr = %q", ep.Addr())
+	}
+	peer, err := n.Endpoint("peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(ctx, "peer", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if from, msg, err := peer.Recv(ctx); err != nil || from != "swarm0" || string(msg) != "plain" {
+		t.Fatalf("Recv = (%q, %q, %v)", from, msg, err)
+	}
+}

@@ -30,6 +30,28 @@ var ErrClosed = errors.New("transport: closed")
 // ErrUnknownPeer is returned when sending to an address with no endpoint.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
+// MuxSep separates a multiplexing endpoint's address from a virtual
+// sub-address: a frame sent to "swarm0"+MuxSep+"n42" is delivered to the
+// endpoint registered as "swarm0", which demultiplexes by the full
+// destination (RecvTo). The separator is reserved across transports —
+// no plain endpoint address may contain it — so PeerKey can map any
+// address to the transport-level peer it rides to.
+const MuxSep = '!'
+
+// PeerKey returns the transport-level peer an address routes to: the
+// base endpoint for mux sub-addresses, the address itself otherwise.
+// Control planes that keep per-peer state (the tracker's outbox workers)
+// key it by PeerKey so a thousand virtual nodes multiplexed behind one
+// endpoint cost one worker, not a thousand.
+func PeerKey(addr string) string {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == MuxSep {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
 // maxFrame bounds a frame's size on stream transports (16 MiB).
 const maxFrame = 16 << 20
 
@@ -106,6 +128,37 @@ func NewNetwork(opts ...NetworkOption) *Network {
 
 // Endpoint registers (or returns an error for a duplicate) address.
 func (n *Network) Endpoint(addr string) (Endpoint, error) {
+	ep, err := n.register(addr, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// MuxEndpoint registers a multiplexing endpoint: frames addressed to any
+// sub-address addr+MuxSep+suffix are delivered here, and SendAs lets the
+// caller originate frames from those sub-addresses. One MuxEndpoint
+// therefore carries arbitrarily many virtual peers on a single channel —
+// the transport substrate for the swarm harness. bufFrames sizes the
+// receive buffer (0 means the default 256); mux endpoints aggregating
+// thousands of virtual nodes want it deep enough to absorb reply bursts.
+func (n *Network) MuxEndpoint(addr string, bufFrames int) (*MuxEndpoint, error) {
+	ep, err := n.register(addr, true, bufFrames)
+	if err != nil {
+		return nil, err
+	}
+	return &MuxEndpoint{memEndpoint: ep}, nil
+}
+
+func (n *Network) register(addr string, mux bool, bufFrames int) (*memEndpoint, error) {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == MuxSep {
+			return nil, fmt.Errorf("transport: address %q contains reserved separator %q", addr, string(MuxSep))
+		}
+	}
+	if bufFrames <= 0 {
+		bufFrames = 256
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -117,7 +170,8 @@ func (n *Network) Endpoint(addr string) (Endpoint, error) {
 	ep := &memEndpoint{
 		net:  n,
 		addr: addr,
-		ch:   make(chan memFrame, 256),
+		mux:  mux,
+		ch:   make(chan memFrame, bufFrames),
 		done: make(chan struct{}),
 	}
 	n.endpoints[addr] = ep
@@ -155,7 +209,11 @@ func (n *Network) Close() error {
 
 type memFrame struct {
 	from string
-	msg  []byte
+	// to is the full destination address; it differs from the receiving
+	// endpoint's own address when the frame was prefix-routed to a mux
+	// endpoint, which demultiplexes on it.
+	to  string
+	msg []byte
 	// due is when the frame may be delivered (enqueue time + latency);
 	// the zero value means immediately.
 	due time.Time
@@ -164,7 +222,9 @@ type memFrame struct {
 type memEndpoint struct {
 	net  *Network
 	addr string
-	ch   chan memFrame
+	// mux marks the endpoint as accepting prefix-routed sub-addresses.
+	mux bool
+	ch  chan memFrame
 	// done signals closure; the data channel itself is never closed, so
 	// concurrent senders can never hit a closed-channel panic — they
 	// select on done instead.
@@ -185,6 +245,10 @@ func (e *memEndpoint) Addr() string { return e.addr }
 func (e *memEndpoint) SetMetrics(m *obs.TransportMetrics) { e.metrics.Store(m) }
 
 func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
+	return e.sendFrom(ctx, e.addr, to, msg)
+}
+
+func (e *memEndpoint) sendFrom(ctx context.Context, from, to string, msg []byte) error {
 	m := e.metrics.Load()
 	n := e.net
 	n.mu.Lock()
@@ -193,6 +257,16 @@ func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 		return ErrClosed
 	}
 	dst, ok := n.endpoints[to]
+	if !ok {
+		// Prefix routing: a sub-address routes to its base endpoint, but
+		// only when that endpoint opted into demultiplexing — a plain
+		// endpoint never sees frames for addresses it didn't register.
+		if base := PeerKey(to); base != to {
+			if bep, bok := n.endpoints[base]; bok && bep.mux {
+				dst, ok = bep, true
+			}
+		}
+	}
 	drop := n.loss > 0 && n.rng.Float64() < n.loss
 	latency := n.latency
 	n.mu.Unlock()
@@ -203,7 +277,7 @@ func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 		m.Dropped()
 		return nil // silently lost, like a UDP frame on a congested link
 	}
-	frame := memFrame{from: e.addr, msg: append([]byte(nil), msg...)}
+	frame := memFrame{from: from, to: to, msg: append([]byte(nil), msg...)}
 	if latency > 0 {
 		// Latency is applied on the delivery side (Recv waits until the
 		// frame is due), so concurrent frames pipeline like packets on a
@@ -228,6 +302,14 @@ func (e *memEndpoint) Send(ctx context.Context, to string, msg []byte) error {
 }
 
 func (e *memEndpoint) Recv(ctx context.Context) (string, []byte, error) {
+	f, err := e.recvFrame(ctx)
+	if err != nil {
+		return "", nil, err
+	}
+	return f.from, f.msg, nil
+}
+
+func (e *memEndpoint) recvFrame(ctx context.Context) (memFrame, error) {
 	select {
 	case f := <-e.ch:
 		if wait := time.Until(f.due); wait > 0 {
@@ -239,16 +321,50 @@ func (e *memEndpoint) Recv(ctx context.Context) (string, []byte, error) {
 				// The frame is consumed but undelivered: model it as
 				// lost in flight, like a datagram on a dying link.
 				e.metrics.Load().Dropped()
-				return "", nil, ctx.Err()
+				return memFrame{}, ctx.Err()
 			}
 		}
 		e.metrics.Load().Received(len(f.msg))
-		return f.from, f.msg, nil
+		return f, nil
 	case <-e.done:
-		return "", nil, ErrClosed
+		return memFrame{}, ErrClosed
 	case <-ctx.Done():
-		return "", nil, ctx.Err()
+		return memFrame{}, ctx.Err()
 	}
+}
+
+// MuxEndpoint is an in-memory endpoint that carries many virtual peers:
+// frames to any addr+MuxSep+suffix sub-address arrive here (RecvTo reports
+// which one), and SendAs originates frames from those sub-addresses. It
+// still satisfies Endpoint — plain Recv drops the destination, plain Send
+// originates from the base address.
+type MuxEndpoint struct {
+	*memEndpoint
+}
+
+// RecvTo blocks for the next frame, returning both the sender and the
+// full destination address the frame was sent to.
+func (e *MuxEndpoint) RecvTo(ctx context.Context) (from, to string, msg []byte, err error) {
+	f, err := e.recvFrame(ctx)
+	if err != nil {
+		return "", "", nil, err
+	}
+	to = f.to
+	if to == "" {
+		to = e.addr
+	}
+	return f.from, to, f.msg, nil
+}
+
+// SendAs delivers msg to the named peer with from as the sender address.
+// from must be this endpoint's address or one of its sub-addresses; the
+// restriction keeps virtual senders answerable — replies to from route
+// back to this endpoint.
+func (e *MuxEndpoint) SendAs(ctx context.Context, from, to string, msg []byte) error {
+	if PeerKey(from) != e.addr {
+		return fmt.Errorf("transport: SendAs from %q does not route to endpoint %q", from, e.addr)
+	}
+	return e.sendFrom(ctx, from, to, msg)
 }
 
 func (e *memEndpoint) Close() error {

@@ -23,6 +23,23 @@ func testContent(n int) []byte {
 	return b
 }
 
+// waitFor polls cond until it holds or the timeout passes, then fails
+// the test naming what never happened. The condition, not elapsed time,
+// decides the outcome — the timeout only bounds a hung run.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			if cond() {
+				return
+			}
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	t.Parallel()
 	tests := []struct {
@@ -133,13 +150,9 @@ func TestSessionChurnLeaveAndCrash(t *testing.T) {
 			t.Fatalf("client %d content mismatch", i)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for s.NumNodes() != 4 {
-		if time.Now().After(deadline) {
-			t.Fatalf("NumNodes = %d, want 4 after leave+crash repair", s.NumNodes())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, "population to converge to 4 after leave+crash repair", func() bool {
+		return s.NumNodes() == 4
+	})
 }
 
 func TestSessionLossyAndLatency(t *testing.T) {
@@ -303,13 +316,9 @@ func TestServerAndDialOverTCP(t *testing.T) {
 	if err := clients[0].Leave(ctx); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.NumNodes() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("NumNodes = %d after leave", srv.NumNodes())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "census to drop to 2 after the leave", func() bool {
+		return srv.NumNodes() == 2
+	})
 }
 
 // TestSessionLeafCrashSwept exercises the public-API liveness path: a
@@ -340,13 +349,9 @@ func TestSessionLeafCrashSwept(t *testing.T) {
 	// The latest joiner holds the bottom row: a leaf with no children.
 	clients[3].Crash()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for s.NumNodes() != 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("NumNodes = %d, want 3: lease sweep never reclaimed the leaf", s.NumNodes())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, "lease sweep to reclaim the crashed leaf", func() bool {
+		return s.NumNodes() == 3
+	})
 	for i, c := range clients[:3] {
 		if err := c.Wait(ctx); err != nil {
 			t.Fatalf("client %d: %v (progress %.2f)", i, err, c.Progress())

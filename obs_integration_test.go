@@ -41,19 +41,12 @@ func TestSnapshotConsistency(t *testing.T) {
 		}
 	}
 
-	// The tracker learns about completions asynchronously; poll briefly.
+	// The tracker learns about completions asynchronously.
 	var snap obs.OverlaySnapshot
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	waitFor(t, 10*time.Second, "every completion to reach the tracker", func() bool {
 		snap = s.Snapshot()
-		if snap.Overlay != nil && snap.Overlay.Completed == clients {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("completed = %v, want %d", snap.Overlay, clients)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+		return snap.Overlay != nil && snap.Overlay.Completed == clients
+	})
 
 	if snap.Overlay.Nodes != clients {
 		t.Errorf("Overlay.Nodes = %d, want %d", snap.Overlay.Nodes, clients)

@@ -127,16 +127,10 @@ func TestTraceLive(t *testing.T) {
 	// structure shows up. With 8 nodes on 4 threads at degree 2, some node
 	// must sit below another, so depth > 1 is guaranteed by construction.
 	var snap obs.TraceSnapshot
-	for {
+	waitFor(t, 60*time.Second, "multi-hop trace structure to assemble", func() bool {
 		snap = sess.TraceSnapshot()
-		if snap.SampledGenerations > 0 && snap.MaxHopDepth > 1 {
-			break
-		}
-		if ctx.Err() != nil {
-			t.Fatalf("trace view never assembled: %+v", snap)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+		return snap.SampledGenerations > 0 && snap.MaxHopDepth > 1
+	})
 	if len(snap.Depths) < 2 {
 		t.Fatalf("hop-depth distribution is degenerate: %+v", snap.Depths)
 	}
@@ -339,7 +333,12 @@ func TestLossyPeerLinkDrill(t *testing.T) {
 	// accumulating samples. Poll until the matrix converges on the fault.
 	lossyID := lossy.ID()
 	var lastSnap obs.LinkSnapshot
-	for {
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("last link snapshot for lossy peer %d: %+v", lossyID, lastSnap)
+		}
+	})
+	waitFor(t, 60*time.Second, "link matrix to localize the lossy peer", func() bool {
 		snap := sess.LinkSnapshot()
 		lastSnap = snap
 		var expected, received uint64
@@ -354,23 +353,21 @@ func TestLossyPeerLinkDrill(t *testing.T) {
 				maxRTT = e.RTTEwmaNanos
 			}
 		}
-		if expected >= 200 {
-			loss := float64(expected-received) / float64(expected)
-			digest := sess.ClusterSnapshot().Links
-			if loss >= injected-0.03 && loss <= injected+0.03 &&
-				digest != nil && digest.WorstPeerID == lossyID &&
-				maxRTT >= int64(900*time.Microsecond) {
-				if digest.WorstPeerLossPermille < 50 {
-					t.Fatalf("digest loss estimate %d‰ too low for a 10%% lossy peer", digest.WorstPeerLossPermille)
-				}
-				return
+		if expected < 200 {
+			return false
+		}
+		loss := float64(expected-received) / float64(expected)
+		digest := sess.ClusterSnapshot().Links
+		if loss >= injected-0.03 && loss <= injected+0.03 &&
+			digest != nil && digest.WorstPeerID == lossyID &&
+			maxRTT >= int64(900*time.Microsecond) {
+			if digest.WorstPeerLossPermille < 50 {
+				t.Fatalf("digest loss estimate %d‰ too low for a 10%% lossy peer", digest.WorstPeerLossPermille)
 			}
+			return true
 		}
-		if ctx.Err() != nil {
-			t.Fatalf("link matrix never localized the lossy peer (id %d): %+v", lossyID, lastSnap)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+		return false
+	})
 }
 
 // TestClusterSnapshotLive checks the session-level aggregation end to end:
@@ -399,26 +396,20 @@ func TestClusterSnapshotLive(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		snap := sess.ClusterSnapshot()
+	var snap obs.ClusterSnapshot
+	waitFor(t, 10*time.Second, "every client complete in the cluster view", func() bool {
+		snap = sess.ClusterSnapshot()
 		done := len(snap.Nodes) == len(clients)
 		for _, n := range snap.Nodes {
 			if !n.Complete {
 				done = false
 			}
 		}
-		if done {
-			for _, c := range clients {
-				if snap.Node(c.ID()) == nil {
-					t.Fatalf("client %d missing from cluster view", c.ID())
-				}
-			}
-			return
+		return done
+	})
+	for _, c := range clients {
+		if snap.Node(c.ID()) == nil {
+			t.Fatalf("client %d missing from cluster view", c.ID())
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster view never converged: %+v", snap.Nodes)
-		}
-		time.Sleep(40 * time.Millisecond)
 	}
 }
